@@ -1,0 +1,143 @@
+// Command autodbaas runs a complete AutoDBaaS deployment: a simulated
+// fleet of database service instances with on-VM tuning agents, a config
+// director load-balancing across BO tuner instances, the Data Federation
+// Agent, the service orchestrator with its reconciler, and the central
+// data repository — with the director and repository additionally served
+// over HTTP so external clients can watch the deployment.
+//
+// Usage:
+//
+//	autodbaas [-fleet 8] [-hours 24] [-listen 127.0.0.1:8080] [-periodic]
+//
+// The simulation runs in virtual time (a day of database activity takes
+// seconds); the HTTP endpoints report live counters while it runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"autodbaas/internal/agent"
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/core"
+	"autodbaas/internal/httpapi"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tuner"
+	"autodbaas/internal/tuner/bo"
+	"autodbaas/internal/workload"
+)
+
+func main() {
+	fleet := flag.Int("fleet", 8, "number of database service instances")
+	hours := flag.Int("hours", 24, "simulated hours to run")
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address (director + repository)")
+	tuners := flag.Int("tuners", 3, "tuner instances behind the director")
+	periodic := flag.Bool("periodic", false, "use the periodic baseline instead of TDE-driven requests")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	flag.Parse()
+
+	if err := run(*fleet, *hours, *listen, *tuners, *periodic, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "autodbaas: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed int64) error {
+	tuners := make([]tuner.Tuner, 0, tunerCount)
+	for i := 0; i < tunerCount; i++ {
+		t, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 200, MaxSamplesPerFit: 150, UCBBeta: 0.5, Seed: seed + int64(i)})
+		if err != nil {
+			return err
+		}
+		tuners = append(tuners, t)
+	}
+	sys, err := core.NewSystem(tuners...)
+	if err != nil {
+		return err
+	}
+
+	mode := agent.ModeTDE
+	if periodic {
+		mode = agent.ModePeriodic
+	}
+	plans := []string{"t2.medium", "m4.large", "t2.large", "m4.xlarge"}
+	for i := 0; i < fleet; i++ {
+		gen := fleetWorkload(i)
+		_, err := sys.AddInstance(core.InstanceSpec{
+			Provision: cluster.ProvisionSpec{
+				ID:          fmt.Sprintf("db-%03d", i),
+				Plan:        plans[i%len(plans)],
+				Engine:      knobs.Postgres,
+				DBSizeBytes: gen.DBSizeBytes(),
+				Slaves:      i % 2, // every other instance runs with a replica
+				Seed:        seed + int64(i),
+			},
+			Workload: gen,
+			Agent: agent.Options{
+				TickEvery:     5 * time.Minute,
+				GateSamples:   !periodic,
+				Mode:          mode,
+				PeriodicEvery: 5 * time.Minute,
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Serve the director and repository over HTTP while simulating.
+	mux := http.NewServeMux()
+	mux.Handle("/director/", http.StripPrefix("/director", httpapi.NewDirectorServer(sys.Director)))
+	mux.Handle("/repository/", http.StripPrefix("/repository", httpapi.NewRepositoryServer(sys.Repository)))
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		if err := httpapi.Serve(ctx, l, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "autodbaas: http: %v\n", err)
+		}
+	}()
+	fmt.Printf("control plane on http://%s  (GET /director/v1/counters, /repository/v1/stats)\n", l.Addr())
+
+	fmt.Printf("simulating %d instances for %d virtual hours (%s mode)\n",
+		fleet, hours, map[bool]string{true: "periodic", false: "tde"}[periodic])
+	for h := 0; h < hours; h++ {
+		select {
+		case <-ctx.Done():
+			fmt.Println("interrupted")
+			return nil
+		default:
+		}
+		var throttles int
+		for w := 0; w < 12; w++ {
+			res := sys.Step(5 * time.Minute)
+			throttles += res.Throttles
+		}
+		reqs, recs, fails, upgrades := sys.Director.Counters()
+		fmt.Printf("hour %02d: throttles=%d tuning-requests=%d recommendations=%d apply-failures=%d plan-upgrades=%d samples=%d\n",
+			h, throttles, reqs, recs, fails, upgrades, sys.Repository.Len())
+	}
+	fmt.Println("simulation complete; ctrl-c to stop the HTTP endpoints")
+	<-ctx.Done()
+	return nil
+}
+
+func fleetWorkload(i int) workload.Generator {
+	switch i % 5 {
+	case 3:
+		return workload.NewTPCC(18*workload.GiB, 2000)
+	case 4:
+		return workload.NewTwitter(16*workload.GiB, 6000)
+	default:
+		return workload.NewProduction()
+	}
+}

@@ -1,0 +1,3 @@
+module autodbaas
+
+go 1.22

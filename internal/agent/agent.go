@@ -1,0 +1,249 @@
+// Package agent implements the on-VM tuning agent: it lives next to the
+// database process (talking to it over a domain socket in the paper's
+// deployment), runs the TDE periodically, converts TDE events into
+// recommendation requests toward the config director, and uploads
+// training workloads (delta metrics + objective) to the central data
+// repository — gated by the TDE so only high-quality samples reach the
+// tuners' learning models.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/metrics"
+	"autodbaas/internal/simdb"
+	"autodbaas/internal/tde"
+	"autodbaas/internal/tuner"
+	"autodbaas/internal/workload"
+)
+
+// SampleSink receives training samples (the central data repository, or
+// a tuner directly in single-node deployments).
+type SampleSink interface {
+	Observe(tuner.Sample) error
+}
+
+// EventSink receives TDE events (the config director, possibly remote).
+type EventSink interface {
+	HandleEvent(instanceID string, ev tde.Event, req tuner.Request) error
+}
+
+// TuningSink receives unconditional (periodic-mode) tuning requests.
+type TuningSink interface {
+	RequestTuning(instanceID string, req tuner.Request) error
+}
+
+// Mode selects how the agent triggers tuning requests.
+type Mode int
+
+// Agent modes.
+const (
+	// ModeTDE (default): event-driven — requests fire only on TDE
+	// throttles, the paper's contribution.
+	ModeTDE Mode = iota
+	// ModePeriodic: the classic baseline — a tuning request every
+	// PeriodicEvery regardless of need. The TDE still runs (its
+	// counters are the evaluation metric) but does not dispatch.
+	ModePeriodic
+)
+
+// Options configures an agent.
+type Options struct {
+	// TickEvery is the TDE execution period (the paper uses 2–5 min).
+	TickEvery time.Duration
+	// GateSamples: upload training samples only in windows where the
+	// TDE detected a throttle (high-quality capture). When false the
+	// agent uploads every window — the corruption-prone baseline.
+	GateSamples bool
+	// TDEConfig tunes the embedded detection engine.
+	TDEConfig tde.Config
+	// Baseline feeds the bgwriter detector (nil: paper default).
+	Baseline tde.Baseline
+	// Mode selects event-driven (TDE) or periodic tuning requests.
+	Mode Mode
+	// PeriodicEvery is the request period in ModePeriodic (default 5m).
+	PeriodicEvery time.Duration
+	// Tuning receives periodic-mode requests (required in ModePeriodic).
+	Tuning TuningSink
+}
+
+// Agent runs the TDE for one database service instance.
+type Agent struct {
+	inst    *cluster.Instance
+	gen     workload.Generator
+	tde     *tde.TDE
+	opts    Options
+	events  EventSink
+	samples SampleSink
+
+	lastTick     time.Time
+	lastPeriodic time.Time
+	lastSnap     metrics.Snapshot
+	lastSnapAt   time.Time
+
+	uploaded   int
+	suppressed int
+}
+
+// New builds an agent for inst running gen.
+func New(inst *cluster.Instance, gen workload.Generator, events EventSink, samples SampleSink, opts Options) (*Agent, error) {
+	if inst == nil || gen == nil {
+		return nil, errors.New("agent: nil instance or generator")
+	}
+	if opts.TickEvery <= 0 {
+		opts.TickEvery = 5 * time.Minute
+	}
+	if opts.TDEConfig.LogBatch == 0 {
+		opts.TDEConfig = tde.DefaultConfig()
+	}
+	if opts.Mode == ModePeriodic {
+		if opts.Tuning == nil {
+			return nil, errors.New("agent: ModePeriodic requires a TuningSink")
+		}
+		if opts.PeriodicEvery <= 0 {
+			opts.PeriodicEvery = 5 * time.Minute
+		}
+	}
+	master := inst.Replica.Master()
+	td, err := tde.New(master, opts.TDEConfig, opts.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		inst:         inst,
+		gen:          gen,
+		tde:          td,
+		opts:         opts,
+		events:       events,
+		samples:      samples,
+		lastTick:     master.Now(),
+		lastPeriodic: master.Now(),
+		lastSnap:     master.Snapshot(),
+		lastSnapAt:   master.Now(),
+	}, nil
+}
+
+// TDE exposes the embedded detection engine (for counters).
+func (a *Agent) TDE() *tde.TDE { return a.tde }
+
+// Instance returns the managed instance.
+func (a *Agent) Instance() *cluster.Instance { return a.inst }
+
+// Generator returns the workload this agent's database serves.
+func (a *Agent) Generator() workload.Generator { return a.gen }
+
+// Uploaded returns how many training samples were uploaded.
+func (a *Agent) Uploaded() int { return a.uploaded }
+
+// RunWindow advances the instance by one observation window: all nodes
+// execute the workload, and if the TDE period elapsed, a detection round
+// runs, events are dispatched and a training sample is (possibly)
+// uploaded. It returns the master's window stats and the TDE events.
+func (a *Agent) RunWindow(dur time.Duration) (simdb.WindowStats, []tde.Event, error) {
+	master := a.inst.Replica.Master()
+	st, err := master.RunWindow(a.gen, dur)
+	if err != nil && !errors.Is(err, simdb.ErrDown) {
+		return st, nil, err
+	}
+	// Slaves replay the workload too (replication).
+	for _, s := range a.inst.Replica.Slaves() {
+		if _, serr := s.RunWindow(a.gen, dur); serr != nil && !errors.Is(serr, simdb.ErrDown) {
+			return st, nil, serr
+		}
+	}
+	now := master.Now()
+	if now.Sub(a.lastTick) < a.opts.TickEvery {
+		return st, nil, err
+	}
+	a.lastTick = now
+
+	events := a.tde.Tick()
+	req := a.buildRequest(st)
+	var dispatchErr error
+	switch a.opts.Mode {
+	case ModePeriodic:
+		if now.Sub(a.lastPeriodic) >= a.opts.PeriodicEvery {
+			a.lastPeriodic = now
+			if derr := a.opts.Tuning.RequestTuning(a.inst.ID, req); derr != nil && !errors.Is(derr, tuner.ErrNotTrained) {
+				dispatchErr = derr
+			}
+		}
+	default:
+		if a.events != nil {
+			for _, ev := range events {
+				if derr := a.events.HandleEvent(a.inst.ID, ev, req); derr != nil && !errors.Is(derr, tuner.ErrNotTrained) {
+					dispatchErr = derr
+				}
+			}
+		}
+	}
+	a.maybeUpload(st, events, now)
+	if err != nil {
+		return st, events, err
+	}
+	return st, events, dispatchErr
+}
+
+// buildRequest assembles the recommendation request for this window.
+func (a *Agent) buildRequest(st simdb.WindowStats) tuner.Request {
+	master := a.inst.Replica.Master()
+	return tuner.Request{
+		InstanceID:  a.inst.ID,
+		Engine:      a.inst.Engine,
+		WorkloadID:  a.workloadID(),
+		Metrics:     metrics.Delta(a.lastSnap, master.Snapshot()),
+		Current:     master.Config(),
+		MemoryBytes: master.Resources().MemoryBytes,
+	}
+}
+
+func (a *Agent) workloadID() string {
+	return fmt.Sprintf("%s/%s", a.inst.ID, a.gen.Name())
+}
+
+// maybeUpload sends the training sample for the elapsed TDE period,
+// honouring the TDE gate.
+func (a *Agent) maybeUpload(st simdb.WindowStats, events []tde.Event, now time.Time) {
+	if a.samples == nil {
+		return
+	}
+	throttled := false
+	for _, ev := range events {
+		if ev.Kind == tde.KindThrottle {
+			throttled = true
+			break
+		}
+	}
+	if a.opts.GateSamples && !throttled {
+		a.suppressed++
+		// refresh the delta base even when suppressing, so the next
+		// uploaded sample covers only its own period.
+		master := a.inst.Replica.Master()
+		a.lastSnap = master.Snapshot()
+		a.lastSnapAt = now
+		return
+	}
+	master := a.inst.Replica.Master()
+	snap := master.Snapshot()
+	sample := tuner.Sample{
+		WorkloadID: a.workloadID(),
+		Engine:     a.inst.Engine,
+		Config:     master.Config(),
+		Metrics:    metrics.Delta(a.lastSnap, snap),
+		Objective:  st.Achieved,
+		Quality:    throttled,
+		Window:     now.Sub(a.lastSnapAt),
+		At:         now,
+	}
+	a.lastSnap = snap
+	a.lastSnapAt = now
+	if err := a.samples.Observe(sample); err == nil {
+		a.uploaded++
+	}
+}
+
+// Suppressed returns how many sample uploads the TDE gate suppressed.
+func (a *Agent) Suppressed() int { return a.suppressed }

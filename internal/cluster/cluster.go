@@ -1,0 +1,209 @@
+// Package cluster simulates the IaaS layer the paper provisions through
+// Cloud Foundry/Bosh on AWS: a catalogue of VM plans (the t2/m4 types
+// used in the evaluation) and provisioning of simulated database service
+// instances onto them.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/simdb"
+)
+
+// GiB in bytes.
+const GiB = 1024 * 1024 * 1024
+
+// VMType is a named instance plan.
+type VMType struct {
+	Name        string
+	VCPU        int
+	MemoryBytes float64
+	DiskIOPS    float64
+	DiskSSD     bool
+}
+
+// Resources converts the plan to simdb resources.
+func (v VMType) Resources() simdb.Resources {
+	return simdb.Resources{
+		MemoryBytes: v.MemoryBytes,
+		VCPU:        v.VCPU,
+		DiskIOPS:    v.DiskIOPS,
+		DiskSSD:     v.DiskSSD,
+	}
+}
+
+// Catalog returns the AWS VM plans the paper deploys on.
+func Catalog() []VMType {
+	return []VMType{
+		{Name: "t2.small", VCPU: 1, MemoryBytes: 2 * GiB, DiskIOPS: 1000, DiskSSD: true},
+		{Name: "t2.medium", VCPU: 2, MemoryBytes: 4 * GiB, DiskIOPS: 1500, DiskSSD: true},
+		{Name: "t2.large", VCPU: 2, MemoryBytes: 8 * GiB, DiskIOPS: 2000, DiskSSD: true},
+		{Name: "m4.large", VCPU: 2, MemoryBytes: 8 * GiB, DiskIOPS: 3000, DiskSSD: true},
+		{Name: "m4.xlarge", VCPU: 4, MemoryBytes: 16 * GiB, DiskIOPS: 6000, DiskSSD: true},
+	}
+}
+
+// TypeByName looks up a VM plan.
+func TypeByName(name string) (VMType, error) {
+	for _, v := range Catalog() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return VMType{}, fmt.Errorf("cluster: unknown VM type %q", name)
+}
+
+// NextPlanUp returns the next larger plan (by memory), used when the
+// TDE's entropy filter raises a plan-upgrade signal. It returns an
+// error when already on the largest plan.
+func NextPlanUp(name string) (VMType, error) {
+	cur, err := TypeByName(name)
+	if err != nil {
+		return VMType{}, err
+	}
+	cat := Catalog()
+	sort.Slice(cat, func(i, j int) bool { return cat[i].MemoryBytes < cat[j].MemoryBytes })
+	for _, v := range cat {
+		if v.MemoryBytes > cur.MemoryBytes {
+			return v, nil
+		}
+	}
+	return VMType{}, errors.New("cluster: already on the largest plan")
+}
+
+// Instance is one provisioned database service instance.
+type Instance struct {
+	ID      string
+	Plan    VMType
+	Engine  knobs.Engine
+	Replica *simdb.ReplicaSet
+}
+
+// Provisioner tracks provisioned instances (the Bosh substitute).
+type Provisioner struct {
+	mu        sync.Mutex
+	instances map[string]*Instance
+}
+
+// NewProvisioner returns an empty provisioner.
+func NewProvisioner() *Provisioner {
+	return &Provisioner{instances: make(map[string]*Instance)}
+}
+
+// ProvisionSpec describes one instance to provision.
+type ProvisionSpec struct {
+	ID          string
+	Plan        string
+	Engine      knobs.Engine
+	DBSizeBytes float64
+	Slaves      int
+	Seed        int64
+	SplitDisks  bool
+}
+
+// Provision creates an instance with a master and spec.Slaves replicas.
+func (p *Provisioner) Provision(spec ProvisionSpec) (*Instance, error) {
+	if spec.ID == "" {
+		return nil, errors.New("cluster: empty instance ID")
+	}
+	vt, err := TypeByName(spec.Plan)
+	if err != nil {
+		return nil, err
+	}
+	res := vt.Resources()
+	res.SplitDisks = spec.SplitDisks
+	rs, err := simdb.NewReplicaSet(simdb.Options{
+		Engine:      spec.Engine,
+		Resources:   res,
+		DBSizeBytes: spec.DBSizeBytes,
+		Seed:        spec.Seed,
+	}, spec.Slaves)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{ID: spec.ID, Plan: vt, Engine: spec.Engine, Replica: rs}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.instances[spec.ID]; exists {
+		return nil, fmt.Errorf("cluster: instance %q already exists", spec.ID)
+	}
+	p.instances[spec.ID] = inst
+	return inst, nil
+}
+
+// Get returns an instance by ID.
+func (p *Provisioner) Get(id string) (*Instance, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst, ok := p.instances[id]
+	return inst, ok
+}
+
+// List returns all instances sorted by ID.
+func (p *Provisioner) List() []*Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Instance, 0, len(p.instances))
+	for _, i := range p.instances {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Deprovision removes an instance.
+func (p *Provisioner) Deprovision(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.instances[id]; !ok {
+		return fmt.Errorf("cluster: no instance %q", id)
+	}
+	delete(p.instances, id)
+	return nil
+}
+
+// UpgradePlan re-provisions an instance onto the next larger VM plan,
+// preserving its tunable configuration (the paper's "plan update"
+// response to an entropy hit). The database restarts cold on the new VM.
+func (p *Provisioner) UpgradePlan(id string, dbSize float64, seed int64) (*Instance, error) {
+	p.mu.Lock()
+	inst, ok := p.instances[id]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: no instance %q", id)
+	}
+	next, err := NextPlanUp(inst.Plan.Name)
+	if err != nil {
+		return nil, err
+	}
+	oldCfg := inst.Replica.Master().Config()
+	res := next.Resources()
+	res.SplitDisks = inst.Replica.Master().Resources().SplitDisks
+	rs, err := simdb.NewReplicaSet(simdb.Options{
+		Engine:      inst.Engine,
+		Resources:   res,
+		DBSizeBytes: dbSize,
+		Seed:        seed,
+	}, len(inst.Replica.Slaves()))
+	if err != nil {
+		return nil, err
+	}
+	// Carry over tunable knobs; restart knobs re-apply via restart path.
+	kcat := rs.Master().KnobCatalog()
+	tunable := knobs.Config{}
+	for _, n := range kcat.TunableNames() {
+		tunable[n] = oldCfg[n]
+	}
+	if err := rs.ApplyAll(kcat.FitMemoryBudget(tunable, knobs.MemoryBudget{TotalBytes: next.MemoryBytes, WorkMemSessions: 8}), simdb.ApplyReload); err != nil {
+		return nil, err
+	}
+	upgraded := &Instance{ID: id, Plan: next, Engine: inst.Engine, Replica: rs}
+	p.mu.Lock()
+	p.instances[id] = upgraded
+	p.mu.Unlock()
+	return upgraded, nil
+}

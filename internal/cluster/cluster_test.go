@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+
+	"autodbaas/internal/knobs"
+)
+
+func TestCatalogHasPaperPlans(t *testing.T) {
+	want := []string{"t2.small", "t2.medium", "t2.large", "m4.large", "m4.xlarge"}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalogue size %d", len(cat))
+	}
+	for _, name := range want {
+		if _, err := TypeByName(name); err != nil {
+			t.Fatalf("missing plan %s: %v", name, err)
+		}
+	}
+	if _, err := TypeByName("z1d.metal"); err == nil {
+		t.Fatal("unknown plan accepted")
+	}
+}
+
+func TestNextPlanUp(t *testing.T) {
+	up, err := NextPlanUp("t2.small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.MemoryBytes <= 2*GiB {
+		t.Fatalf("upgrade from t2.small went to %s", up.Name)
+	}
+	if _, err := NextPlanUp("m4.xlarge"); err == nil {
+		t.Fatal("largest plan upgraded")
+	}
+	if _, err := NextPlanUp("bogus"); err == nil {
+		t.Fatal("unknown plan upgraded")
+	}
+}
+
+func TestProvisionAndLookup(t *testing.T) {
+	p := NewProvisioner()
+	inst, err := p.Provision(ProvisionSpec{ID: "db-1", Plan: "m4.large", Engine: knobs.Postgres, DBSizeBytes: 26 * GiB, Slaves: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Plan.Name != "m4.large" || len(inst.Replica.Slaves()) != 1 {
+		t.Fatalf("instance = %+v", inst)
+	}
+	got, ok := p.Get("db-1")
+	if !ok || got != inst {
+		t.Fatal("Get mismatch")
+	}
+	if _, err := p.Provision(ProvisionSpec{ID: "db-1", Plan: "m4.large", Engine: knobs.Postgres, DBSizeBytes: GiB}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if _, err := p.Provision(ProvisionSpec{Plan: "m4.large", Engine: knobs.Postgres, DBSizeBytes: GiB}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if _, err := p.Provision(ProvisionSpec{ID: "x", Plan: "nope", Engine: knobs.Postgres, DBSizeBytes: GiB}); err == nil {
+		t.Fatal("unknown plan accepted")
+	}
+}
+
+func TestListSortedAndDeprovision(t *testing.T) {
+	p := NewProvisioner()
+	for _, id := range []string{"db-3", "db-1", "db-2"} {
+		if _, err := p.Provision(ProvisionSpec{ID: id, Plan: "t2.small", Engine: knobs.MySQL, DBSizeBytes: GiB, Seed: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := p.List()
+	if len(l) != 3 || l[0].ID != "db-1" || l[2].ID != "db-3" {
+		t.Fatalf("list = %v", []string{l[0].ID, l[1].ID, l[2].ID})
+	}
+	if err := p.Deprovision("db-2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Get("db-2"); ok {
+		t.Fatal("deprovisioned instance still present")
+	}
+	if err := p.Deprovision("db-2"); err == nil {
+		t.Fatal("double deprovision accepted")
+	}
+}
+
+func TestUpgradePlanPreservesTunableKnobs(t *testing.T) {
+	p := NewProvisioner()
+	_, err := p.Provision(ProvisionSpec{ID: "db-up", Plan: "t2.medium", Engine: knobs.Postgres, DBSizeBytes: 3 * GiB, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := p.Get("db-up")
+	if err := inst.Replica.Master().ApplyConfig(knobs.Config{"work_mem": 32 * 1024 * 1024}, 0); err != nil {
+		t.Fatal(err)
+	}
+	up, err := p.UpgradePlan("db-up", 3*GiB, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Plan.MemoryBytes <= 4*GiB {
+		t.Fatalf("upgraded to %s", up.Plan.Name)
+	}
+	if got := up.Replica.Master().Config()["work_mem"]; got != 32*1024*1024 {
+		t.Fatalf("work_mem not preserved: %g", got)
+	}
+	cur, _ := p.Get("db-up")
+	if cur != up {
+		t.Fatal("provisioner not updated after upgrade")
+	}
+	if _, err := p.UpgradePlan("missing", GiB, 1); err == nil {
+		t.Fatal("upgrading missing instance accepted")
+	}
+}
+
+func TestResourcesConversion(t *testing.T) {
+	vt, _ := TypeByName("m4.xlarge")
+	r := vt.Resources()
+	if r.VCPU != 4 || r.MemoryBytes != 16*GiB || !r.DiskSSD {
+		t.Fatalf("resources = %+v", r)
+	}
+}

@@ -1,0 +1,239 @@
+// Package core assembles AutoDBaaS: the service orchestrator, Data
+// Federation Agent, config director, central data repository, tuner
+// fleet and per-instance tuning agents, wired exactly as Figure 1 of
+// the paper. It is the library's primary public surface: provision
+// database service instances, attach workloads, and step the whole
+// system through (virtual) time.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"autodbaas/internal/agent"
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/dfa"
+	"autodbaas/internal/director"
+	"autodbaas/internal/monitor"
+	"autodbaas/internal/orchestrator"
+	"autodbaas/internal/repository"
+	"autodbaas/internal/simdb"
+	"autodbaas/internal/tde"
+	"autodbaas/internal/tuner"
+	"autodbaas/internal/workload"
+)
+
+// System is one AutoDBaaS deployment.
+type System struct {
+	mu sync.Mutex
+
+	Orchestrator *orchestrator.Orchestrator
+	DFA          *dfa.DFA
+	Director     *director.Director
+	Repository   *repository.Repository
+	Tuners       []tuner.Tuner
+
+	agents   map[string]*agent.Agent
+	order    []string
+	monitors map[string]*monitor.Agent
+}
+
+// NewSystem wires a deployment around the given tuner fleet. Every
+// tuner is subscribed to the central data repository.
+func NewSystem(tuners ...tuner.Tuner) (*System, error) {
+	if len(tuners) == 0 {
+		return nil, errors.New("core: need at least one tuner instance")
+	}
+	orch := orchestrator.New()
+	d := dfa.New(orch)
+	dir, err := director.New(orch, d, tuners...)
+	if err != nil {
+		return nil, err
+	}
+	repo := repository.New()
+	for _, t := range tuners {
+		repo.Subscribe(t)
+	}
+	return &System{
+		Orchestrator: orch,
+		DFA:          d,
+		Director:     dir,
+		Repository:   repo,
+		Tuners:       tuners,
+		agents:       make(map[string]*agent.Agent),
+		monitors:     make(map[string]*monitor.Agent),
+	}, nil
+}
+
+// InstanceSpec describes one database service instance to onboard.
+type InstanceSpec struct {
+	Provision cluster.ProvisionSpec
+	Workload  workload.Generator
+	Agent     agent.Options
+}
+
+// AddInstance provisions the instance, starts its tuning agent and
+// external monitoring, and returns the agent.
+func (s *System) AddInstance(spec InstanceSpec) (*agent.Agent, error) {
+	if spec.Workload == nil {
+		return nil, errors.New("core: nil workload")
+	}
+	inst, err := s.Orchestrator.Provision(spec.Provision)
+	if err != nil {
+		return nil, err
+	}
+	opts := spec.Agent
+	if opts.Mode == agent.ModePeriodic && opts.Tuning == nil {
+		opts.Tuning = s.Director
+	}
+	// Default the bgwriter baseline to a tuner that can supply the
+	// mapped-workload reference of §3.2 (the BO tuner does); otherwise
+	// the TDE falls back to the static tuned-TPCC baseline.
+	if opts.Baseline == nil {
+		for _, t := range s.Tuners {
+			if b, ok := t.(tde.Baseline); ok {
+				opts.Baseline = b
+				break
+			}
+		}
+	}
+	a, err := agent.New(inst, spec.Workload, s.Director, s.Repository, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.agents[inst.ID]; dup {
+		return nil, fmt.Errorf("core: agent for %s already exists", inst.ID)
+	}
+	s.agents[inst.ID] = a
+	s.order = append(s.order, inst.ID)
+	s.monitors[inst.ID] = monitor.NewAgent(100_000)
+	return a, nil
+}
+
+// Agent returns the agent for an instance.
+func (s *System) Agent(id string) (*agent.Agent, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.agents[id]
+	return a, ok
+}
+
+// Agents returns all agents in onboarding order.
+func (s *System) Agents() []*agent.Agent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*agent.Agent, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.agents[id])
+	}
+	return out
+}
+
+// Monitor returns the external monitoring agent for an instance.
+func (s *System) Monitor(id string) (*monitor.Agent, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.monitors[id]
+	return m, ok
+}
+
+// StepResult aggregates one system step.
+type StepResult struct {
+	Windows   map[string]simdb.WindowStats
+	Events    map[string][]tde.Event
+	Errors    map[string]error
+	Throttles int
+}
+
+// Step advances every instance by one observation window, sampling the
+// monitoring series and dispatching TDE events through the director.
+func (s *System) Step(dur time.Duration) StepResult {
+	res := StepResult{
+		Windows: make(map[string]simdb.WindowStats),
+		Events:  make(map[string][]tde.Event),
+		Errors:  make(map[string]error),
+	}
+	for _, a := range s.Agents() {
+		id := a.Instance().ID
+		st, events, err := a.RunWindow(dur)
+		res.Windows[id] = st
+		res.Events[id] = events
+		if err != nil {
+			res.Errors[id] = err
+		}
+		for _, ev := range events {
+			if ev.Kind == tde.KindThrottle {
+				res.Throttles++
+			}
+		}
+		// External monitoring (the Dynatrace substitute).
+		if m, ok := s.Monitor(id); ok {
+			now := a.Instance().Replica.Master().Now()
+			_ = m.Series("disk_latency_ms").Append(now, st.DiskLatencyMs)
+			_ = m.Series("iops").Append(now, st.IOPS)
+			_ = m.Series("throughput_qps").Append(now, st.Achieved)
+			_ = m.Series("p99_latency_ms").Append(now, st.P99Ms)
+		}
+	}
+	// Reconciler watch loop rides on the step cadence.
+	if len(s.order) > 0 {
+		if a := s.agents[s.order[0]]; a != nil {
+			s.Orchestrator.ReconcileTick(a.Instance().Replica.Master().Now())
+		}
+	}
+	return res
+}
+
+// RunFor steps the system with the given window until total has elapsed,
+// returning the aggregate throttle count.
+func (s *System) RunFor(total, window time.Duration) int {
+	var throttles int
+	for elapsed := time.Duration(0); elapsed < total; elapsed += window {
+		throttles += s.Step(window).Throttles
+	}
+	return throttles
+}
+
+// MaintenanceWindow runs the scheduled-downtime logic on one instance.
+func (s *System) MaintenanceWindow(id string) error {
+	return s.Director.MaintenanceWindowByID(id)
+}
+
+// ApproveUpgrade acts on the TDE's plan-upgrade signals for an instance
+// (the customer said yes): the instance is re-provisioned onto the next
+// larger VM plan with its tunable configuration preserved, and a fresh
+// tuning agent replaces the old one.
+func (s *System) ApproveUpgrade(id string, seed int64) (*agent.Agent, error) {
+	s.mu.Lock()
+	old, ok := s.agents[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no agent for %s", id)
+	}
+	if s.Director.PendingUpgradeRequests(id) == 0 {
+		return nil, fmt.Errorf("core: no pending upgrade request for %s", id)
+	}
+	gen := old.Generator()
+	inst, err := s.Orchestrator.Provisioner().UpgradePlan(id, gen.DBSizeBytes(), seed)
+	if err != nil {
+		return nil, err
+	}
+	opts := agent.Options{TickEvery: 5 * time.Minute, GateSamples: true}
+	a, err := agent.New(inst, gen, s.Director, s.Repository, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.agents[id] = a
+	s.mu.Unlock()
+	s.Director.ClearUpgradeRequests(id)
+	// Persist the upgraded instance's config as the new source of truth.
+	if err := s.Orchestrator.PersistConfig(id, inst.Replica.Master().Config()); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"autodbaas/internal/agent"
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/httpapi"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tuner/bo"
+	"autodbaas/internal/workload"
+)
+
+// TestFullStackOverHTTP wires the on-VM agent to the control plane the
+// way a real deployment would: TDE events travel to the config director
+// over HTTP, training samples travel to the central data repository over
+// HTTP, and the resulting recommendations land back on the database via
+// the DFA — end to end.
+func TestFullStackOverHTTP(t *testing.T) {
+	tn, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 100, MaxSamplesPerFit: 80, UCBBeta: 0.4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirSrv := httptest.NewServer(httpapi.NewDirectorServer(sys.Director))
+	defer dirSrv.Close()
+	repoSrv := httptest.NewServer(httpapi.NewRepositoryServer(sys.Repository))
+	defer repoSrv.Close()
+
+	// Provision through the orchestrator, but build the agent manually
+	// against the HTTP clients (instead of the in-process sinks).
+	gen := workload.NewAdulteratedTPCC(21*workload.GiB, 3000, 0.5)
+	inst, err := sys.Orchestrator.Provision(cluster.ProvisionSpec{
+		ID: "http-db", Plan: "m4.large", Engine: knobs.Postgres,
+		DBSizeBytes: gen.DBSizeBytes(), Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := agent.New(inst, gen,
+		httpapi.NewDirectorClient(dirSrv.URL),
+		httpapi.NewRepositoryClient(repoSrv.URL),
+		agent.Options{TickEvery: 5 * time.Minute, GateSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := inst.Replica.Master().Config()
+	for w := 0; w < 24; w++ {
+		if _, _, err := a.RunWindow(5 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.Director.TuningRequests() == 0 {
+		t.Fatal("no tuning requests arrived over HTTP")
+	}
+	if sys.Repository.Len() == 0 {
+		t.Fatal("no samples arrived over HTTP")
+	}
+	if sys.DFA.Applied() == 0 {
+		t.Fatal("no recommendation was applied")
+	}
+	if inst.Replica.Master().Config().Equal(before) {
+		t.Fatal("database config unchanged after HTTP-driven tuning")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"autodbaas/internal/simclock"
+)
+
+// Runner drives a System on a Clock: one system Step per observation
+// window, paced by clock.Sleep. With a simclock.Virtual it turns the
+// experiment harness's explicit stepping into a background simulation
+// that an Advance-ing driver (or the real clock, in cmd/autodbaas)
+// controls — the same code path serves tests, benches and the service
+// binary.
+type Runner struct {
+	sys    *System
+	clock  simclock.Clock
+	window time.Duration
+
+	mu      sync.Mutex
+	steps   int
+	lastRes StepResult
+}
+
+// NewRunner returns a runner stepping sys every window on clock.
+func NewRunner(sys *System, clock simclock.Clock, window time.Duration) (*Runner, error) {
+	if sys == nil || clock == nil {
+		return nil, errors.New("core: nil system or clock")
+	}
+	if window <= 0 {
+		return nil, errors.New("core: non-positive window")
+	}
+	return &Runner{sys: sys, clock: clock, window: window}, nil
+}
+
+// Steps returns how many windows have run.
+func (r *Runner) Steps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.steps
+}
+
+// LastResult returns the most recent step result.
+func (r *Runner) LastResult() StepResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastRes
+}
+
+// Run loops until ctx is cancelled: sleep one window on the clock, then
+// step the system. It returns ctx.Err() on cancellation.
+func (r *Runner) Run(ctx context.Context) error {
+	for {
+		// Sleep first so a virtual-clock driver controls the cadence.
+		done := make(chan struct{})
+		go func() {
+			r.clock.Sleep(r.window)
+			close(done)
+		}()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-done:
+		}
+		res := r.sys.Step(r.window)
+		r.mu.Lock()
+		r.steps++
+		r.lastRes = res
+		r.mu.Unlock()
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"autodbaas/internal/agent"
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/simclock"
+	"autodbaas/internal/tuner/bo"
+	"autodbaas/internal/workload"
+)
+
+func TestNewRunnerValidation(t *testing.T) {
+	tn, _ := bo.New(bo.DefaultOptions(knobs.Postgres))
+	sys, _ := NewSystem(tn)
+	if _, err := NewRunner(nil, simclock.Real{}, time.Minute); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	if _, err := NewRunner(sys, nil, time.Minute); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+	if _, err := NewRunner(sys, simclock.Real{}, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestRunnerPacedByVirtualClock(t *testing.T) {
+	tn, err := bo.New(bo.DefaultOptions(knobs.Postgres))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewYCSB(10*cluster.GiB, 2000)
+	if _, err := sys.AddInstance(InstanceSpec{
+		Provision: cluster.ProvisionSpec{
+			ID: "paced", Plan: "m4.large", Engine: knobs.Postgres,
+			DBSizeBytes: gen.DBSizeBytes(), Seed: 1,
+		},
+		Workload: gen,
+		Agent:    agent.Options{TickEvery: 5 * time.Minute},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	clock := simclock.NewVirtualAtZero()
+	r, err := NewRunner(sys, clock, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- r.Run(ctx) }()
+
+	// No advance, no steps.
+	time.Sleep(20 * time.Millisecond)
+	if r.Steps() != 0 {
+		t.Fatalf("runner stepped without the clock advancing: %d", r.Steps())
+	}
+	// Advance three windows, one at a time, waiting for each step.
+	for want := 1; want <= 3; want++ {
+		for clock.PendingWaiters() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		clock.Advance(5 * time.Minute)
+		deadline := time.Now().Add(2 * time.Second)
+		for r.Steps() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("step %d never happened", want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if got := r.LastResult().Windows["paced"].Offered; got != 2000 {
+		t.Fatalf("last result offered = %g", got)
+	}
+	cancel()
+	// Unblock a sleeping runner so the goroutine can observe cancellation.
+	clock.Advance(5 * time.Minute)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}

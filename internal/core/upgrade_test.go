@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"autodbaas/internal/agent"
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/simdb"
+	"autodbaas/internal/tuner/bo"
+	"autodbaas/internal/workload"
+)
+
+// TestPlanUpgradeFlow drives an instance into the entropy filter's
+// plan-upgrade verdict (memory knobs at cap, evenly mixed throttle
+// classes) and verifies the customer-approval path moves it to the next
+// larger VM plan with its tunable config intact.
+func TestPlanUpgradeFlow(t *testing.T) {
+	tn, err := bo.New(bo.DefaultOptions(knobs.Postgres))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewAdulteratedTPCC(21*cluster.GiB, 3000, 0.9)
+	a, err := sys.AddInstance(InstanceSpec{
+		Provision: cluster.ProvisionSpec{
+			ID: "cramped", Plan: "m4.large", Engine: knobs.Postgres,
+			DBSizeBytes: gen.DBSizeBytes(), Seed: 11,
+		},
+		Workload: gen,
+		Agent:    agent.Options{TickEvery: 5 * time.Minute, GateSamples: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No pending request yet: approval must refuse.
+	if _, err := sys.ApproveUpgrade("cramped", 1); err == nil {
+		t.Fatal("approval without a pending request accepted")
+	}
+	// Pin work_mem near the budget cap so memory throttles cannot be
+	// solved by tuning; lower the entropy threshold so the evenly-mixed
+	// adulterated classes clearly qualify.
+	master := a.Instance().Replica.Master()
+	if err := master.ApplyConfig(knobs.Config{"work_mem": 860 * 1024 * 1024}, simdb.ApplyReload); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40 && sys.Director.PendingUpgradeRequests("cramped") == 0; i++ {
+		sys.Step(5 * time.Minute)
+	}
+	if sys.Director.PendingUpgradeRequests("cramped") == 0 {
+		t.Fatal("entropy filter never raised a plan-upgrade request")
+	}
+	upgraded, err := sys.ApproveUpgrade("cramped", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := upgraded.Instance().Plan.Name; got != "m4.xlarge" {
+		t.Fatalf("upgraded to %s, want m4.xlarge", got)
+	}
+	if sys.Director.PendingUpgradeRequests("cramped") != 0 {
+		t.Fatal("upgrade queue not cleared")
+	}
+	// The fleet keeps stepping with the new agent in place.
+	res := sys.Step(5 * time.Minute)
+	if res.Windows["cramped"].Achieved <= 0 {
+		t.Fatal("upgraded instance not serving")
+	}
+	// Persisted config points at the upgraded instance's live config.
+	persisted, err := sys.Orchestrator.PersistedConfig("cramped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !persisted.Equal(upgraded.Instance().Replica.Master().Config()) {
+		t.Fatal("persisted config not refreshed after upgrade")
+	}
+}

@@ -1,0 +1,118 @@
+package dfa
+
+import (
+	"errors"
+	"testing"
+
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/orchestrator"
+	"autodbaas/internal/simdb"
+)
+
+func setup(t *testing.T, engine knobs.Engine) (*orchestrator.Orchestrator, *DFA, *cluster.Instance) {
+	t.Helper()
+	orch := orchestrator.New()
+	inst, err := orch.Provision(cluster.ProvisionSpec{
+		ID: "db-1", Plan: "m4.large", Engine: engine,
+		DBSizeBytes: 10 * cluster.GiB, Slaves: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orch, New(orch), inst
+}
+
+func TestApplyLandsOnAllNodesAndPersists(t *testing.T) {
+	orch, d, inst := setup(t, knobs.Postgres)
+	cfg := knobs.Config{"work_mem": 48 * 1024 * 1024}
+	if err := d.Apply(inst, cfg, simdb.ApplyReload); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range inst.Replica.Nodes() {
+		if n.Config()["work_mem"] != 48*1024*1024 {
+			t.Fatalf("node %d missing config", i)
+		}
+	}
+	persisted, err := orch.PersistedConfig("db-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if persisted["work_mem"] != 48*1024*1024 {
+		t.Fatal("config not persisted")
+	}
+	if d.Applied() != 1 || d.Rejected() != 0 {
+		t.Fatalf("counters: applied=%d rejected=%d", d.Applied(), d.Rejected())
+	}
+}
+
+func TestApplyPersistsStagedRestartKnobs(t *testing.T) {
+	orch, d, inst := setup(t, knobs.Postgres)
+	cfg := knobs.Config{"shared_buffers": 2 * cluster.GiB}
+	if err := d.Apply(inst, cfg, simdb.ApplyReload); err != nil {
+		t.Fatal(err)
+	}
+	// Live master still runs the old pool; persisted config carries the
+	// staged value so the next redeploy boots straight into it.
+	if inst.Replica.Master().Config()["shared_buffers"] == 2*cluster.GiB {
+		t.Fatal("restart knob applied without restart")
+	}
+	persisted, _ := orch.PersistedConfig("db-1")
+	if persisted["shared_buffers"] != 2*cluster.GiB {
+		t.Fatal("staged restart knob not persisted")
+	}
+}
+
+func TestApplyRejectsCrashingConfig(t *testing.T) {
+	_, d, inst := setup(t, knobs.Postgres)
+	bad := knobs.Config{"work_mem": 2 * cluster.GiB, "maintenance_work_mem": 8 * cluster.GiB}
+	err := d.Apply(inst, bad, simdb.ApplyReload)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if inst.Replica.Master().Down() {
+		t.Fatal("master crashed — slave-first protection failed")
+	}
+	if d.Rejected() != 1 {
+		t.Fatalf("rejected = %d", d.Rejected())
+	}
+}
+
+func TestApplyRejectsUnknownKnob(t *testing.T) {
+	_, d, inst := setup(t, knobs.MySQL)
+	// A postgres knob against the mysql adapter must fail validation.
+	err := d.Apply(inst, knobs.Config{"work_mem": 1 << 20}, simdb.ApplyReload)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestApplyNilInstance(t *testing.T) {
+	orch := orchestrator.New()
+	d := New(orch)
+	if err := d.Apply(nil, knobs.Config{}, simdb.ApplyReload); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+}
+
+func TestAdapterEngines(t *testing.T) {
+	if NewPostgresAdapter().Engine() != knobs.Postgres || NewMySQLAdapter().Engine() != knobs.MySQL {
+		t.Fatal("adapter engines wrong")
+	}
+}
+
+func TestApplyRequiresCredentials(t *testing.T) {
+	orch := orchestrator.New()
+	d := New(orch)
+	// An instance provisioned outside the orchestrator has no creds.
+	prov := cluster.NewProvisioner()
+	inst, err := prov.Provision(cluster.ProvisionSpec{
+		ID: "rogue", Plan: "t2.small", Engine: knobs.Postgres, DBSizeBytes: cluster.GiB, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(inst, knobs.Config{"work_mem": 1 << 20}, simdb.ApplyReload); err == nil {
+		t.Fatal("apply without credentials accepted")
+	}
+}

@@ -1,0 +1,293 @@
+// Package director implements the Config Director: the control-plane
+// service between the on-VM agents and the tuner fleet. It receives
+// TDE events (throttles, plan-upgrade signals, buffer advisories),
+// load-balances recommendation requests across tuner instances, pushes
+// accepted recommendations through the Data Federation Agent, stores
+// them in the config data repository (the orchestrator's persistence),
+// and runs the scheduled-maintenance logic for non-tunable knobs (§4).
+package director
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/dfa"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/orchestrator"
+	"autodbaas/internal/simdb"
+	"autodbaas/internal/tde"
+	"autodbaas/internal/tuner"
+)
+
+// Director coordinates throttle events, tuners and config application.
+type Director struct {
+	mu sync.Mutex
+
+	tuners []tuner.Tuner
+	next   int // round-robin cursor
+
+	orch *orchestrator.Orchestrator
+	dfa  *dfa.DFA
+
+	// Per-instance maintenance state for the buffer-pool knob.
+	maint map[string]*maintState
+
+	tuningRequests  int
+	planUpgrades    int
+	recommendations int
+	applyFailures   int
+}
+
+type maintState struct {
+	workingSets []float64 // recent gauged working-set sizes
+	bufferRecs  []float64 // buffer-knob values seen in recommendations
+	entropyHits int       // plan-upgrade signals since last window
+	// upgradeRequests counts plan-upgrade signals for this instance —
+	// the "ask the customer to upgrade" queue.
+	upgradeRequests int
+}
+
+// New returns a Director over the given tuner pool.
+func New(orch *orchestrator.Orchestrator, d *dfa.DFA, tuners ...tuner.Tuner) (*Director, error) {
+	if len(tuners) == 0 {
+		return nil, errors.New("director: need at least one tuner")
+	}
+	return &Director{
+		tuners: tuners,
+		orch:   orch,
+		dfa:    d,
+		maint:  make(map[string]*maintState),
+	}, nil
+}
+
+// Counters returns (tuningRequests, recommendations, applyFailures,
+// planUpgrades) so far.
+func (d *Director) Counters() (int, int, int, int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tuningRequests, d.recommendations, d.applyFailures, d.planUpgrades
+}
+
+// TuningRequests returns how many tuning requests have been received —
+// the scalability metric of Fig. 9.
+func (d *Director) TuningRequests() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tuningRequests
+}
+
+// pickTuner round-robins across the tuner pool (the director "performs
+// load balancing of recommendation request tasks across multiple tuner
+// instances").
+func (d *Director) pickTuner() tuner.Tuner {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.tuners[d.next%len(d.tuners)]
+	d.next++
+	return t
+}
+
+func (d *Director) maintFor(id string) *maintState {
+	st, ok := d.maint[id]
+	if !ok {
+		st = &maintState{}
+		d.maint[id] = st
+	}
+	return st
+}
+
+// ErrUnknownInstance is returned when an event references an instance
+// the orchestrator does not know.
+var ErrUnknownInstance = errors.New("director: unknown instance")
+
+func (d *Director) instance(id string) (*cluster.Instance, error) {
+	inst, ok := d.orch.Provisioner().Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	return inst, nil
+}
+
+// HandleEvent processes one TDE event for an instance. Throttles become
+// tuning requests; the resulting recommendation is applied via the DFA
+// (reload path) and persisted. The error reports recommendation or
+// apply failures; ErrNotTrained is expected during bootstrap.
+func (d *Director) HandleEvent(instanceID string, ev tde.Event, req tuner.Request) error {
+	inst, err := d.instance(instanceID)
+	if err != nil {
+		return err
+	}
+	switch ev.Kind {
+	case tde.KindPlanUpgrade:
+		d.mu.Lock()
+		d.planUpgrades++
+		st := d.maintFor(inst.ID)
+		st.entropyHits++
+		st.upgradeRequests++
+		d.mu.Unlock()
+		// No tuning request: the customer is asked to upgrade the plan.
+		return nil
+	case tde.KindBufferAdvisory:
+		d.mu.Lock()
+		st := d.maintFor(inst.ID)
+		st.workingSets = append(st.workingSets, ev.WorkingSet)
+		if len(st.workingSets) > 256 {
+			st.workingSets = st.workingSets[len(st.workingSets)-256:]
+		}
+		d.mu.Unlock()
+		return nil
+	case tde.KindThrottle:
+		d.mu.Lock()
+		d.tuningRequests++
+		d.mu.Unlock()
+		cls := ev.Class
+		req.ThrottleClass = &cls
+		return d.recommend(inst, req)
+	default:
+		return fmt.Errorf("director: unknown event kind %v", ev.Kind)
+	}
+}
+
+// RequestTuning issues an unconditional (periodic-mode) tuning request —
+// the baseline AutoDBaaS compares TDE gating against.
+func (d *Director) RequestTuning(instanceID string, req tuner.Request) error {
+	inst, err := d.instance(instanceID)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.tuningRequests++
+	d.mu.Unlock()
+	return d.recommend(inst, req)
+}
+
+func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
+	t := d.pickTuner()
+	rec, err := t.Recommend(req)
+	if err != nil {
+		return fmt.Errorf("director: %s: %w", t.Name(), err)
+	}
+	d.mu.Lock()
+	d.recommendations++
+	st := d.maintFor(inst.ID)
+	bp := inst.Replica.Master().KnobCatalog().BufferPoolKnob()
+	if v, ok := rec.Config[bp]; ok {
+		st.bufferRecs = append(st.bufferRecs, v)
+		if len(st.bufferRecs) > 256 {
+			st.bufferRecs = st.bufferRecs[len(st.bufferRecs)-256:]
+		}
+	}
+	d.mu.Unlock()
+	if err := d.dfa.Apply(inst, rec.Config, simdb.ApplyReload); err != nil {
+		d.mu.Lock()
+		d.applyFailures++
+		d.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// PendingUpgradeRequests returns how many plan-upgrade signals have
+// accumulated for an instance (the customer-facing "your plan is too
+// small" queue).
+func (d *Director) PendingUpgradeRequests(instanceID string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maintFor(instanceID).upgradeRequests
+}
+
+// ClearUpgradeRequests resets the queue after the customer acts.
+func (d *Director) ClearUpgradeRequests(instanceID string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.maintFor(instanceID).upgradeRequests = 0
+}
+
+// MaintenanceWindowByID resolves the instance and runs MaintenanceWindow.
+func (d *Director) MaintenanceWindowByID(instanceID string) error {
+	inst, err := d.instance(instanceID)
+	if err != nil {
+		return err
+	}
+	return d.MaintenanceWindow(inst)
+}
+
+// MaintenanceWindow performs the scheduled-downtime handling of the
+// non-tunable buffer-pool knob (§4): size it from the gauged working
+// set, bounded by the instance budget; if the 99th percentile of
+// recommended values is below the current value and at least one
+// entropy hit occurred, shrink it to make room for tunable knobs.
+// The chosen value is staged and every node restarts.
+func (d *Director) MaintenanceWindow(inst *cluster.Instance) error {
+	master := inst.Replica.Master()
+	kcat := master.KnobCatalog()
+	bp := kcat.BufferPoolKnob()
+	def := kcat.Def(bp)
+	cur := master.Config()[bp]
+
+	d.mu.Lock()
+	st := d.maintFor(inst.ID)
+	ws := percentile(st.workingSets, 0.95)
+	p99 := percentile(st.bufferRecs, 0.99)
+	entropyHits := st.entropyHits
+	st.entropyHits = 0
+	d.mu.Unlock()
+
+	// Upper limit: buffer pool may use at most 60% of instance memory.
+	maxAllowed := 0.6 * master.Resources().MemoryBytes
+	target := cur
+	switch {
+	case p99 > 0 && p99 < cur && entropyHits > 0:
+		// Tunable knobs kept throttling: create room by shrinking.
+		target = p99
+	case ws > cur:
+		target = math.Min(ws, maxAllowed)
+	}
+	target = math.Max(def.Min, math.Min(target, math.Min(def.Max, maxAllowed)))
+	if target == cur {
+		return nil // nothing to do this window
+	}
+	// Growing the pool must not blow the instance budget: fit the whole
+	// configuration, shrinking tunable working areas if needed.
+	full := master.Config()
+	for k, v := range master.PendingRestartConfig() {
+		full[k] = v
+	}
+	full[bp] = target
+	cfg := kcat.FitMemoryBudget(full, knobs.MemoryBudget{
+		TotalBytes: master.Resources().MemoryBytes, WorkMemSessions: 4,
+	})
+	if err := d.dfa.Apply(inst, cfg, simdb.ApplyReload); err != nil {
+		return err
+	}
+	// The buffer knob is restart-required: restart every node now that
+	// the value is staged (the scheduled downtime).
+	for _, node := range inst.Replica.Nodes() {
+		if err := node.Restart(); err != nil {
+			return fmt.Errorf("director: maintenance restart: %w", err)
+		}
+	}
+	persist := inst.Replica.Master().Config()
+	return d.orch.PersistConfig(inst.ID, persist)
+}
+
+// percentile returns the p-quantile of vs (0 for empty input).
+func percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,151 @@
+// Package entropy implements the normalized-entropy throttle filter of
+// AutoDBaaS §3.1. The TDE groups observed query templates into classes,
+// builds a frequency histogram, and computes the normalized Shannon
+// entropy η(X) ∈ [0,1]. After a run of consecutive memory throttles the
+// filter decides whether the throttles stem from genuinely mis-set knobs
+// (keep asking the tuner) or from an undersized instance whose memory
+// knobs have hit their caps (suppress throttles and request a plan
+// upgrade instead).
+//
+// Note on conventions: the paper's prose describes "high randomness /
+// evenly distributed classes" as the plan-upgrade case. Mathematically
+// an even distribution maximizes Shannon entropy, so this package calls
+// that condition high entropy; the paper's Figures 3–4 plot the same
+// quantity. What matters for the reproduction is the *decision rule*:
+// evenly-spread throttle-prone classes + knobs at cap ⇒ plan upgrade.
+package entropy
+
+import (
+	"errors"
+	"math"
+)
+
+// Shannon returns the Shannon entropy (natural log) of a discrete
+// distribution given by non-negative counts. Zero counts contribute
+// nothing; an all-zero histogram has zero entropy.
+func Shannon(counts []int) float64 {
+	var total float64
+	for _, c := range counts {
+		if c > 0 {
+			total += float64(c)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// Normalized returns η(X) = H(X)/log(n) ∈ [0,1] where n = len(counts).
+// Histograms with fewer than two classes have zero normalized entropy.
+func Normalized(counts []int) float64 {
+	n := len(counts)
+	if n < 2 {
+		return 0
+	}
+	return Shannon(counts) / math.Log(float64(n))
+}
+
+// Filter implements the consecutive-throttle entropy gate.
+type Filter struct {
+	// ConsecutiveThreshold is how many consecutive throttles arm an
+	// entropy evaluation. The paper uses 8.
+	ConsecutiveThreshold int
+	// EntropyThreshold is the η value above which the class mix counts
+	// as "evenly distributed" (throttles will keep coming while caps
+	// bind). The paper leaves this to deployment; 0.7 is our default —
+	// measured against the 11-class histogram, a fully adulterated TPCC
+	// sits at η ≈ 0.74–0.87 and plain TPCC at η ≈ 0.46.
+	EntropyThreshold float64
+
+	consecutive int
+	evaluations int
+	upgrades    int
+}
+
+// NewFilter returns a filter with the paper's defaults (8 consecutive
+// throttles, η threshold 0.7).
+func NewFilter() *Filter {
+	return &Filter{ConsecutiveThreshold: 8, EntropyThreshold: 0.7}
+}
+
+// Decision is the outcome of observing one throttle.
+type Decision int
+
+// Decision values.
+const (
+	// Forward: pass the throttle to the config director (tuning request).
+	Forward Decision = iota
+	// PlanUpgrade: suppress the tuning request and signal that the
+	// instance's hardware plan is insufficient.
+	PlanUpgrade
+	// Hold: an entropy evaluation ran but did not indicate cap
+	// exhaustion; wait for the next window of consecutive throttles.
+	Hold
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Forward:
+		return "forward"
+	case PlanUpgrade:
+		return "plan-upgrade"
+	case Hold:
+		return "hold"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrNoHistogram is returned when an evaluation is armed but no class
+// histogram is supplied.
+var ErrNoHistogram = errors.New("entropy: evaluation armed but histogram empty")
+
+// ObserveThrottle records one throttle event. classCounts is the current
+// query-class frequency histogram; atCap reports whether the throttling
+// memory knobs have reached their maximum values. The returned Decision
+// tells the TDE what to do with this throttle.
+func (f *Filter) ObserveThrottle(classCounts []int, atCap bool) (Decision, float64, error) {
+	f.consecutive++
+	thresh := f.ConsecutiveThreshold
+	if thresh <= 0 {
+		thresh = 8
+	}
+	if f.consecutive < thresh {
+		return Forward, math.NaN(), nil
+	}
+	// Evaluation armed: compute entropy over the class histogram.
+	f.consecutive = 0
+	f.evaluations++
+	if len(classCounts) == 0 {
+		return Forward, math.NaN(), ErrNoHistogram
+	}
+	eta := Normalized(classCounts)
+	if eta >= f.EntropyThreshold && atCap {
+		f.upgrades++
+		return PlanUpgrade, eta, nil
+	}
+	return Hold, eta, nil
+}
+
+// ObserveQuiet records a tuning interval without a throttle, breaking
+// the consecutive run.
+func (f *Filter) ObserveQuiet() { f.consecutive = 0 }
+
+// Consecutive returns the current consecutive-throttle count.
+func (f *Filter) Consecutive() int { return f.consecutive }
+
+// Evaluations returns how many entropy evaluations have run.
+func (f *Filter) Evaluations() int { return f.evaluations }
+
+// Upgrades returns how many plan-upgrade signals were raised.
+func (f *Filter) Upgrades() int { return f.upgrades }

@@ -1,0 +1,167 @@
+package entropy
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShannonUniformMax(t *testing.T) {
+	if got, want := Shannon([]int{1, 1, 1, 1}), math.Log(4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("H(uniform4) = %g, want %g", got, want)
+	}
+}
+
+func TestShannonDegenerate(t *testing.T) {
+	if Shannon([]int{7, 0, 0}) != 0 {
+		t.Fatal("single-class entropy must be 0")
+	}
+	if Shannon(nil) != 0 || Shannon([]int{0, 0}) != 0 {
+		t.Fatal("empty/zero histogram entropy must be 0")
+	}
+}
+
+func TestNormalizedRange(t *testing.T) {
+	if got := Normalized([]int{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("η(uniform) = %g, want 1", got)
+	}
+	if got := Normalized([]int{100, 1}); got <= 0 || got >= 1 {
+		t.Fatalf("η(skewed) = %g, want in (0,1)", got)
+	}
+	if Normalized([]int{5}) != 0 {
+		t.Fatal("η of 1 class must be 0")
+	}
+}
+
+func TestNormalizedSkewLowerThanEven(t *testing.T) {
+	even := Normalized([]int{10, 10, 10, 10, 10})
+	skew := Normalized([]int{46, 1, 1, 1, 1})
+	if !(skew < even) {
+		t.Fatalf("η(skew)=%g not < η(even)=%g", skew, even)
+	}
+}
+
+func TestFilterForwardsBelowThreshold(t *testing.T) {
+	f := NewFilter()
+	for i := 0; i < 7; i++ {
+		d, _, err := f.ObserveThrottle([]int{5, 5}, true)
+		if err != nil || d != Forward {
+			t.Fatalf("throttle %d: decision %v err %v", i, d, err)
+		}
+	}
+	if f.Consecutive() != 7 {
+		t.Fatalf("consecutive = %d", f.Consecutive())
+	}
+}
+
+func TestFilterPlanUpgradeOnEvenMixAtCap(t *testing.T) {
+	f := NewFilter()
+	var last Decision
+	var eta float64
+	for i := 0; i < 8; i++ {
+		last, eta, _ = f.ObserveThrottle([]int{10, 10, 10, 10}, true)
+	}
+	if last != PlanUpgrade {
+		t.Fatalf("decision = %v, want PlanUpgrade (η=%g)", last, eta)
+	}
+	if f.Upgrades() != 1 || f.Evaluations() != 1 {
+		t.Fatalf("Upgrades=%d Evaluations=%d", f.Upgrades(), f.Evaluations())
+	}
+}
+
+func TestFilterHoldsWhenNotAtCap(t *testing.T) {
+	f := NewFilter()
+	var last Decision
+	for i := 0; i < 8; i++ {
+		last, _, _ = f.ObserveThrottle([]int{10, 10, 10, 10}, false)
+	}
+	if last != Hold {
+		t.Fatalf("decision = %v, want Hold", last)
+	}
+	if f.Upgrades() != 0 {
+		t.Fatal("no upgrade expected when knobs below cap")
+	}
+}
+
+func TestFilterHoldsOnSkewedMix(t *testing.T) {
+	f := NewFilter()
+	f.EntropyThreshold = 0.75
+	var last Decision
+	for i := 0; i < 8; i++ {
+		last, _, _ = f.ObserveThrottle([]int{100, 1, 1, 1}, true)
+	}
+	if last != Hold {
+		t.Fatalf("decision = %v, want Hold for skewed mix", last)
+	}
+}
+
+func TestFilterQuietResetsRun(t *testing.T) {
+	f := NewFilter()
+	for i := 0; i < 7; i++ {
+		f.ObserveThrottle([]int{1, 1}, true)
+	}
+	f.ObserveQuiet()
+	if f.Consecutive() != 0 {
+		t.Fatal("quiet did not reset run")
+	}
+	d, _, _ := f.ObserveThrottle([]int{1, 1}, true)
+	if d != Forward {
+		t.Fatalf("post-quiet decision = %v, want Forward", d)
+	}
+}
+
+func TestFilterEmptyHistogramError(t *testing.T) {
+	f := NewFilter()
+	f.ConsecutiveThreshold = 1
+	d, _, err := f.ObserveThrottle(nil, true)
+	if !errors.Is(err, ErrNoHistogram) {
+		t.Fatalf("err = %v", err)
+	}
+	if d != Forward {
+		t.Fatalf("empty-histogram fallback decision = %v, want Forward", d)
+	}
+}
+
+func TestFilterZeroThresholdDefaultsToEight(t *testing.T) {
+	f := &Filter{EntropyThreshold: 0.5}
+	var evals int
+	for i := 0; i < 16; i++ {
+		f.ObserveThrottle([]int{1, 1}, false)
+	}
+	evals = f.Evaluations()
+	if evals != 2 {
+		t.Fatalf("evaluations = %d, want 2 (default threshold 8)", evals)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Forward.String() != "forward" || PlanUpgrade.String() != "plan-upgrade" || Hold.String() != "hold" {
+		t.Fatal("decision strings wrong")
+	}
+	if Decision(42).String() != "unknown" {
+		t.Fatal("unknown decision string wrong")
+	}
+}
+
+// Property: η ∈ [0,1] for any histogram, and uniform histograms dominate.
+func TestNormalizedBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = rng.Intn(1000)
+		}
+		eta := Normalized(counts)
+		uniform := make([]int, n)
+		for i := range uniform {
+			uniform[i] = 10
+		}
+		return eta >= 0 && eta <= 1+1e-12 && Normalized(uniform) >= eta-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"autodbaas/internal/knobs"
+)
+
+// Fleet experiments are expensive; these tests run scaled-down versions
+// and assert the paper's qualitative shapes. The root benchmarks run the
+// full-size configurations.
+
+func TestFig9TDEReducesRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet experiment")
+	}
+	r := Fig9RequestRate(6, 6, 17)
+	if len(r.TDE.Points) != 6 {
+		t.Fatalf("hours = %d", len(r.TDE.Points))
+	}
+	// The 5-min periodic policy fires fleet × 12 requests per hour.
+	wantPerMin := 6.0 * 12 / 60
+	if got := r.Periodic5.Mean(); got < wantPerMin*0.9 || got > wantPerMin*1.1 {
+		t.Fatalf("periodic-5 rate = %.2f, want ≈ %.2f", got, wantPerMin)
+	}
+	// 10-min periodic halves that.
+	if got := r.Periodic10.Mean(); got > r.Periodic5.Mean()*0.6 {
+		t.Fatalf("periodic-10 (%.2f) not about half of periodic-5 (%.2f)", got, r.Periodic5.Mean())
+	}
+	// TDE is event-driven: a large reduction vs the 5-min policy.
+	if !(r.TDE.Mean() < r.Periodic5.Mean()*0.6) {
+		t.Fatalf("TDE rate %.2f not well below periodic-5 %.2f", r.TDE.Mean(), r.Periodic5.Mean())
+	}
+	if r.TotalTDE <= 0 {
+		t.Fatal("TDE produced no requests at all — detectors dead")
+	}
+}
+
+func TestFig12TDEGatePreservesThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet experiment")
+	}
+	r := Fig12ThroughputBO(knobs.Postgres, 4, 4, 10, 23)
+	if len(r.Plain.Points) != 10 || len(r.WithTDE.Points) != 10 {
+		t.Fatal("series lengths wrong")
+	}
+	// After production batches flood the ungated tuner, the TDE-gated
+	// deployment sustains at least comparable throughput. The paper
+	// shows a clear win; in this reproduction the effect is directional
+	// but noisy across seeds (see EXPERIMENTS.md), so the scaled-down
+	// test guards against catastrophic regression and the full-size
+	// benchmark reports the measured ratio.
+	lateHalf := func(s Series) float64 {
+		var sum float64
+		half := s.Points[len(s.Points)/2:]
+		for _, p := range half {
+			sum += p.Y
+		}
+		return sum / float64(len(half))
+	}
+	if lateHalf(r.WithTDE) < lateHalf(r.Plain)*0.85 {
+		t.Fatalf("gated %.1f qps far below ungated %.1f qps", lateHalf(r.WithTDE), lateHalf(r.Plain))
+	}
+}
+
+func TestFig13RLComparisonRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet experiment")
+	}
+	r := Fig13ThroughputRL(knobs.Postgres, 2, 2, 6, 29)
+	if len(r.Plain.Points) != 8 || len(r.WithTDE.Points) != 8 {
+		t.Fatal("series lengths wrong")
+	}
+	for _, p := range append(r.Plain.Points, r.WithTDE.Points...) {
+		if p.Y < 0 {
+			t.Fatalf("negative throughput %g", p.Y)
+		}
+	}
+	if r.Plain.Mean() <= 0 || r.WithTDE.Mean() <= 0 {
+		t.Fatal("measured database produced no throughput")
+	}
+}

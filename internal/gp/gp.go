@@ -1,0 +1,242 @@
+// Package gp implements Gaussian-process regression, the surrogate model
+// at the heart of the OtterTune-style BO tuner (internal/tuner/bo).
+//
+// The model uses a squared-exponential kernel with automatic relevance
+// determination (one length scale per input dimension), a constant mean
+// (the training-target mean) and i.i.d. Gaussian observation noise. The
+// posterior is obtained via a Cholesky factorization of the kernel
+// matrix, so Fit costs O(n³) in the number of training samples — this
+// cubic cost is exactly the "recommendation cost" scalability problem
+// the AutoDBaaS paper attributes to BO-style tuners, and the benchmarks
+// in the repository root measure it directly.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"autodbaas/internal/linalg"
+)
+
+// ErrNotFitted is returned by Predict before a successful Fit.
+var ErrNotFitted = errors.New("gp: model not fitted")
+
+// ErrNoData is returned by Fit when given no training samples.
+var ErrNoData = errors.New("gp: no training data")
+
+// Kernel is a positive-definite covariance function over feature vectors.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+}
+
+// SEARD is the squared-exponential kernel with per-dimension length
+// scales: k(a,b) = σ²·exp(−½·Σ((aᵢ−bᵢ)/ℓᵢ)²).
+type SEARD struct {
+	Variance     float64   // σ², signal variance
+	LengthScales []float64 // ℓᵢ, one per input dimension
+}
+
+// NewSEARD returns an SE-ARD kernel with uniform length scale l over dim
+// dimensions and signal variance v.
+func NewSEARD(dim int, l, v float64) *SEARD {
+	ls := make([]float64, dim)
+	for i := range ls {
+		ls[i] = l
+	}
+	return &SEARD{Variance: v, LengthScales: ls}
+}
+
+// Eval implements Kernel.
+func (k *SEARD) Eval(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) != len(k.LengthScales) {
+		panic(fmt.Sprintf("gp: SEARD dim mismatch a=%d b=%d ls=%d", len(a), len(b), len(k.LengthScales)))
+	}
+	var s float64
+	for i := range a {
+		d := (a[i] - b[i]) / k.LengthScales[i]
+		s += d * d
+	}
+	return k.Variance * math.Exp(-0.5*s)
+}
+
+// Regressor is a Gaussian-process regression model.
+type Regressor struct {
+	Kernel Kernel
+	Noise  float64 // observation noise variance added to the diagonal
+
+	x     [][]float64
+	mean  float64
+	chol  *linalg.Matrix
+	alpha []float64 // K⁻¹(y−mean)
+}
+
+// NewRegressor returns a GP with the given kernel and noise variance.
+// A non-positive noise is clamped to a small jitter for numerical safety.
+func NewRegressor(k Kernel, noise float64) *Regressor {
+	if noise <= 0 {
+		noise = 1e-8
+	}
+	return &Regressor{Kernel: k, Noise: noise}
+}
+
+// Fit trains the model on inputs x and targets y. It replaces any
+// previous fit. x rows are copied by reference; callers must not mutate
+// them afterwards.
+func (g *Regressor) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(y) == 0 {
+		return ErrNoData
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("gp: %d inputs but %d targets", len(x), len(y))
+	}
+	n := len(x)
+	mean := linalg.Mean(y)
+	kmat := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.Kernel.Eval(x[i], x[j])
+			kmat.Set(i, j, v)
+			kmat.Set(j, i, v)
+		}
+	}
+	if err := linalg.AddDiag(kmat, g.Noise); err != nil {
+		return err
+	}
+	chol, err := linalg.Cholesky(kmat)
+	if err != nil {
+		// Retry with a larger jitter; kernel matrices of near-duplicate
+		// samples (common with repeated DB configs) are near-singular.
+		if err2 := linalg.AddDiag(kmat, 1e-6*float64(n)); err2 != nil {
+			return err2
+		}
+		chol, err = linalg.Cholesky(kmat)
+		if err != nil {
+			return err
+		}
+	}
+	resid := make([]float64, n)
+	for i, yi := range y {
+		resid[i] = yi - mean
+	}
+	alpha, err := linalg.CholSolve(chol, resid)
+	if err != nil {
+		return err
+	}
+	g.x, g.mean, g.chol, g.alpha = x, mean, chol, alpha
+	return nil
+}
+
+// Fitted reports whether the model has been trained.
+func (g *Regressor) Fitted() bool { return g.chol != nil }
+
+// NumSamples returns the training-set size (0 before Fit).
+func (g *Regressor) NumSamples() int { return len(g.x) }
+
+// Predict returns the posterior mean and variance at query point q.
+func (g *Regressor) Predict(q []float64) (mean, variance float64, err error) {
+	if !g.Fitted() {
+		return 0, 0, ErrNotFitted
+	}
+	n := len(g.x)
+	kstar := make([]float64, n)
+	for i := range g.x {
+		kstar[i] = g.Kernel.Eval(g.x[i], q)
+	}
+	mean = g.mean + linalg.Dot(kstar, g.alpha)
+	v, err := linalg.SolveLower(g.chol, kstar)
+	if err != nil {
+		return 0, 0, err
+	}
+	variance = g.Kernel.Eval(q, q) + g.Noise - linalg.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance, nil
+}
+
+// LogMarginalLikelihood returns the log evidence of the fitted model,
+// used for light-weight hyper-parameter selection.
+func (g *Regressor) LogMarginalLikelihood(y []float64) (float64, error) {
+	if !g.Fitted() {
+		return 0, ErrNotFitted
+	}
+	if len(y) != len(g.x) {
+		return 0, fmt.Errorf("gp: %d targets for %d samples", len(y), len(g.x))
+	}
+	n := float64(len(y))
+	resid := make([]float64, len(y))
+	for i, yi := range y {
+		resid[i] = yi - g.mean
+	}
+	return -0.5*linalg.Dot(resid, g.alpha) - 0.5*linalg.LogDetFromChol(g.chol) - 0.5*n*math.Log(2*math.Pi), nil
+}
+
+// UCB returns the upper-confidence-bound acquisition value mean + beta·σ.
+func (g *Regressor) UCB(q []float64, beta float64) (float64, error) {
+	m, v, err := g.Predict(q)
+	if err != nil {
+		return 0, err
+	}
+	return m + beta*math.Sqrt(v), nil
+}
+
+// ExpectedImprovement returns EI of q over the incumbent best value
+// (maximization). Zero posterior variance yields zero improvement.
+func (g *Regressor) ExpectedImprovement(q []float64, best float64) (float64, error) {
+	m, v, err := g.Predict(q)
+	if err != nil {
+		return 0, err
+	}
+	sd := math.Sqrt(v)
+	if sd == 0 {
+		return 0, nil
+	}
+	z := (m - best) / sd
+	return (m-best)*stdNormCDF(z) + sd*stdNormPDF(z), nil
+}
+
+func stdNormPDF(z float64) float64 { return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi) }
+func stdNormCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// FitWithModelSelection fits the model under several candidate length
+// scales and keeps the one maximizing the log marginal likelihood — the
+// light-weight hyper-parameter search a production tuner would run per
+// refit. It requires the kernel to be SE-ARD (uniform scales are tried).
+func (g *Regressor) FitWithModelSelection(x [][]float64, y []float64, lengthScales []float64) error {
+	if len(lengthScales) == 0 {
+		return errors.New("gp: empty length-scale candidates")
+	}
+	k, ok := g.Kernel.(*SEARD)
+	if !ok {
+		return errors.New("gp: model selection needs an SE-ARD kernel")
+	}
+	bestLML := math.Inf(-1)
+	bestScale := k.LengthScales[0]
+	for _, l := range lengthScales {
+		if l <= 0 {
+			return fmt.Errorf("gp: non-positive length scale %g", l)
+		}
+		for i := range k.LengthScales {
+			k.LengthScales[i] = l
+		}
+		if err := g.Fit(x, y); err != nil {
+			continue // singular under this scale; try the next
+		}
+		lml, err := g.LogMarginalLikelihood(y)
+		if err != nil {
+			continue
+		}
+		if lml > bestLML {
+			bestLML, bestScale = lml, l
+		}
+	}
+	if math.IsInf(bestLML, -1) {
+		return errors.New("gp: no candidate length scale produced a valid fit")
+	}
+	for i := range k.LengthScales {
+		k.LengthScales[i] = bestScale
+	}
+	return g.Fit(x, y)
+}

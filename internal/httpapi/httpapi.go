@@ -1,0 +1,399 @@
+// Package httpapi exposes the AutoDBaaS control-plane services over
+// HTTP: the central data repository (sample upload) and the config
+// director (TDE events, periodic tuning requests, counters). Servers
+// bind any net.Listener, so agents on the database VM can reach their
+// local endpoints over unix domain sockets while cross-IaaS traffic uses
+// TCP — mirroring the paper's deployment.
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"autodbaas/internal/director"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/repository"
+	"autodbaas/internal/tde"
+	"autodbaas/internal/tuner"
+)
+
+// ---- wire types ----
+
+// wireEvent serializes tde.Event; Entropy is NaN-safe via pointer.
+type wireEvent struct {
+	At         time.Time `json:"at"`
+	Kind       int       `json:"kind"`
+	Class      int       `json:"class"`
+	Knob       string    `json:"knob"`
+	Entropy    *float64  `json:"entropy,omitempty"`
+	WorkingSet float64   `json:"working_set"`
+	Reason     string    `json:"reason"`
+}
+
+func toWireEvent(ev tde.Event) wireEvent {
+	w := wireEvent{
+		At: ev.At, Kind: int(ev.Kind), Class: int(ev.Class),
+		Knob: ev.Knob, WorkingSet: ev.WorkingSet, Reason: ev.Reason,
+	}
+	if !math.IsNaN(ev.Entropy) {
+		e := ev.Entropy
+		w.Entropy = &e
+	}
+	return w
+}
+
+func fromWireEvent(w wireEvent) tde.Event {
+	ev := tde.Event{
+		At: w.At, Kind: tde.EventKind(w.Kind), Class: knobs.Class(w.Class),
+		Knob: w.Knob, WorkingSet: w.WorkingSet, Reason: w.Reason,
+		Entropy: math.NaN(),
+	}
+	if w.Entropy != nil {
+		ev.Entropy = *w.Entropy
+	}
+	return ev
+}
+
+// eventRequest is the director's event-intake payload.
+type eventRequest struct {
+	InstanceID string        `json:"instance_id"`
+	Event      wireEvent     `json:"event"`
+	Request    tuner.Request `json:"request"`
+}
+
+// tuningRequest is the periodic-mode intake payload.
+type tuningRequest struct {
+	InstanceID string        `json:"instance_id"`
+	Request    tuner.Request `json:"request"`
+}
+
+// countersResponse reports director counters.
+type countersResponse struct {
+	TuningRequests  int `json:"tuning_requests"`
+	Recommendations int `json:"recommendations"`
+	ApplyFailures   int `json:"apply_failures"`
+	PlanUpgrades    int `json:"plan_upgrades"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// ---- repository service ----
+
+// RepositoryServer serves the central data repository API.
+type RepositoryServer struct {
+	repo *repository.Repository
+	mux  *http.ServeMux
+}
+
+// NewRepositoryServer wraps a repository.
+func NewRepositoryServer(repo *repository.Repository) *RepositoryServer {
+	s := &RepositoryServer{repo: repo, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/samples", s.handleSamples)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *RepositoryServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *RepositoryServer) handleSamples(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var sm tuner.Sample
+	if err := json.NewDecoder(r.Body).Decode(&sm); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.repo.Observe(sm); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"stored": s.repo.Len()})
+}
+
+func (s *RepositoryServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"samples":   s.repo.Len(),
+		"workloads": s.repo.Store().Workloads(),
+	})
+}
+
+// RepositoryClient talks to a RepositoryServer; it implements
+// agent.SampleSink.
+type RepositoryClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewRepositoryClient returns a client for a TCP base URL.
+func NewRepositoryClient(baseURL string) *RepositoryClient {
+	return &RepositoryClient{base: baseURL, hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// NewRepositoryClientUnix returns a client dialing a unix socket.
+func NewRepositoryClientUnix(socketPath string) *RepositoryClient {
+	return &RepositoryClient{
+		base: "http://unix",
+		hc: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+					var d net.Dialer
+					return d.DialContext(ctx, "unix", socketPath)
+				},
+			},
+		},
+	}
+}
+
+// Observe implements agent.SampleSink over HTTP.
+func (c *RepositoryClient) Observe(s tuner.Sample) error {
+	return c.post("/v1/samples", s, nil)
+}
+
+func (c *RepositoryClient) post(path string, body, out interface{}) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var er errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return fmt.Errorf("httpapi: %s: %s (%s)", path, resp.Status, er.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// ---- director service ----
+
+// DirectorServer serves the config-director API.
+type DirectorServer struct {
+	dir *director.Director
+	mux *http.ServeMux
+}
+
+// NewDirectorServer wraps a director.
+func NewDirectorServer(dir *director.Director) *DirectorServer {
+	s := &DirectorServer{dir: dir, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/events", s.handleEvents)
+	s.mux.HandleFunc("/v1/tuning-requests", s.handleTuning)
+	s.mux.HandleFunc("/v1/counters", s.handleCounters)
+	s.mux.HandleFunc("/v1/maintenance", s.handleMaintenance)
+	s.mux.HandleFunc("/v1/upgrade-requests", s.handleUpgrades)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *DirectorServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *DirectorServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req eventRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.dir.HandleEvent(req.InstanceID, fromWireEvent(req.Event), req.Request); err != nil {
+		if errors.Is(err, tuner.ErrNotTrained) {
+			// Bootstrap condition, not a failure: the request was
+			// accepted and counted; there is just no model yet.
+			writeJSON(w, http.StatusAccepted, map[string]interface{}{"accepted": false, "reason": err.Error()})
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]bool{"accepted": true})
+}
+
+func (s *DirectorServer) handleTuning(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req tuningRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.dir.RequestTuning(req.InstanceID, req.Request); err != nil {
+		if errors.Is(err, tuner.ErrNotTrained) {
+			writeJSON(w, http.StatusAccepted, map[string]interface{}{"accepted": false, "reason": err.Error()})
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]bool{"accepted": true})
+}
+
+func (s *DirectorServer) handleCounters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	tr, rec, fail, up := s.dir.Counters()
+	writeJSON(w, http.StatusOK, countersResponse{
+		TuningRequests: tr, Recommendations: rec, ApplyFailures: fail, PlanUpgrades: up,
+	})
+}
+
+// instanceRequest addresses one instance.
+type instanceRequest struct {
+	InstanceID string `json:"instance_id"`
+}
+
+func (s *DirectorServer) handleMaintenance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req instanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.dir.MaintenanceWindowByID(req.InstanceID); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"done": true})
+}
+
+func (s *DirectorServer) handleUpgrades(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	id := r.URL.Query().Get("instance_id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing instance_id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"pending": s.dir.PendingUpgradeRequests(id)})
+}
+
+// DirectorClient talks to a DirectorServer; it implements
+// agent.EventSink.
+type DirectorClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewDirectorClient returns a client for a TCP base URL.
+func NewDirectorClient(baseURL string) *DirectorClient {
+	return &DirectorClient{base: baseURL, hc: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// HandleEvent implements agent.EventSink over HTTP.
+func (c *DirectorClient) HandleEvent(instanceID string, ev tde.Event, req tuner.Request) error {
+	body := eventRequest{InstanceID: instanceID, Event: toWireEvent(ev), Request: req}
+	return (&RepositoryClient{base: c.base, hc: c.hc}).post("/v1/events", body, nil)
+}
+
+// RequestTuning issues a periodic-mode tuning request over HTTP.
+func (c *DirectorClient) RequestTuning(instanceID string, req tuner.Request) error {
+	body := tuningRequest{InstanceID: instanceID, Request: req}
+	return (&RepositoryClient{base: c.base, hc: c.hc}).post("/v1/tuning-requests", body, nil)
+}
+
+// MaintenanceWindow triggers the scheduled-downtime logic remotely.
+func (c *DirectorClient) MaintenanceWindow(instanceID string) error {
+	return (&RepositoryClient{base: c.base, hc: c.hc}).post("/v1/maintenance", instanceRequest{InstanceID: instanceID}, nil)
+}
+
+// PendingUpgradeRequests fetches the plan-upgrade queue length.
+func (c *DirectorClient) PendingUpgradeRequests(instanceID string) (int, error) {
+	resp, err := c.hc.Get(c.base + "/v1/upgrade-requests?instance_id=" + url.QueryEscape(instanceID))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return 0, fmt.Errorf("httpapi: upgrade-requests: %s", resp.Status)
+	}
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out["pending"], nil
+}
+
+// Counters fetches the director counters.
+func (c *DirectorClient) Counters() (tuning, recs, failures, upgrades int, err error) {
+	resp, err := c.hc.Get(c.base + "/v1/counters")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return 0, 0, 0, 0, fmt.Errorf("httpapi: counters: %s", resp.Status)
+	}
+	var out countersResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return out.TuningRequests, out.Recommendations, out.ApplyFailures, out.PlanUpgrades, nil
+}
+
+// Serve runs an http.Handler on a listener until the context ends.
+func Serve(ctx context.Context, l net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
+	done := make(chan struct{})
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		close(done)
+	}()
+	err := srv.Serve(l)
+	<-done
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

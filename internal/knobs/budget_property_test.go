@@ -1,0 +1,63 @@
+package knobs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: FitMemoryBudget converges for any random config on any
+// instance size that can fit the buffer pool at all, and never touches
+// the buffer-pool knob.
+func TestFitMemoryBudgetConvergesProperty(t *testing.T) {
+	for _, cat := range []*Catalog{PostgresCatalog(), MySQLCatalog()} {
+		cat := cat
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			names := cat.Names()
+			vec := make([]float64, len(names))
+			for i := range vec {
+				vec[i] = rng.Float64()
+			}
+			cfg := cat.Denormalize(vec, names)
+			// Instance big enough to host the drawn buffer pool with
+			// headroom; everything else must be shrunk to fit.
+			pool := cfg[cat.BufferPoolKnob()]
+			budget := MemoryBudget{
+				TotalBytes:      pool*2 + 4*1024*1024*1024,
+				WorkMemSessions: float64(1 + rng.Intn(16)),
+			}
+			fit := cat.FitMemoryBudget(cfg, budget)
+			if fit[cat.BufferPoolKnob()] != pool {
+				return false
+			}
+			return cat.CheckMemoryBudget(fit, budget) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("%s: %v", cat.Engine, err)
+		}
+	}
+}
+
+// Property: memory footprint is monotone in each memory knob.
+func TestFootprintMonotoneProperty(t *testing.T) {
+	cat := PostgresCatalog()
+	budget := MemoryBudget{TotalBytes: 1 << 34, WorkMemSessions: 8}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := cat.DefaultConfig()
+		memNames := cat.NamesByClass(Memory)
+		n := memNames[rng.Intn(len(memNames))]
+		d := cat.Def(n)
+		lo := d.Min + rng.Float64()*(d.Max-d.Min)
+		hi := lo + rng.Float64()*(d.Max-lo)
+		cfg[n] = lo
+		flo := cat.MemoryFootprint(cfg, budget)
+		cfg[n] = hi
+		fhi := cat.MemoryFootprint(cfg, budget)
+		return fhi >= flo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package lasso
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synth builds y = 3·x0 − 2·x1 + noise with p-2 irrelevant features.
+func synth(n, p int, seed int64, noise float64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = 3*row[0] - 2*row[1] + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestFitRecoversSignalFeatures(t *testing.T) {
+	x, y := synth(200, 6, 1, 0.1)
+	m := New(0.05)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if math.Abs(m.Coef[0]) < 1 || math.Abs(m.Coef[1]) < 0.5 {
+		t.Fatalf("signal coefs too small: %v", m.Coef[:2])
+	}
+	for j := 2; j < 6; j++ {
+		if math.Abs(m.Coef[j]) > 0.2 {
+			t.Fatalf("noise coef %d = %g, want ≈0", j, m.Coef[j])
+		}
+	}
+}
+
+func TestHeavyPenaltyZeroesEverything(t *testing.T) {
+	x, y := synth(100, 4, 2, 0.1)
+	m := New(100)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range m.Coef {
+		if c != 0 {
+			t.Fatalf("coef %d = %g under huge penalty", j, c)
+		}
+	}
+}
+
+func TestPredictOnTrainingDistribution(t *testing.T) {
+	x, y := synth(300, 5, 3, 0.05)
+	m := New(0.01)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var sse, sst float64
+	mean := 0.0
+	for _, yi := range y {
+		mean += yi
+	}
+	mean /= float64(len(y))
+	for i, row := range x {
+		p, err := m.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sse += (p - y[i]) * (p - y[i])
+		sst += (y[i] - mean) * (y[i] - mean)
+	}
+	if r2 := 1 - sse/sst; r2 < 0.95 {
+		t.Fatalf("R² = %g, want ≥ 0.95", r2)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	m := New(0.1)
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("Predict before Fit should error")
+	}
+	x, y := synth(20, 3, 4, 0.1)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("wrong-width Predict should error")
+	}
+}
+
+func TestFitRejectsBadShapes(t *testing.T) {
+	m := New(0.1)
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty Fit should error")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged Fit should error")
+	}
+}
+
+func TestConstantFeatureIsIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 100
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		v := rng.NormFloat64()
+		x[i] = []float64{7.0, v} // first feature constant
+		y[i] = 2 * v
+	}
+	m := New(0.01)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Coef[0] != 0 {
+		t.Fatalf("constant feature coef = %g, want 0", m.Coef[0])
+	}
+	if math.Abs(m.Coef[1]) < 1 {
+		t.Fatalf("signal coef = %g, want ≈2·std", m.Coef[1])
+	}
+}
+
+func TestRankOrdersBySignalStrength(t *testing.T) {
+	x, y := synth(250, 5, 6, 0.05)
+	m := New(0.02)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Rank()
+	if r[0].Index != 0 || r[1].Index != 1 {
+		t.Fatalf("rank = %v, want features 0 and 1 first", r[:2])
+	}
+}
+
+func TestRankPathEarliestEntryWins(t *testing.T) {
+	x, y := synth(250, 6, 7, 0.05)
+	r, err := RankPath(x, y, []float64{1.0, 0.3, 0.1, 0.03, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0].Index != 0 {
+		t.Fatalf("strongest feature should enter the path first; rank = %v", r)
+	}
+	if r[1].Index != 1 {
+		t.Fatalf("second feature should be ranked second; rank = %v", r)
+	}
+}
+
+func TestRankPathEmptyLambdas(t *testing.T) {
+	if _, err := RankPath([][]float64{{1}}, []float64{1}, nil); err == nil {
+		t.Fatal("empty lambda path should error")
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ v, l, want float64 }{
+		{5, 2, 3}, {-5, 2, -3}, {1, 2, 0}, {-1, 2, 0}, {2, 2, 0},
+	}
+	for _, c := range cases {
+		if got := softThreshold(c.v, c.l); got != c.want {
+			t.Fatalf("softThreshold(%g,%g) = %g, want %g", c.v, c.l, got, c.want)
+		}
+	}
+}
+
+// Property: increasing lambda never increases the number of nonzero
+// coefficients (monotone sparsity along the path).
+func TestMonotoneSparsityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		x, y := synth(60, 5, seed, 0.2)
+		nonzeros := func(l float64) int {
+			m := New(l)
+			if err := m.Fit(x, y); err != nil {
+				return -1
+			}
+			var k int
+			for _, c := range m.Coef {
+				if c != 0 {
+					k++
+				}
+			}
+			return k
+		}
+		a, b, c := nonzeros(0.01), nonzeros(0.5), nonzeros(5)
+		return a >= b && b >= c && a >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package linalg implements the small dense linear-algebra kernel used by
+// the Gaussian-process tuner (internal/gp), the Lasso knob ranker
+// (internal/lasso) and the MLP (internal/nn).
+//
+// It is deliberately minimal: row-major dense matrices, Cholesky
+// factorization with triangular solves, and the handful of BLAS-1/2/3
+// style helpers those consumers need. Everything is float64 and
+// allocation behaviour is explicit (methods that write into a receiver
+// never allocate).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// ErrShape is returned when operand dimensions do not conform.
+var ErrShape = errors.New("linalg: dimension mismatch")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %d×%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices; all rows must share a length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrShape, i, len(row), c)
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns a×b.
+func Mul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: %d×%d by %d×%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns a·x for a vector x of length a.Cols.
+func MulVec(a *Matrix, x []float64) ([]float64, error) {
+	if a.Cols != len(x) {
+		return nil, fmt.Errorf("%w: %d×%d by vec %d", ErrShape, a.Rows, a.Cols, len(x))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// AddDiag adds v to every diagonal element of square matrix m in place.
+func AddDiag(m *Matrix, v float64) error {
+	if m.Rows != m.Cols {
+		return fmt.Errorf("%w: AddDiag on %d×%d", ErrShape, m.Rows, m.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+	return nil
+}
+
+// Cholesky computes the lower-triangular L with m = L·Lᵀ. The input must
+// be symmetric positive definite; the strictly upper triangle of the
+// result is zero.
+func Cholesky(m *Matrix) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: Cholesky on %d×%d", ErrShape, m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := m.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d = %g", ErrNotPositiveDefinite, j, d)
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, dj)
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L·y = b for lower-triangular L (forward substitution).
+func SolveLower(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if l.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("%w: SolveLower %d×%d with b %d", ErrShape, l.Rows, l.Cols, len(b))
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		if row[i] == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrNotPositiveDefinite, i)
+		}
+		y[i] = s / row[i]
+	}
+	return y, nil
+}
+
+// SolveUpperFromLower solves Lᵀ·x = y given lower-triangular L
+// (back substitution against the implicit transpose).
+func SolveUpperFromLower(l *Matrix, y []float64) ([]float64, error) {
+	n := l.Rows
+	if l.Cols != n || len(y) != n {
+		return nil, fmt.Errorf("%w: SolveUpperFromLower %d×%d with y %d", ErrShape, l.Rows, l.Cols, len(y))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrNotPositiveDefinite, i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// CholSolve solves m·x = b given the Cholesky factor L of m.
+func CholSolve(l *Matrix, b []float64) ([]float64, error) {
+	y, err := SolveLower(l, b)
+	if err != nil {
+		return nil, err
+	}
+	return SolveUpperFromLower(l, y)
+}
+
+// LogDetFromChol returns log|M| given M's Cholesky factor L.
+func LogDetFromChol(l *Matrix) float64 {
+	var s float64
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}
+
+// Scale multiplies every element of v by s in place and returns v.
+func Scale(v []float64, s float64) []float64 {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// AXPY computes y += a·x in place and returns y.
+func AXPY(a float64, x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: AXPY length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+	return y
+}
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v (0 for len<2).
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// Pearson returns the Pearson correlation of equal-length vectors, or 0
+// when either is constant.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var sab, saa, sbb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// EuclideanDistance returns ‖a−b‖₂.
+func EuclideanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: distance length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

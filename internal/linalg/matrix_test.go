@@ -1,0 +1,242 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromRowsAndAt(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape = %d×%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %g, want 6", m.At(1, 2))
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1}, {1, 2}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("ragged rows error = %v, want ErrShape", err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := Mul(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("Mul mismatch error = %v, want ErrShape", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	y, err := MulVec(a, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if y[0] != 7 || y[1] != 6 {
+		t.Fatalf("MulVec = %v, want [7 6]", y)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("transpose wrong: %+v", at)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// M = [[4,2],[2,3]] → L = [[2,0],[1,sqrt(2)]]
+	m, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	if !almostEqual(l.At(0, 0), 2, 1e-12) || !almostEqual(l.At(1, 0), 1, 1e-12) ||
+		!almostEqual(l.At(1, 1), math.Sqrt2, 1e-12) || l.At(0, 1) != 0 {
+		t.Fatalf("L = %+v", l)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(m); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 12
+	// Build SPD matrix A = BᵀB + n·I.
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a, _ := Mul(b.T(), b)
+	if err := AddDiag(a, float64(n)); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	rhs, _ := MulVec(a, x)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	got, err := CholSolve(l, rhs)
+	if err != nil {
+		t.Fatalf("CholSolve: %v", err)
+	}
+	for i := range x {
+		if !almostEqual(got[i], x[i], 1e-8) {
+			t.Fatalf("x[%d] = %g, want %g", i, got[i], x[i])
+		}
+	}
+}
+
+func TestLogDetFromChol(t *testing.T) {
+	m, _ := FromRows([][]float64{{4, 0}, {0, 9}})
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := LogDetFromChol(l), math.Log(36); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("logdet = %g, want %g", got, want)
+	}
+}
+
+func TestSolveLowerAndUpper(t *testing.T) {
+	l, _ := FromRows([][]float64{{2, 0}, {1, 3}})
+	y, err := SolveLower(l, []float64{4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(y[0], 2, 1e-12) || !almostEqual(y[1], 8.0/3, 1e-12) {
+		t.Fatalf("forward solve = %v", y)
+	}
+	x, err := SolveUpperFromLower(l, []float64{4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lᵀ = [[2,1],[0,3]]; x₂ = 3, x₁ = (4-3)/2 = 0.5
+	if !almostEqual(x[1], 3, 1e-12) || !almostEqual(x[0], 0.5, 1e-12) {
+		t.Fatalf("backward solve = %v", x)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	if Mean(v) != 2.5 {
+		t.Fatalf("Mean = %g", Mean(v))
+	}
+	if !almostEqual(Variance(v), 1.25, 1e-12) {
+		t.Fatalf("Variance = %g", Variance(v))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate stats not zero")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := Pearson(a, a); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("self correlation = %g", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := Pearson(a, neg); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("anti correlation = %g", got)
+	}
+	if got := Pearson(a, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant correlation = %g, want 0", got)
+	}
+}
+
+func TestAXPYAndScale(t *testing.T) {
+	y := AXPY(2, []float64{1, 2}, []float64{10, 20})
+	if y[0] != 12 || y[1] != 24 {
+		t.Fatalf("AXPY = %v", y)
+	}
+	v := Scale([]float64{3, -6}, 0.5)
+	if v[0] != 1.5 || v[1] != -3 {
+		t.Fatalf("Scale = %v", v)
+	}
+}
+
+// Property: for random SPD matrices, L·Lᵀ reconstructs the input.
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a, _ := Mul(b.T(), b)
+		if err := AddDiag(a, float64(n)); err != nil {
+			return false
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		llt, _ := Mul(l, l.T())
+		for i := range a.Data {
+			if !almostEqual(llt.Data[i], a.Data[i], 1e-8*(1+math.Abs(a.Data[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Euclidean distance satisfies symmetry and identity.
+func TestEuclideanDistanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		d1, d2 := EuclideanDistance(a, b), EuclideanDistance(b, a)
+		return almostEqual(d1, d2, 1e-12) && EuclideanDistance(a, a) == 0 && d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package mdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewAutomatonValidation(t *testing.T) {
+	if _, err := NewAutomaton("k", 1, 0, 0, 10); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := NewAutomaton("k", 1, 1, 10, 0); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if _, err := NewAutomaton("k", 99, 1, 0, 10); err == nil {
+		t.Fatal("out-of-bounds start accepted")
+	}
+}
+
+func TestCandidateClampsAtBounds(t *testing.T) {
+	a, err := NewAutomaton("k", 9.5, 1, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Candidate(Increase); got != 10 {
+		t.Fatalf("increase candidate = %g, want clamp at 10", got)
+	}
+	if got := a.Candidate(Decrease); got != 8.5 {
+		t.Fatalf("decrease candidate = %g", got)
+	}
+}
+
+func TestFeedbackShiftsProbabilities(t *testing.T) {
+	a, _ := NewAutomaton("k", 5, 1, 0, 10)
+	a.Feedback(Increase, true)
+	pi, pd := a.Probabilities()
+	if !(pi > 0.5) || math.Abs(pi+pd-1) > 1e-12 {
+		t.Fatalf("after reward: P=(%g, %g)", pi, pd)
+	}
+	a.Feedback(Increase, false)
+	pi2, _ := a.Probabilities()
+	if !(pi2 < pi) {
+		t.Fatalf("penalty did not reduce probability: %g → %g", pi, pi2)
+	}
+}
+
+func TestFeedbackKeepsExplorationFloor(t *testing.T) {
+	a, _ := NewAutomaton("k", 5, 1, 0, 10)
+	for i := 0; i < 200; i++ {
+		a.Feedback(Increase, true)
+	}
+	pi, pd := a.Probabilities()
+	if pd < 0.02-1e-12 {
+		t.Fatalf("exploration floor violated: P(decrease) = %g", pd)
+	}
+	if math.Abs(pi+pd-1) > 1e-12 {
+		t.Fatal("probabilities do not sum to 1")
+	}
+}
+
+func TestAutomatonConvergesToProfitableDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, _ := NewAutomaton("random_page_cost", 4, 0.25, 1, 10)
+	// True optimum at 1.5: moving toward it profits.
+	env := func(_ string, cand float64) float64 {
+		return math.Abs(a.Value()-1.5) - math.Abs(cand-1.5)
+	}
+	tr := NewTrainer(a)
+	res, _ := tr.RunEpisode(rng, env, 400)
+	if a.Value() > 2.5 {
+		t.Fatalf("did not converge toward optimum: value = %g", a.Value())
+	}
+	_, pd := a.Probabilities()
+	if !(pd > 0.5) {
+		t.Fatalf("decrease probability = %g, want > 0.5 near optimum-from-above", pd)
+	}
+	if res.Throttles == 0 {
+		t.Fatal("profitable episode raised no throttles")
+	}
+}
+
+func TestEpisodicRewardImprovesAcrossEpisodes(t *testing.T) {
+	// Fig. 6(a): rewards grow as the automaton learns the direction.
+	// The optimum sits beyond the reach of the episode budget so the
+	// profitable direction stays "increase" throughout.
+	rng := rand.New(rand.NewSource(2))
+	a, _ := NewAutomaton("effective_io_concurrency", 1, 1, 0, 10_000)
+	env := func(_ string, cand float64) float64 {
+		return (math.Abs(a.Value()-9000) - math.Abs(cand-9000))
+	}
+	tr := NewTrainer(a)
+	first, _ := tr.RunEpisode(rng, env, 100)
+	for i := 0; i < 3; i++ {
+		tr.RunEpisode(rng, env, 100)
+	}
+	last, _ := tr.RunEpisode(rng, env, 100)
+	if !(last.Accuracy > first.Accuracy) {
+		t.Fatalf("accuracy did not improve: %.2f → %.2f", first.Accuracy, last.Accuracy)
+	}
+	if !(last.TotalReward > first.TotalReward) {
+		t.Fatalf("reward did not improve: %.1f → %.1f", first.TotalReward, last.TotalReward)
+	}
+}
+
+func TestRunEpisodeDegenerate(t *testing.T) {
+	tr := NewTrainer()
+	res, trace := tr.RunEpisode(rand.New(rand.NewSource(3)), func(string, float64) float64 { return 1 }, 10)
+	if res.Steps != 0 || trace != nil {
+		t.Fatal("empty trainer should no-op")
+	}
+	a, _ := NewAutomaton("k", 5, 1, 0, 10)
+	tr2 := NewTrainer(a)
+	if res, _ := tr2.RunEpisode(rand.New(rand.NewSource(4)), func(string, float64) float64 { return 1 }, 0); res.Steps != 0 {
+		t.Fatal("zero steps should no-op")
+	}
+}
+
+func TestTraceRecordsSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, _ := NewAutomaton("k", 5, 1, 0, 10)
+	tr := NewTrainer(a)
+	res, trace := tr.RunEpisode(rng, func(_ string, cand float64) float64 { return cand - 5 }, 50)
+	if len(trace) != 50 || res.Steps != 50 {
+		t.Fatalf("trace len %d, steps %d", len(trace), res.Steps)
+	}
+	for _, s := range trace {
+		if s.Knob != "k" {
+			t.Fatalf("trace knob %q", s.Knob)
+		}
+		if s.Rewarded != (s.Profit > 0) {
+			t.Fatal("reward flag inconsistent with profit")
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Increase.String() != "increase" || Decrease.String() != "decrease" {
+		t.Fatal("action strings wrong")
+	}
+}
+
+func TestMultiKnobRoundRobin(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a1, _ := NewAutomaton("k1", 5, 1, 0, 10)
+	a2, _ := NewAutomaton("k2", 5, 1, 0, 10)
+	tr := NewTrainer(a1, a2)
+	var k1Steps, k2Steps int
+	_, trace := tr.RunEpisode(rng, func(string, float64) float64 { return -1 }, 40)
+	for _, s := range trace {
+		switch s.Knob {
+		case "k1":
+			k1Steps++
+		case "k2":
+			k2Steps++
+		}
+	}
+	if k1Steps != 20 || k2Steps != 20 {
+		t.Fatalf("round-robin uneven: %d/%d", k1Steps, k2Steps)
+	}
+}

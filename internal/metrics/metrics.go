@@ -1,0 +1,280 @@
+// Package metrics defines the runtime-metric surface the simulated
+// database engines expose and the tuners consume. It mirrors the shape
+// of PostgreSQL's pg_stat_* views and MySQL's SHOW GLOBAL STATUS: a flat
+// catalogue of named numeric metrics, captured as snapshots from which
+// deltas ("samples" in OtterTune terminology) are computed after a
+// workload window.
+//
+// It also provides the two preprocessing steps the BO tuner applies to
+// metric vectors: deciling/binning (for workload mapping) and pruning of
+// low-variance / highly correlated metrics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"autodbaas/internal/linalg"
+)
+
+// Kind distinguishes counters (monotone, deltas meaningful) from gauges
+// (point-in-time readings, deltas are differences of levels).
+type Kind int
+
+// Metric kinds.
+const (
+	Counter Kind = iota
+	Gauge
+)
+
+// Def describes one metric.
+type Def struct {
+	Name        string
+	Kind        Kind
+	Description string
+}
+
+// Snapshot is a point-in-time reading of every metric.
+type Snapshot map[string]float64
+
+// Clone returns a deep copy.
+func (s Snapshot) Clone() Snapshot {
+	out := make(Snapshot, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Delta computes after − before per metric; metrics absent from either
+// snapshot are treated as zero on the missing side.
+func Delta(before, after Snapshot) Snapshot {
+	out := make(Snapshot, len(after))
+	for k, v := range after {
+		out[k] = v - before[k]
+	}
+	for k, v := range before {
+		if _, ok := after[k]; !ok {
+			out[k] = -v
+		}
+	}
+	return out
+}
+
+// Catalog is an ordered metric definition set.
+type Catalog struct {
+	defs  map[string]*Def
+	order []string
+}
+
+// NewCatalog builds a catalogue preserving definition order.
+func NewCatalog(defs []Def) *Catalog {
+	c := &Catalog{defs: make(map[string]*Def, len(defs))}
+	for i := range defs {
+		d := defs[i]
+		c.defs[d.Name] = &d
+		c.order = append(c.order, d.Name)
+	}
+	return c
+}
+
+// Names returns metric names in catalogue order.
+func (c *Catalog) Names() []string { return append([]string(nil), c.order...) }
+
+// Def returns the definition for name, or nil.
+func (c *Catalog) Def(name string) *Def { return c.defs[name] }
+
+// Len returns the number of metrics.
+func (c *Catalog) Len() int { return len(c.order) }
+
+// Vector flattens a snapshot into catalogue order (missing → 0).
+func (c *Catalog) Vector(s Snapshot) []float64 {
+	out := make([]float64, len(c.order))
+	for i, n := range c.order {
+		out[i] = s[n]
+	}
+	return out
+}
+
+// PostgresCatalog returns the PostgreSQL-flavoured metric set exposed by
+// the simulator (pg_stat_database / pg_stat_bgwriter style).
+func PostgresCatalog() *Catalog {
+	return NewCatalog([]Def{
+		{Name: "xact_commit", Kind: Counter, Description: "committed transactions"},
+		{Name: "xact_rollback", Kind: Counter, Description: "rolled-back transactions"},
+		{Name: "tup_returned", Kind: Counter, Description: "tuples read by scans"},
+		{Name: "tup_fetched", Kind: Counter, Description: "tuples fetched by index scans"},
+		{Name: "tup_inserted", Kind: Counter, Description: "tuples inserted"},
+		{Name: "tup_updated", Kind: Counter, Description: "tuples updated"},
+		{Name: "tup_deleted", Kind: Counter, Description: "tuples deleted"},
+		{Name: "blks_read", Kind: Counter, Description: "pages read from disk"},
+		{Name: "blks_hit", Kind: Counter, Description: "pages found in the buffer pool"},
+		{Name: "temp_files", Kind: Counter, Description: "temporary spill files created"},
+		{Name: "temp_bytes", Kind: Counter, Description: "bytes written to spill files"},
+		{Name: "checkpoints_timed", Kind: Counter, Description: "scheduled checkpoints"},
+		{Name: "checkpoints_req", Kind: Counter, Description: "requested (WAL-full) checkpoints"},
+		{Name: "checkpoint_write_bytes", Kind: Counter, Description: "bytes written by the checkpointer"},
+		{Name: "buffers_checkpoint", Kind: Counter, Description: "pages written by checkpoints"},
+		{Name: "buffers_clean", Kind: Counter, Description: "pages written by the background writer"},
+		{Name: "buffers_backend", Kind: Counter, Description: "pages written directly by backends"},
+		{Name: "maxwritten_clean", Kind: Counter, Description: "bgwriter rounds stopped at lru_maxpages"},
+		{Name: "wal_bytes", Kind: Counter, Description: "WAL generated"},
+		{Name: "vacuum_pages", Kind: Counter, Description: "pages processed by vacuum"},
+		{Name: "deadlocks", Kind: Counter, Description: "deadlocks detected"},
+		{Name: "parallel_workers_launched", Kind: Counter, Description: "parallel workers started"},
+		{Name: "parallel_workers_denied", Kind: Counter, Description: "parallel workers unavailable at plan time"},
+		{Name: "plan_disk_spills", Kind: Counter, Description: "plans whose execution spilled to disk"},
+		{Name: "disk_read_bytes", Kind: Counter, Description: "bytes read from disk"},
+		{Name: "disk_write_bytes", Kind: Counter, Description: "bytes written to disk (all writers)"},
+		{Name: "active_connections", Kind: Gauge, Description: "connections executing"},
+		{Name: "buffer_used_bytes", Kind: Gauge, Description: "buffer pool bytes in use"},
+		{Name: "dirty_bytes", Kind: Gauge, Description: "dirty bytes awaiting writeback"},
+		{Name: "working_set_bytes", Kind: Gauge, Description: "estimated working-set size (gauged)"},
+		{Name: "disk_latency_ms", Kind: Gauge, Description: "current average device latency"},
+		{Name: "disk_write_latency_ms", Kind: Gauge, Description: "current write-side disk latency"},
+		{Name: "iops", Kind: Gauge, Description: "current device IO operations per second"},
+		{Name: "throughput_qps", Kind: Gauge, Description: "queries completed per second"},
+		{Name: "p99_latency_ms", Kind: Gauge, Description: "99th-percentile query latency"},
+	})
+}
+
+// MySQLCatalog returns the MySQL-flavoured metric set (SHOW STATUS style).
+// The simulator keeps the same underlying signals but surfaces them under
+// engine-native names, so tuners see per-engine metric schemas as they
+// would in production.
+func MySQLCatalog() *Catalog {
+	return NewCatalog([]Def{
+		{Name: "com_commit", Kind: Counter, Description: "committed transactions"},
+		{Name: "com_rollback", Kind: Counter, Description: "rolled-back transactions"},
+		{Name: "innodb_rows_read", Kind: Counter, Description: "rows read"},
+		{Name: "innodb_rows_inserted", Kind: Counter, Description: "rows inserted"},
+		{Name: "innodb_rows_updated", Kind: Counter, Description: "rows updated"},
+		{Name: "innodb_rows_deleted", Kind: Counter, Description: "rows deleted"},
+		{Name: "innodb_buffer_pool_reads", Kind: Counter, Description: "pages read from disk"},
+		{Name: "innodb_buffer_pool_read_requests", Kind: Counter, Description: "logical page reads"},
+		{Name: "created_tmp_disk_tables", Kind: Counter, Description: "on-disk temporary tables"},
+		{Name: "sort_merge_passes", Kind: Counter, Description: "sort spill merge passes"},
+		{Name: "innodb_checkpoints", Kind: Counter, Description: "checkpoint cycles"},
+		{Name: "innodb_checkpoint_write_bytes", Kind: Counter, Description: "bytes written by checkpoint flushing"},
+		{Name: "innodb_buffer_pool_pages_flushed", Kind: Counter, Description: "pages flushed"},
+		{Name: "innodb_bg_flush_pages", Kind: Counter, Description: "pages flushed by background threads"},
+		{Name: "innodb_os_log_written", Kind: Counter, Description: "redo bytes written"},
+		{Name: "innodb_purge_pages", Kind: Counter, Description: "pages processed by purge"},
+		{Name: "innodb_deadlocks", Kind: Counter, Description: "deadlocks detected"},
+		{Name: "threadpool_threads_started", Kind: Counter, Description: "worker threads started"},
+		{Name: "threadpool_threads_denied", Kind: Counter, Description: "worker thread requests denied"},
+		{Name: "select_full_join_disk", Kind: Counter, Description: "joins that spilled to disk"},
+		{Name: "innodb_data_read", Kind: Counter, Description: "bytes read from disk"},
+		{Name: "innodb_data_written", Kind: Counter, Description: "bytes written to disk"},
+		{Name: "threads_running", Kind: Gauge, Description: "threads executing"},
+		{Name: "innodb_buffer_pool_bytes_data", Kind: Gauge, Description: "buffer pool bytes in use"},
+		{Name: "innodb_buffer_pool_bytes_dirty", Kind: Gauge, Description: "dirty bytes awaiting flush"},
+		{Name: "working_set_bytes", Kind: Gauge, Description: "estimated working-set size (gauged)"},
+		{Name: "disk_latency_ms", Kind: Gauge, Description: "current average device latency"},
+		{Name: "disk_write_latency_ms", Kind: Gauge, Description: "current write-side disk latency"},
+		{Name: "iops", Kind: Gauge, Description: "current device IO operations per second"},
+		{Name: "throughput_qps", Kind: Gauge, Description: "queries completed per second"},
+		{Name: "p99_latency_ms", Kind: Gauge, Description: "99th-percentile query latency"},
+	})
+}
+
+// CatalogFor returns the metric catalogue for an engine name
+// ("postgres" or "mysql").
+func CatalogFor(engine string) (*Catalog, error) {
+	switch engine {
+	case "postgres":
+		return PostgresCatalog(), nil
+	case "mysql":
+		return MySQLCatalog(), nil
+	default:
+		return nil, fmt.Errorf("metrics: unsupported engine %q", engine)
+	}
+}
+
+// Decile bins every component of vec into {0,…,9} according to the
+// per-component min/max over the reference rows, OtterTune's
+// preprocessing before workload mapping. Constant components map to 0.
+func Decile(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	p := len(rows[0])
+	mins := make([]float64, p)
+	maxs := make([]float64, p)
+	copy(mins, rows[0])
+	copy(maxs, rows[0])
+	for _, r := range rows[1:] {
+		for j, v := range r {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		br := make([]float64, p)
+		for j, v := range r {
+			if maxs[j] > mins[j] {
+				b := math.Floor(10 * (v - mins[j]) / (maxs[j] - mins[j]))
+				if b > 9 {
+					b = 9
+				}
+				br[j] = b
+			}
+		}
+		out[i] = br
+	}
+	return out
+}
+
+// Prune selects informative metric indices from sample rows: it drops
+// components whose variance is below varEps and, among the survivors,
+// keeps only the first of any group whose pairwise |Pearson| exceeds
+// corrMax. Returned indices are sorted ascending. This approximates
+// OtterTune's factor-analysis + k-means pruning with a deterministic,
+// dependency-free procedure.
+func Prune(rows [][]float64, varEps, corrMax float64) []int {
+	if len(rows) == 0 {
+		return nil
+	}
+	p := len(rows[0])
+	cols := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		col := make([]float64, len(rows))
+		for i := range rows {
+			col[i] = rows[i][j]
+		}
+		cols[j] = col
+	}
+	var kept []int
+	for j := 0; j < p; j++ {
+		if linalg.Variance(cols[j]) <= varEps {
+			continue
+		}
+		dup := false
+		for _, k := range kept {
+			if math.Abs(linalg.Pearson(cols[j], cols[k])) >= corrMax {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			kept = append(kept, j)
+		}
+	}
+	sort.Ints(kept)
+	return kept
+}
+
+// Project keeps only the given indices of vec, in order.
+func Project(vec []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = vec[j]
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogsDistinctAndNonEmpty(t *testing.T) {
+	pg, my := PostgresCatalog(), MySQLCatalog()
+	if pg.Len() < 20 || my.Len() < 20 {
+		t.Fatalf("catalogues too small: %d / %d", pg.Len(), my.Len())
+	}
+	if pg.Def("xact_commit") == nil || my.Def("com_commit") == nil {
+		t.Fatal("flagship metrics missing")
+	}
+	if pg.Def("com_commit") != nil {
+		t.Fatal("mysql metric leaked into postgres catalogue")
+	}
+}
+
+func TestCatalogFor(t *testing.T) {
+	if _, err := CatalogFor("postgres"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CatalogFor("mysql"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CatalogFor("sqlite"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	before := Snapshot{"a": 10, "b": 5, "gone": 3}
+	after := Snapshot{"a": 25, "b": 5, "new": 7}
+	d := Delta(before, after)
+	if d["a"] != 15 || d["b"] != 0 || d["new"] != 7 || d["gone"] != -3 {
+		t.Fatalf("delta = %v", d)
+	}
+}
+
+func TestSnapshotClone(t *testing.T) {
+	s := Snapshot{"x": 1}
+	c := s.Clone()
+	c["x"] = 2
+	if s["x"] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestVectorOrderAndMissing(t *testing.T) {
+	c := NewCatalog([]Def{{Name: "m1"}, {Name: "m2"}, {Name: "m3"}})
+	v := c.Vector(Snapshot{"m3": 3, "m1": 1})
+	if v[0] != 1 || v[1] != 0 || v[2] != 3 {
+		t.Fatalf("vector = %v", v)
+	}
+}
+
+func TestDecileBinsIntoRange(t *testing.T) {
+	rows := [][]float64{{0, 100}, {5, 100}, {10, 100}}
+	b := Decile(rows)
+	if b[0][0] != 0 || b[2][0] != 9 {
+		t.Fatalf("extremes not binned to 0/9: %v", b)
+	}
+	// Constant column maps to 0 everywhere.
+	for i := range b {
+		if b[i][1] != 0 {
+			t.Fatalf("constant column binned to %g", b[i][1])
+		}
+	}
+	if Decile(nil) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestDecileMonotone(t *testing.T) {
+	rows := [][]float64{{1}, {2}, {3}, {4}, {10}}
+	b := Decile(rows)
+	for i := 1; i < len(b); i++ {
+		if b[i][0] < b[i-1][0] {
+			t.Fatalf("deciles not monotone: %v", b)
+		}
+	}
+}
+
+func TestPruneDropsConstantAndCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 100
+	rows := make([][]float64, n)
+	for i := range rows {
+		v := rng.NormFloat64()
+		w := rng.NormFloat64()
+		rows[i] = []float64{
+			v,       // 0: signal
+			2*v + 1, // 1: perfectly correlated with 0
+			7,       // 2: constant
+			w,       // 3: independent signal
+		}
+	}
+	kept := Prune(rows, 1e-9, 0.95)
+	if len(kept) != 2 || kept[0] != 0 || kept[1] != 3 {
+		t.Fatalf("kept = %v, want [0 3]", kept)
+	}
+}
+
+func TestPruneEmpty(t *testing.T) {
+	if Prune(nil, 0, 0.9) != nil {
+		t.Fatal("empty prune should return nil")
+	}
+}
+
+func TestProject(t *testing.T) {
+	v := Project([]float64{10, 20, 30, 40}, []int{3, 0})
+	if v[0] != 40 || v[1] != 10 {
+		t.Fatalf("project = %v", v)
+	}
+}
+
+// Property: decile outputs are always integers in [0,9].
+func TestDecileRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, p := 2+rng.Intn(20), 1+rng.Intn(6)
+		rows := make([][]float64, n)
+		for i := range rows {
+			r := make([]float64, p)
+			for j := range r {
+				r[j] = rng.NormFloat64() * 100
+			}
+			rows[i] = r
+		}
+		for _, r := range Decile(rows) {
+			for _, v := range r {
+				if v < 0 || v > 9 || v != float64(int(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pruned indices are unique, sorted and within range.
+func TestPruneIndicesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, p := 5+rng.Intn(30), 1+rng.Intn(8)
+		rows := make([][]float64, n)
+		for i := range rows {
+			r := make([]float64, p)
+			for j := range r {
+				r[j] = rng.NormFloat64()
+			}
+			rows[i] = r
+		}
+		kept := Prune(rows, 1e-9, 0.9)
+		prev := -1
+		for _, k := range kept {
+			if k <= prev || k >= p {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2021, 3, 23, 0, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return t0.Add(time.Duration(sec) * time.Second) }
+
+func TestAppendAndRange(t *testing.T) {
+	s := NewSeries(0)
+	for i := 0; i < 10; i++ {
+		if err := s.Append(at(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	pts := s.Range(at(3), at(7))
+	if len(pts) != 4 || pts[0].Value != 3 || pts[3].Value != 6 {
+		t.Fatalf("range = %v", pts)
+	}
+}
+
+func TestAppendOutOfOrderRejected(t *testing.T) {
+	s := NewSeries(0)
+	if err := s.Append(at(5), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(at(4), 2); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("err = %v", err)
+	}
+	// Equal timestamps are allowed.
+	if err := s.Append(at(5), 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetentionBound(t *testing.T) {
+	s := NewSeries(5)
+	for i := 0; i < 20; i++ {
+		s.Append(at(i), float64(i))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	last, ok := s.Last()
+	if !ok || last.Value != 19 {
+		t.Fatalf("Last = %+v", last)
+	}
+	all := s.All()
+	if all[0].Value != 15 {
+		t.Fatalf("oldest retained = %v", all[0])
+	}
+}
+
+func TestLastEmpty(t *testing.T) {
+	s := NewSeries(0)
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last on empty series returned ok")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	pts := []Point{{at(0), 1}, {at(1), 2}, {at(2), 3}, {at(3), 4}}
+	st := Summarize(pts)
+	if st.Count != 4 || st.Mean != 2.5 || st.Min != 1 || st.Max != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P95 != 4 {
+		t.Fatalf("P95 = %g", st.P95)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Fatal("empty summarize")
+	}
+}
+
+func TestDetectPeaksFindsSpikes(t *testing.T) {
+	var pts []Point
+	for i := 0; i < 100; i++ {
+		v := 1.0
+		if i%20 == 10 {
+			v = 10
+		}
+		pts = append(pts, Point{at(i), v})
+	}
+	peaks := DetectPeaks(pts, 1.5)
+	if len(peaks) != 5 {
+		t.Fatalf("found %d peaks, want 5", len(peaks))
+	}
+	spacing := MeanPeakSpacing(peaks)
+	if spacing != 20*time.Second {
+		t.Fatalf("spacing = %v, want 20s", spacing)
+	}
+}
+
+func TestDetectPeaksFlatSeries(t *testing.T) {
+	var pts []Point
+	for i := 0; i < 50; i++ {
+		pts = append(pts, Point{at(i), 2})
+	}
+	if got := DetectPeaks(pts, 1); len(got) != 0 {
+		t.Fatalf("flat series produced %d peaks", len(got))
+	}
+	if DetectPeaks(pts[:2], 1) != nil {
+		t.Fatal("short series should return nil")
+	}
+}
+
+func TestMeanPeakSpacingDegenerate(t *testing.T) {
+	if MeanPeakSpacing(nil) != 0 || MeanPeakSpacing([]Peak{{at(1), 5}}) != 0 {
+		t.Fatal("degenerate spacing not 0")
+	}
+}
+
+func TestAgentSeriesIdentityAndNames(t *testing.T) {
+	a := NewAgent(100)
+	s1 := a.Series("disk_latency_ms")
+	s2 := a.Series("disk_latency_ms")
+	if s1 != s2 {
+		t.Fatal("Series not stable per name")
+	}
+	a.Series("iops")
+	names := a.Names()
+	if len(names) != 2 || names[0] != "disk_latency_ms" || names[1] != "iops" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSummarizeP95Math(t *testing.T) {
+	var pts []Point
+	for i := 1; i <= 100; i++ {
+		pts = append(pts, Point{at(i), float64(i)})
+	}
+	st := Summarize(pts)
+	if math.Abs(st.P95-95) > 1 {
+		t.Fatalf("P95 = %g, want ≈95", st.P95)
+	}
+}

@@ -1,0 +1,317 @@
+// Package nn implements a minimal multi-layer perceptron with
+// backpropagation and Adam, sufficient for the CDBTune-style RL tuner's
+// actor and critic networks (internal/tuner/rl). It supports fully
+// connected layers with ReLU, Tanh or Sigmoid activations and
+// mean-squared-error training on mini-batches.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer non-linearity.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+	Tanh
+	Sigmoid
+)
+
+func (a Activation) apply(v float64) float64 {
+	switch a {
+	case ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	case Tanh:
+		return math.Tanh(v)
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-v))
+	default:
+		return v
+	}
+}
+
+// derivative w.r.t. pre-activation, expressed via the activated output y.
+func (a Activation) deriv(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// Layer is one fully connected layer.
+type Layer struct {
+	In, Out int
+	Act     Activation
+	W       []float64 // Out×In, row-major
+	B       []float64 // Out
+
+	// Adam state.
+	mW, vW, mB, vB []float64
+}
+
+// Network is a feed-forward MLP.
+type Network struct {
+	Layers []*Layer
+	step   int // Adam time step
+}
+
+// LayerSpec describes one layer for New.
+type LayerSpec struct {
+	Out int
+	Act Activation
+}
+
+// New builds an MLP with the given input width and layer specs, with
+// He-style random initialization from rng.
+func New(rng *rand.Rand, in int, specs ...LayerSpec) (*Network, error) {
+	if in <= 0 || len(specs) == 0 {
+		return nil, errors.New("nn: need positive input width and at least one layer")
+	}
+	n := &Network{}
+	prev := in
+	for _, s := range specs {
+		if s.Out <= 0 {
+			return nil, fmt.Errorf("nn: layer width %d", s.Out)
+		}
+		l := &Layer{In: prev, Out: s.Out, Act: s.Act,
+			W: make([]float64, s.Out*prev), B: make([]float64, s.Out),
+			mW: make([]float64, s.Out*prev), vW: make([]float64, s.Out*prev),
+			mB: make([]float64, s.Out), vB: make([]float64, s.Out)}
+		scale := math.Sqrt(2.0 / float64(prev))
+		for i := range l.W {
+			l.W[i] = rng.NormFloat64() * scale
+		}
+		n.Layers = append(n.Layers, l)
+		prev = s.Out
+	}
+	return n, nil
+}
+
+// InputDim returns the expected input width.
+func (n *Network) InputDim() int { return n.Layers[0].In }
+
+// OutputDim returns the output width.
+func (n *Network) OutputDim() int { return n.Layers[len(n.Layers)-1].Out }
+
+// Forward computes the network output for one input vector.
+func (n *Network) Forward(x []float64) ([]float64, error) {
+	acts, err := n.forwardAll(x)
+	if err != nil {
+		return nil, err
+	}
+	return acts[len(acts)-1], nil
+}
+
+// forwardAll returns the activation of every layer (index 0 = input).
+func (n *Network) forwardAll(x []float64) ([][]float64, error) {
+	if len(x) != n.InputDim() {
+		return nil, fmt.Errorf("nn: input width %d, want %d", len(x), n.InputDim())
+	}
+	acts := make([][]float64, len(n.Layers)+1)
+	acts[0] = x
+	cur := x
+	for li, l := range n.Layers {
+		next := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			wrow := l.W[o*l.In : (o+1)*l.In]
+			for i, xi := range cur {
+				s += wrow[i] * xi
+			}
+			next[o] = l.Act.apply(s)
+		}
+		acts[li+1] = next
+		cur = next
+	}
+	return acts, nil
+}
+
+// Gradients holds per-layer parameter gradients from a backward pass.
+type Gradients struct {
+	dW [][]float64
+	dB [][]float64
+}
+
+// zeroGrads allocates gradient storage matching the network.
+func (n *Network) zeroGrads() *Gradients {
+	g := &Gradients{dW: make([][]float64, len(n.Layers)), dB: make([][]float64, len(n.Layers))}
+	for i, l := range n.Layers {
+		g.dW[i] = make([]float64, len(l.W))
+		g.dB[i] = make([]float64, len(l.B))
+	}
+	return g
+}
+
+// backward accumulates gradients for one sample given dLoss/dOutput, and
+// returns dLoss/dInput (used by DDPG's actor update through the critic).
+func (n *Network) backward(acts [][]float64, dOut []float64, g *Gradients) []float64 {
+	delta := append([]float64(nil), dOut...)
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		out := acts[li+1]
+		in := acts[li]
+		for o := range delta {
+			delta[o] *= l.Act.deriv(out[o])
+		}
+		dIn := make([]float64, l.In)
+		for o := 0; o < l.Out; o++ {
+			do := delta[o]
+			if do == 0 {
+				continue
+			}
+			wrow := l.W[o*l.In : (o+1)*l.In]
+			grow := g.dW[li][o*l.In : (o+1)*l.In]
+			for i := range wrow {
+				grow[i] += do * in[i]
+				dIn[i] += do * wrow[i]
+			}
+			g.dB[li][o] += do
+		}
+		delta = dIn
+	}
+	return delta
+}
+
+// InputGradient returns dScalarOutput/dInput for a network with a single
+// output unit, without updating parameters. Used to propagate the critic
+// value back into the actor's action.
+func (n *Network) InputGradient(x []float64) ([]float64, error) {
+	if n.OutputDim() != 1 {
+		return nil, fmt.Errorf("nn: InputGradient needs scalar output, have %d", n.OutputDim())
+	}
+	acts, err := n.forwardAll(x)
+	if err != nil {
+		return nil, err
+	}
+	g := n.zeroGrads()
+	return n.backward(acts, []float64{1}, g), nil
+}
+
+// TrainBatch performs one Adam step on mean-squared error over the batch.
+// It returns the pre-update batch MSE.
+func (n *Network) TrainBatch(xs, ys [][]float64, lr float64) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, fmt.Errorf("nn: batch sizes %d/%d", len(xs), len(ys))
+	}
+	g := n.zeroGrads()
+	var loss float64
+	inv := 1.0 / float64(len(xs))
+	for bi, x := range xs {
+		acts, err := n.forwardAll(x)
+		if err != nil {
+			return 0, err
+		}
+		out := acts[len(acts)-1]
+		if len(ys[bi]) != len(out) {
+			return 0, fmt.Errorf("nn: target width %d, want %d", len(ys[bi]), len(out))
+		}
+		dOut := make([]float64, len(out))
+		for o := range out {
+			d := out[o] - ys[bi][o]
+			loss += d * d * inv
+			dOut[o] = 2 * d * inv
+		}
+		n.backward(acts, dOut, g)
+	}
+	n.applyAdam(g, lr)
+	return loss, nil
+}
+
+// TrainWithOutputGrad performs one Adam step given externally supplied
+// dLoss/dOutput per sample (DDPG actor update: gradient comes from the
+// critic rather than a target).
+func (n *Network) TrainWithOutputGrad(xs, dOuts [][]float64, lr float64) error {
+	if len(xs) == 0 || len(xs) != len(dOuts) {
+		return fmt.Errorf("nn: batch sizes %d/%d", len(xs), len(dOuts))
+	}
+	g := n.zeroGrads()
+	inv := 1.0 / float64(len(xs))
+	for bi, x := range xs {
+		acts, err := n.forwardAll(x)
+		if err != nil {
+			return err
+		}
+		dOut := make([]float64, len(dOuts[bi]))
+		for o := range dOut {
+			dOut[o] = dOuts[bi][o] * inv
+		}
+		n.backward(acts, dOut, g)
+	}
+	n.applyAdam(g, lr)
+	return nil
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+func (n *Network) applyAdam(g *Gradients, lr float64) {
+	n.step++
+	c1 := 1 - math.Pow(adamBeta1, float64(n.step))
+	c2 := 1 - math.Pow(adamBeta2, float64(n.step))
+	for li, l := range n.Layers {
+		adam(l.W, g.dW[li], l.mW, l.vW, lr, c1, c2)
+		adam(l.B, g.dB[li], l.mB, l.vB, lr, c1, c2)
+	}
+}
+
+func adam(w, dw, m, v []float64, lr, c1, c2 float64) {
+	for i := range w {
+		m[i] = adamBeta1*m[i] + (1-adamBeta1)*dw[i]
+		v[i] = adamBeta2*v[i] + (1-adamBeta2)*dw[i]*dw[i]
+		w[i] -= lr * (m[i] / c1) / (math.Sqrt(v[i]/c2) + adamEps)
+	}
+}
+
+// CopyFrom copies all parameters from src (same architecture required).
+func (n *Network) CopyFrom(src *Network) error {
+	if len(n.Layers) != len(src.Layers) {
+		return errors.New("nn: architecture mismatch")
+	}
+	for i, l := range n.Layers {
+		sl := src.Layers[i]
+		if l.In != sl.In || l.Out != sl.Out {
+			return errors.New("nn: layer shape mismatch")
+		}
+		copy(l.W, sl.W)
+		copy(l.B, sl.B)
+	}
+	return nil
+}
+
+// SoftUpdate blends parameters: θ ← τ·θsrc + (1−τ)·θ (DDPG target nets).
+func (n *Network) SoftUpdate(src *Network, tau float64) error {
+	if len(n.Layers) != len(src.Layers) {
+		return errors.New("nn: architecture mismatch")
+	}
+	for i, l := range n.Layers {
+		sl := src.Layers[i]
+		for j := range l.W {
+			l.W[j] = tau*sl.W[j] + (1-tau)*l.W[j]
+		}
+		for j := range l.B {
+			l.B[j] = tau*sl.B[j] + (1-tau)*l.B[j]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(rng, 0, LayerSpec{Out: 1}); err == nil {
+		t.Fatal("zero input width accepted")
+	}
+	if _, err := New(rng, 2); err == nil {
+		t.Fatal("no layers accepted")
+	}
+	if _, err := New(rng, 2, LayerSpec{Out: -1}); err == nil {
+		t.Fatal("negative layer width accepted")
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, err := New(rng, 3, LayerSpec{Out: 5, Act: ReLU}, LayerSpec{Out: 2, Act: Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.InputDim() != 3 || n.OutputDim() != 2 {
+		t.Fatalf("dims = %d/%d", n.InputDim(), n.OutputDim())
+	}
+	out, err := n.Forward([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("output len %d", len(out))
+	}
+	if _, err := n.Forward([]float64{1}); err == nil {
+		t.Fatal("wrong input width accepted")
+	}
+}
+
+func TestActivations(t *testing.T) {
+	if ReLU.apply(-3) != 0 || ReLU.apply(3) != 3 {
+		t.Fatal("ReLU wrong")
+	}
+	if math.Abs(Tanh.apply(0)) > 1e-12 || Sigmoid.apply(0) != 0.5 {
+		t.Fatal("Tanh/Sigmoid wrong at 0")
+	}
+	if Linear.apply(7) != 7 || Linear.deriv(7) != 1 {
+		t.Fatal("Linear wrong")
+	}
+	// deriv is expressed via output value y.
+	if ReLU.deriv(2) != 1 || ReLU.deriv(0) != 0 {
+		t.Fatal("ReLU deriv wrong")
+	}
+	y := Tanh.apply(0.8)
+	if math.Abs(Tanh.deriv(y)-(1-y*y)) > 1e-12 {
+		t.Fatal("Tanh deriv wrong")
+	}
+}
+
+func TestTrainLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, err := New(rng, 2, LayerSpec{Out: 1, Act: Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([][]float64, 0, 64)
+	ys := make([][]float64, 0, 64)
+	for i := 0; i < 64; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, []float64{2*a - b + 0.5})
+	}
+	var loss float64
+	for e := 0; e < 400; e++ {
+		loss, err = n.TrainBatch(xs, ys, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loss > 1e-3 {
+		t.Fatalf("final loss = %g, want < 1e-3", loss)
+	}
+}
+
+func TestTrainLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, err := New(rng, 2, LayerSpec{Out: 8, Act: Tanh}, LayerSpec{Out: 1, Act: Sigmoid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := [][]float64{{0}, {1}, {1}, {0}}
+	for e := 0; e < 3000; e++ {
+		if _, err := n.TrainBatch(xs, ys, 0.02); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, x := range xs {
+		out, _ := n.Forward(x)
+		if math.Abs(out[0]-ys[i][0]) > 0.2 {
+			t.Fatalf("XOR(%v) = %g, want %g", x, out[0], ys[i][0])
+		}
+	}
+}
+
+func TestInputGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, err := New(rng, 3, LayerSpec{Out: 6, Act: Tanh}, LayerSpec{Out: 1, Act: Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.7, 1.1}
+	grad, err := n.InputGradient(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		op, _ := n.Forward(xp)
+		om, _ := n.Forward(xm)
+		fd := (op[0] - om[0]) / (2 * h)
+		if math.Abs(fd-grad[i]) > 1e-5*(1+math.Abs(fd)) {
+			t.Fatalf("dOut/dx[%d]: analytic %g vs finite-diff %g", i, grad[i], fd)
+		}
+	}
+}
+
+func TestInputGradientNeedsScalarOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, _ := New(rng, 2, LayerSpec{Out: 2, Act: Linear})
+	if _, err := n.InputGradient([]float64{1, 2}); err == nil {
+		t.Fatal("vector-output InputGradient accepted")
+	}
+}
+
+func TestCopyFromAndSoftUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, _ := New(rng, 2, LayerSpec{Out: 3, Act: ReLU}, LayerSpec{Out: 1, Act: Linear})
+	b, _ := New(rng, 2, LayerSpec{Out: 3, Act: ReLU}, LayerSpec{Out: 1, Act: Linear})
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, -0.5}
+	oa, _ := a.Forward(x)
+	ob, _ := b.Forward(x)
+	if math.Abs(oa[0]-ob[0]) > 1e-15 {
+		t.Fatalf("copied nets disagree: %g vs %g", oa[0], ob[0])
+	}
+	// Soft update toward a different net moves outputs toward it.
+	c, _ := New(rng, 2, LayerSpec{Out: 3, Act: ReLU}, LayerSpec{Out: 1, Act: Linear})
+	before, _ := b.Forward(x)
+	oc, _ := c.Forward(x)
+	if err := b.SoftUpdate(c, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := b.Forward(x)
+	if math.Abs(after[0]-oc[0]) >= math.Abs(before[0]-oc[0]) && math.Abs(before[0]-oc[0]) > 1e-9 {
+		t.Fatalf("soft update did not move toward target: |%g−%g| vs |%g−%g|", after[0], oc[0], before[0], oc[0])
+	}
+	mismatch, _ := New(rng, 3, LayerSpec{Out: 1, Act: Linear})
+	if err := b.CopyFrom(mismatch); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+	if err := b.SoftUpdate(mismatch, 0.1); err == nil {
+		t.Fatal("soft-update architecture mismatch accepted")
+	}
+}
+
+func TestTrainBatchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, _ := New(rng, 2, LayerSpec{Out: 1, Act: Linear})
+	if _, err := n.TrainBatch(nil, nil, 0.1); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := n.TrainBatch([][]float64{{1, 2}}, [][]float64{{1, 2}}, 0.1); err == nil {
+		t.Fatal("wrong target width accepted")
+	}
+}

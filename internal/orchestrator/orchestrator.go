@@ -1,0 +1,209 @@
+// Package orchestrator implements the Service Orchestrator of the
+// AutoDBaaS architecture (§2, §4): lifecycle operations for database
+// service instances, credential management, durable configuration
+// persistence (so re-deployments never lose tuned knobs), and the
+// reconciler that watches for config drift between the persisted truth
+// and what the master node actually runs.
+package orchestrator
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/simdb"
+)
+
+// Credentials authenticate management-plane access to an instance.
+type Credentials struct {
+	Username string `json:"username"`
+	Password string `json:"password"`
+}
+
+// ErrUnknownInstance is returned for operations on unknown instance IDs.
+var ErrUnknownInstance = errors.New("orchestrator: unknown instance")
+
+// Orchestrator owns instance lifecycle and config persistence.
+type Orchestrator struct {
+	mu sync.Mutex
+
+	prov      *cluster.Provisioner
+	creds     map[string]Credentials
+	persisted map[string]knobs.Config
+	// driftSince records when a divergence between the persisted config
+	// and the master's live config was first observed.
+	driftSince map[string]time.Time
+	// WatcherTimeout is how long drift must persist before the
+	// reconciler forces the persisted config back onto all nodes.
+	WatcherTimeout time.Duration
+
+	reconciliations int
+}
+
+// New returns an orchestrator over a fresh provisioner.
+func New() *Orchestrator {
+	return &Orchestrator{
+		prov:           cluster.NewProvisioner(),
+		creds:          make(map[string]Credentials),
+		persisted:      make(map[string]knobs.Config),
+		driftSince:     make(map[string]time.Time),
+		WatcherTimeout: 2 * time.Minute,
+	}
+}
+
+// Provisioner exposes the underlying IaaS provisioner.
+func (o *Orchestrator) Provisioner() *cluster.Provisioner { return o.prov }
+
+// Provision creates an instance, generates credentials and persists its
+// initial (default) configuration.
+func (o *Orchestrator) Provision(spec cluster.ProvisionSpec) (*cluster.Instance, error) {
+	inst, err := o.prov.Provision(spec)
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.creds[spec.ID] = Credentials{
+		Username: "svc_" + spec.ID,
+		Password: randomToken(),
+	}
+	o.persisted[spec.ID] = inst.Replica.Master().Config()
+	return inst, nil
+}
+
+func randomToken() string {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is unrecoverable in a real deployment;
+		// in simulation fall back to a fixed marker.
+		return "fallback-token"
+	}
+	return hex.EncodeToString(b)
+}
+
+// Credentials returns the management credentials for an instance.
+func (o *Orchestrator) Credentials(id string) (Credentials, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.creds[id]
+	if !ok {
+		return Credentials{}, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	return c, nil
+}
+
+// PersistConfig durably records cfg as the instance's source of truth.
+func (o *Orchestrator) PersistConfig(id string, cfg knobs.Config) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.creds[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	o.persisted[id] = cfg.Clone()
+	return nil
+}
+
+// PersistedConfig returns the instance's persisted configuration.
+func (o *Orchestrator) PersistedConfig(id string) (knobs.Config, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cfg, ok := o.persisted[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	return cfg.Clone(), nil
+}
+
+// Redeploy simulates a re-deployment (system update, security patch):
+// every node restarts with the persisted configuration — the property
+// §4 demands so that "a database reset or re-deployment doesn't
+// overwrite the settings".
+func (o *Orchestrator) Redeploy(id string) error {
+	o.mu.Lock()
+	cfg, ok := o.persisted[id]
+	o.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	inst, found := o.prov.Get(id)
+	if !found {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	for _, node := range inst.Replica.Nodes() {
+		if err := node.ApplyConfig(cfg, simdb.ApplyRestart); err != nil {
+			return fmt.Errorf("orchestrator: redeploy %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Reconciliations reports how many drift reconciliations have run.
+func (o *Orchestrator) Reconciliations() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.reconciliations
+}
+
+// ReconcileTick is the reconciler's watch loop body: for every instance,
+// compare the master's live tunable config with the persisted one; if
+// they diverge for longer than WatcherTimeout, force the persisted
+// config onto all nodes (rejecting whatever half-applied recommendation
+// caused the drift). Returns the IDs reconciled this tick.
+func (o *Orchestrator) ReconcileTick(now time.Time) []string {
+	var reconciled []string
+	for _, inst := range o.prov.List() {
+		o.mu.Lock()
+		want, ok := o.persisted[inst.ID]
+		o.mu.Unlock()
+		if !ok {
+			continue
+		}
+		live := inst.Replica.Master().Config()
+		if tunableEqual(inst.Replica.Master().KnobCatalog(), live, want) {
+			o.mu.Lock()
+			delete(o.driftSince, inst.ID)
+			o.mu.Unlock()
+			continue
+		}
+		o.mu.Lock()
+		since, seen := o.driftSince[inst.ID]
+		if !seen {
+			o.driftSince[inst.ID] = now
+			o.mu.Unlock()
+			continue
+		}
+		timeout := o.WatcherTimeout
+		o.mu.Unlock()
+		if now.Sub(since) < timeout {
+			continue
+		}
+		// Force the persisted config back onto every node.
+		for _, node := range inst.Replica.Nodes() {
+			_ = node.ApplyConfig(want, simdb.ApplyReload)
+		}
+		o.mu.Lock()
+		delete(o.driftSince, inst.ID)
+		o.reconciliations++
+		o.mu.Unlock()
+		reconciled = append(reconciled, inst.ID)
+	}
+	return reconciled
+}
+
+// tunableEqual compares only knobs applicable without restart: restart
+// knobs legitimately differ until the next maintenance window.
+func tunableEqual(cat *knobs.Catalog, a, b knobs.Config) bool {
+	for _, n := range cat.TunableNames() {
+		av, aok := a[n]
+		bv, bok := b[n]
+		if aok != bok || av != bv {
+			return false
+		}
+	}
+	return true
+}

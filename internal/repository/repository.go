@@ -1,0 +1,95 @@
+// Package repository implements the central data repository: the shared
+// database of training workloads all tuner instances read from and all
+// tuning agents upload to ("this helps all tuning services to get the
+// new unknown workloads, which might have been observed on a different
+// IaaS, and create a better ML model", §2). It offers both an in-process
+// API and an HTTP server/client pair; the client also serves agents over
+// unix domain sockets, matching the on-VM transport the paper describes.
+package repository
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"autodbaas/internal/tuner"
+)
+
+// Repository stores samples and fans them out to subscribed tuners.
+type Repository struct {
+	mu          sync.Mutex
+	store       *tuner.Store
+	subscribers []tuner.Tuner
+}
+
+// New returns an empty repository.
+func New() *Repository {
+	return &Repository{store: tuner.NewStore()}
+}
+
+// Subscribe registers a tuner to receive every future sample (the
+// "tuner instances fetch the new workloads" pull loop, push-modelled).
+func (r *Repository) Subscribe(t tuner.Tuner) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subscribers = append(r.subscribers, t)
+}
+
+// Observe implements agent.SampleSink: store the sample and fan out.
+// Fan-out errors (e.g. engine mismatch: a MySQL sample is not delivered
+// to PostgreSQL tuners in any meaningful way) are skipped — each tuner
+// accepts only its own engine's samples.
+func (r *Repository) Observe(s tuner.Sample) error {
+	r.mu.Lock()
+	subs := append([]tuner.Tuner(nil), r.subscribers...)
+	r.mu.Unlock()
+	r.store.Add(s)
+	for _, t := range subs {
+		_ = t.Observe(s) // engine-mismatch and similar are per-tuner concerns
+	}
+	return nil
+}
+
+// Store returns the underlying sample store.
+func (r *Repository) Store() *tuner.Store { return r.store }
+
+// Len returns the number of stored samples.
+func (r *Repository) Len() int { return r.store.Len() }
+
+// Save writes every stored sample as JSON lines, the repository's
+// durable form — the central data repository survives tuner-instance
+// restarts so "tuning services running on different IaaS'es fetch the
+// new workloads" from one durable store.
+func (r *Repository) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range r.store.All() {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("repository: save: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads JSON-line samples, storing each and fanning out to current
+// subscribers (so a freshly booted tuner warms up from the durable
+// store). It returns the number of samples loaded.
+func (r *Repository) Load(rd io.Reader) (int, error) {
+	dec := json.NewDecoder(bufio.NewReader(rd))
+	n := 0
+	for {
+		var s tuner.Sample
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return n, fmt.Errorf("repository: load: %w", err)
+		}
+		if err := r.Observe(s); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,103 @@
+package repository
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tuner"
+)
+
+type countingTuner struct {
+	engine   knobs.Engine
+	observed int
+}
+
+func (c *countingTuner) Name() string { return "counting" }
+func (c *countingTuner) Observe(s tuner.Sample) error {
+	if s.Engine != c.engine {
+		return tuner.ErrNotTrained // any error: engine mismatch
+	}
+	c.observed++
+	return nil
+}
+func (c *countingTuner) Recommend(tuner.Request) (tuner.Recommendation, error) {
+	return tuner.Recommendation{}, tuner.ErrNotTrained
+}
+
+func TestObserveStoresAndFansOut(t *testing.T) {
+	r := New()
+	pg := &countingTuner{engine: knobs.Postgres}
+	my := &countingTuner{engine: knobs.MySQL}
+	r.Subscribe(pg)
+	r.Subscribe(my)
+	if err := r.Observe(tuner.Sample{WorkloadID: "w", Engine: knobs.Postgres}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if pg.observed != 1 {
+		t.Fatal("postgres tuner did not receive the sample")
+	}
+	// The mysql tuner rejects it; the repository must not fail.
+	if my.observed != 0 {
+		t.Fatal("mysql tuner accepted a postgres sample")
+	}
+	if got := r.Store().Samples("w"); len(got) != 1 {
+		t.Fatalf("stored = %d", len(got))
+	}
+}
+
+func TestSubscribeAfterSamplesOnlySeesNew(t *testing.T) {
+	r := New()
+	r.Observe(tuner.Sample{WorkloadID: "old", Engine: knobs.Postgres})
+	late := &countingTuner{engine: knobs.Postgres}
+	r.Subscribe(late)
+	r.Observe(tuner.Sample{WorkloadID: "new", Engine: knobs.Postgres})
+	if late.observed != 1 {
+		t.Fatalf("late subscriber observed %d", late.observed)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := New()
+	for i := 0; i < 5; i++ {
+		src.Observe(tuner.Sample{
+			WorkloadID: "w1", Engine: knobs.Postgres,
+			Config:    knobs.Config{"work_mem": float64(i)},
+			Objective: float64(i * 10),
+		})
+	}
+	src.Observe(tuner.Sample{WorkloadID: "w2", Engine: knobs.Postgres, Objective: 7})
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	warm := &countingTuner{engine: knobs.Postgres}
+	dst.Subscribe(warm)
+	n, err := dst.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 || dst.Len() != 6 {
+		t.Fatalf("loaded %d, stored %d", n, dst.Len())
+	}
+	if warm.observed != 6 {
+		t.Fatalf("subscriber warmed with %d", warm.observed)
+	}
+	got := dst.Store().Samples("w1")
+	if len(got) != 5 || got[3].Config["work_mem"] != 3 || got[3].Objective != 30 {
+		t.Fatalf("w1 samples = %+v", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	r := New()
+	if _, err := r.Load(strings.NewReader("not json at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

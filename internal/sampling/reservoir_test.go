@@ -1,0 +1,110 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewReservoirValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewReservoir[int](0, rng); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewReservoir[int](5, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestReservoirKeepsAllWhenUnderCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r, err := NewReservoir[int](10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r.Offer(i)
+	}
+	s := r.Sample()
+	if len(s) != 5 {
+		t.Fatalf("sample size %d, want 5", len(s))
+	}
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("sample = %v", s)
+		}
+	}
+	if r.Seen() != 5 || r.Cap() != 10 {
+		t.Fatalf("Seen=%d Cap=%d", r.Seen(), r.Cap())
+	}
+}
+
+func TestReservoirBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r, _ := NewReservoir[int](7, rng)
+	for i := 0; i < 10_000; i++ {
+		r.Offer(i)
+	}
+	if got := len(r.Sample()); got != 7 {
+		t.Fatalf("reservoir grew to %d", got)
+	}
+	if r.Seen() != 10_000 {
+		t.Fatalf("Seen = %d", r.Seen())
+	}
+}
+
+// Statistical check: every stream position should be retained with
+// probability ≈ k/n. We run many trials and verify per-item inclusion
+// frequency is within 5 sigma of the binomial expectation.
+func TestReservoirUniformity(t *testing.T) {
+	const (
+		k      = 5
+		n      = 50
+		trials = 4000
+	)
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(4))
+	for tr := 0; tr < trials; tr++ {
+		r, _ := NewReservoir[int](k, rng)
+		for i := 0; i < n; i++ {
+			r.Offer(i)
+		}
+		for _, v := range r.Sample() {
+			counts[v]++
+		}
+	}
+	p := float64(k) / float64(n)
+	mean := p * trials
+	sigma := math.Sqrt(trials * p * (1 - p))
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > 5*sigma {
+			t.Fatalf("item %d retained %d times, want %.0f ± %.0f", i, c, mean, 5*sigma)
+		}
+	}
+}
+
+func TestReservoirSampleIsCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r, _ := NewReservoir[int](3, rng)
+	r.Offer(1)
+	s := r.Sample()
+	s[0] = 99
+	if r.Sample()[0] != 1 {
+		t.Fatal("Sample aliases internal storage")
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r, _ := NewReservoir[string](3, rng)
+	r.Offer("a")
+	r.Offer("b")
+	r.Reset()
+	if r.Seen() != 0 || len(r.Sample()) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	r.Offer("c")
+	if got := r.Sample(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("post-reset sample = %v", got)
+	}
+}

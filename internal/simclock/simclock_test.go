@@ -1,0 +1,135 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualNowStartsAtEpoch(t *testing.T) {
+	v := NewVirtualAtZero()
+	want := time.Date(2021, 3, 23, 0, 0, 0, 0, time.UTC)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceMovesNow(t *testing.T) {
+	v := NewVirtualAtZero()
+	start := v.Now()
+	v.Advance(90 * time.Second)
+	if got, want := v.Now().Sub(start), 90*time.Second; got != want {
+		t.Fatalf("advanced %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceNegativeIsNoop(t *testing.T) {
+	v := NewVirtualAtZero()
+	start := v.Now()
+	v.Advance(-time.Hour)
+	if !v.Now().Equal(start) {
+		t.Fatalf("negative advance moved the clock to %v", v.Now())
+	}
+}
+
+func TestVirtualSleepReleasedByAdvance(t *testing.T) {
+	v := NewVirtualAtZero()
+	done := make(chan struct{})
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		v.Sleep(5 * time.Minute)
+		close(done)
+	}()
+	<-ready
+	// Wait for the sleeper to register.
+	for v.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(4 * time.Minute)
+	select {
+	case <-done:
+		t.Fatal("sleeper released before deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	v.Advance(2 * time.Minute)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper not released after deadline passed")
+	}
+}
+
+func TestVirtualSleepNonPositiveReturnsImmediately(t *testing.T) {
+	v := NewVirtualAtZero()
+	doneZero := make(chan struct{})
+	go func() { v.Sleep(0); v.Sleep(-time.Second); close(doneZero) }()
+	select {
+	case <-doneZero:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(0)/Sleep(-1s) blocked")
+	}
+}
+
+func TestVirtualAfterDeliversDeadlineTime(t *testing.T) {
+	v := NewVirtualAtZero()
+	ch := v.After(10 * time.Second)
+	v.Advance(time.Minute)
+	got := <-ch
+	want := time.Date(2021, 3, 23, 0, 0, 10, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Fatalf("After delivered %v, want deadline %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceReleasesInDeadlineOrder(t *testing.T) {
+	v := NewVirtualAtZero()
+	delays := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	chans := make([]<-chan time.Time, len(delays))
+	for i, d := range delays {
+		chans[i] = v.After(d)
+	}
+	fired := func(i int) bool {
+		select {
+		case <-chans[i]:
+			return true
+		default:
+			return false
+		}
+	}
+	v.Advance(time.Second) // deadline of waiter 1 only
+	if fired(0) || !fired(1) || fired(2) {
+		t.Fatal("after 1s only waiter 1 should fire")
+	}
+	v.Advance(time.Second) // now waiter 2
+	if fired(0) || !fired(2) {
+		t.Fatal("after 2s only waiter 2 should additionally fire")
+	}
+	v.Advance(time.Second) // now waiter 0
+	if !fired(0) {
+		t.Fatal("after 3s waiter 0 should fire")
+	}
+}
+
+func TestVirtualAdvanceToPastIsNoop(t *testing.T) {
+	v := NewVirtualAtZero()
+	v.Advance(time.Hour)
+	at := v.Now()
+	v.AdvanceTo(at.Add(-time.Minute))
+	if !v.Now().Equal(at) {
+		t.Fatalf("AdvanceTo into the past moved clock to %v", v.Now())
+	}
+	v.AdvanceTo(at.Add(time.Minute))
+	if got := v.Now().Sub(at); got != time.Minute {
+		t.Fatalf("AdvanceTo future moved %v, want 1m", got)
+	}
+}
+
+func TestRealClockMonotonicEnough(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}

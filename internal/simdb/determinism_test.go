@@ -1,0 +1,128 @@
+package simdb
+
+import (
+	"testing"
+	"time"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/workload"
+)
+
+// Experiments must be reproducible bit-for-bit: two engines with the
+// same seed and inputs produce identical windows, snapshots and logs.
+func TestEngineDeterminism(t *testing.T) {
+	mk := func() *Engine {
+		e, err := NewEngine(Options{
+			Engine:      knobs.Postgres,
+			Resources:   m4Large(),
+			DBSizeBytes: 26 * workload.GiB,
+			Seed:        123,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := mk(), mk()
+	genA := workload.NewTPCC(26*workload.GiB, 3300)
+	genB := workload.NewTPCC(26*workload.GiB, 3300)
+	for i := 0; i < 10; i++ {
+		sa, errA := a.RunWindow(genA, time.Minute)
+		sb, errB := b.RunWindow(genB, time.Minute)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if sa != sb {
+			t.Fatalf("window %d diverged:\n%+v\n%+v", i, sa, sb)
+		}
+	}
+	snapA, snapB := a.Snapshot(), b.Snapshot()
+	for k, v := range snapA {
+		if snapB[k] != v {
+			t.Fatalf("metric %s diverged: %g vs %g", k, v, snapB[k])
+		}
+	}
+	logA, logB := a.QueryLog(100), b.QueryLog(100)
+	for i := range logA {
+		if logA[i] != logB[i] {
+			t.Fatalf("log line %d diverged", i)
+		}
+	}
+}
+
+// Counters must be monotone non-decreasing across windows.
+func TestCounterMonotonicity(t *testing.T) {
+	e := newPG(t, m4Large(), 26*workload.GiB)
+	gen := workload.NewTPCC(26*workload.GiB, 3300)
+	counters := []string{
+		"xact_commit", "wal_bytes", "blks_hit", "blks_read",
+		"checkpoints_timed", "checkpoints_req", "buffers_clean",
+		"checkpoint_write_bytes", "tup_inserted",
+	}
+	prev := e.Snapshot()
+	for i := 0; i < 15; i++ {
+		if _, err := e.RunWindow(gen, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		cur := e.Snapshot()
+		for _, c := range counters {
+			if cur[c] < prev[c] {
+				t.Fatalf("counter %s decreased: %g → %g", c, prev[c], cur[c])
+			}
+		}
+		prev = cur
+	}
+}
+
+// A reload of identical config must not change behaviour beyond the
+// transient jitter window.
+func TestIdempotentReload(t *testing.T) {
+	e := newPG(t, m4Large(), 10*workload.GiB)
+	cfg := e.Config()
+	if err := e.ApplyConfig(cfg, ApplyReload); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Config().Equal(cfg) {
+		t.Fatal("identity reload changed config")
+	}
+}
+
+// Window stats must stay finite and self-consistent for every standard
+// workload on every plan size.
+func TestWindowStatsInvariants(t *testing.T) {
+	gens := []workload.Generator{
+		workload.NewTPCC(26*workload.GiB, 3300),
+		workload.NewYCSB(20*workload.GiB, 5000),
+		workload.NewTPCH(24*workload.GiB, 2),
+		workload.NewProduction(),
+	}
+	for _, gen := range gens {
+		for _, eng := range []knobs.Engine{knobs.Postgres, knobs.MySQL} {
+			e, err := NewEngine(Options{Engine: eng, Resources: m4Large(), DBSizeBytes: gen.DBSizeBytes(), Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				st, err := e.RunWindow(gen, time.Minute)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Achieved < 0 || st.Achieved > st.Offered+1e-9 {
+					t.Fatalf("%s/%s: achieved %g vs offered %g", gen.Name(), eng, st.Achieved, st.Offered)
+				}
+				if st.HitRatio < 0 || st.HitRatio > 1 {
+					t.Fatalf("hit ratio %g", st.HitRatio)
+				}
+				if st.AvgServiceMs <= 0 || st.P99Ms < st.AvgServiceMs*0.5 {
+					t.Fatalf("latency stats avg=%g p99=%g", st.AvgServiceMs, st.P99Ms)
+				}
+				if st.DiskLatencyMs < 0 || st.DiskWriteLatencyMs < 0 || st.IOPS < 0 {
+					t.Fatalf("disk stats negative: %+v", st)
+				}
+				if st.SpillBytes < 0 || st.SpillQueries < 0 {
+					t.Fatalf("spill stats negative: %+v", st)
+				}
+			}
+		}
+	}
+}

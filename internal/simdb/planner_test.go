@@ -1,0 +1,191 @@
+package simdb
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/sqlparse"
+	"autodbaas/internal/workload"
+)
+
+func aggQuery(memMB float64) workload.Query {
+	return workload.Query{
+		SQL:   "SELECT COUNT(*) FROM t GROUP BY k",
+		Class: sqlparse.ClassAggregate,
+		Profile: workload.Profile{
+			MemDemand:      memMB * 1024 * 1024,
+			ReadBytes:      2 * workload.GiB,
+			Parallelizable: true,
+		},
+	}
+}
+
+func pointQuery() workload.Query {
+	return workload.Query{
+		SQL:   "SELECT * FROM t WHERE id = 1",
+		Class: sqlparse.ClassSimpleSelect,
+		Profile: workload.Profile{
+			ReadBytes:     64 * 1024,
+			IndexFriendly: true,
+		},
+	}
+}
+
+func TestExplainReportsSpill(t *testing.T) {
+	e := newPG(t, m4XLarge(), 24*workload.GiB)
+	p := e.Explain(aggQuery(350)) // default work_mem = 4MB
+	if !p.UsesDisk {
+		t.Fatal("350MB aggregation must spill under 4MB work_mem")
+	}
+	if p.MemRequired <= p.MemGranted {
+		t.Fatalf("required %g, granted %g", p.MemRequired, p.MemGranted)
+	}
+	if err := e.ApplyConfig(knobs.Config{"work_mem": workload.GiB}, ApplyReload); err != nil {
+		t.Fatal(err)
+	}
+	if p := e.Explain(aggQuery(350)); p.UsesDisk {
+		t.Fatal("1GB work_mem should not spill on 350MB demand")
+	}
+}
+
+func TestExplainWithOverlayDoesNotMutate(t *testing.T) {
+	e := newPG(t, m4XLarge(), 24*workload.GiB)
+	p := e.ExplainWith(knobs.Config{"work_mem": workload.GiB}, aggQuery(350))
+	if p.UsesDisk {
+		t.Fatal("overlay not applied")
+	}
+	if e.Config()["work_mem"] != 4*1024*1024 {
+		t.Fatal("ExplainWith mutated live config")
+	}
+}
+
+func TestIndexScanChosenForSelectiveQueries(t *testing.T) {
+	e := newPG(t, m4XLarge(), 24*workload.GiB)
+	if p := e.Explain(pointQuery()); p.Scan != IndexScan {
+		t.Fatalf("point query planned as %v", p.Scan)
+	}
+	// A hostile cost configuration flips the plan to seq scan.
+	if err := e.ApplyConfig(knobs.Config{"random_page_cost": 10, "seq_page_cost": 0.1, "cpu_tuple_cost": 0.001}, ApplyReload); err != nil {
+		t.Fatal(err)
+	}
+	if p := e.Explain(pointQuery()); p.Scan != SeqScan {
+		t.Fatalf("hostile costs still planned %v", p.Scan)
+	}
+}
+
+func TestParallelWorkersRequestedForBigScans(t *testing.T) {
+	e := newPG(t, m4XLarge(), 24*workload.GiB)
+	if p := e.Explain(aggQuery(350)); p.ParallelWorkers != 0 {
+		t.Fatal("default max_parallel_workers_per_gather=0 must stay serial")
+	}
+	if err := e.ApplyConfig(knobs.Config{"max_parallel_workers_per_gather": 8}, ApplyReload); err != nil {
+		t.Fatal(err)
+	}
+	p := e.Explain(aggQuery(350))
+	if p.ParallelWorkers < 1 {
+		t.Fatal("big parallelizable scan did not request workers")
+	}
+}
+
+func TestParallelismImprovesHypotheticalCost(t *testing.T) {
+	e := newPG(t, m4XLarge(), 24*workload.GiB)
+	qs := []workload.Query{aggQuery(2), aggQuery(2)} // fits memory; CPU-bound
+	serial := e.HypotheticalRunMs(nil, qs)
+	par := e.HypotheticalRunMs(knobs.Config{"max_parallel_workers_per_gather": 8}, qs)
+	if !(par < serial) {
+		t.Fatalf("parallel cost %.1f not below serial %.1f", par, serial)
+	}
+}
+
+func TestHypotheticalSpillCostVisible(t *testing.T) {
+	e := newPG(t, m4XLarge(), 24*workload.GiB)
+	qs := []workload.Query{aggQuery(350)}
+	spilling := e.HypotheticalRunMs(nil, qs)
+	fitting := e.HypotheticalRunMs(knobs.Config{"work_mem": workload.GiB}, qs)
+	if !(fitting < spilling) {
+		t.Fatalf("fitting cost %.1f not below spilling %.1f", fitting, spilling)
+	}
+}
+
+func TestMySQLPlannerUsesJoinBufferForJoins(t *testing.T) {
+	e := newMy(t, m4XLarge(), 24*workload.GiB)
+	join := workload.Query{
+		SQL:   "SELECT a.x FROM a JOIN b ON a.id=b.id",
+		Class: sqlparse.ClassJoin,
+		Profile: workload.Profile{
+			MemDemand: 10 * 1024 * 1024,
+			ReadBytes: workload.GiB,
+		},
+	}
+	p := e.Explain(join)
+	if p.MemGranted != e.Config()["join_buffer_size"] {
+		t.Fatalf("join granted %g, want join_buffer_size %g", p.MemGranted, e.Config()["join_buffer_size"])
+	}
+	sortQ := workload.Query{
+		SQL:     "SELECT x FROM a ORDER BY x",
+		Class:   sqlparse.ClassSort,
+		Profile: workload.Profile{MemDemand: 10 * 1024 * 1024, ReadBytes: workload.GiB},
+	}
+	if p := e.Explain(sortQ); p.MemGranted != e.Config()["sort_buffer_size"] {
+		t.Fatalf("sort granted %g, want sort_buffer_size", p.MemGranted)
+	}
+}
+
+func TestScanTypeAndApplyMethodStrings(t *testing.T) {
+	if SeqScan.String() != "seq scan" || IndexScan.String() != "index scan" {
+		t.Fatal("scan strings wrong")
+	}
+	for _, c := range []struct {
+		m    ApplyMethod
+		want string
+	}{{ApplyReload, "reload"}, {ApplySocketActivation, "socket-activation"}, {ApplyRestart, "restart"}} {
+		if c.m.String() != c.want {
+			t.Fatalf("%v", c.m)
+		}
+	}
+	if !strings.Contains(ApplyMethod(9).String(), "unknown") {
+		t.Fatal("unknown method string")
+	}
+}
+
+func TestSplitDisksReducesDataDiskLoad(t *testing.T) {
+	run := func(split bool) float64 {
+		res := m4Large()
+		res.SplitDisks = split
+		e, err := NewEngine(Options{Engine: knobs.Postgres, Resources: res, DBSizeBytes: 26 * workload.GiB, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.NewTPCC(26*workload.GiB, 3300)
+		var last WindowStats
+		for i := 0; i < 20; i++ {
+			last, err = e.RunWindow(gen, 30*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return last.IOPS
+	}
+	if shared, split := run(false), run(true); !(split < shared) {
+		t.Fatalf("split-disk IOPS %.0f not below shared %.0f", split, shared)
+	}
+}
+
+func TestPlanFormat(t *testing.T) {
+	e := newPG(t, m4XLarge(), 24*workload.GiB)
+	out := e.Explain(aggQuery(350)).Format()
+	for _, want := range []string{"Seq Scan", "cost=", "Work Area", "(Disk)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err := e.ApplyConfig(knobs.Config{"work_mem": workload.GiB, "max_parallel_workers_per_gather": 4}, ApplyReload); err != nil {
+		t.Fatal(err)
+	}
+	out2 := e.Explain(aggQuery(350)).Format()
+	if !strings.Contains(out2, "(Memory)") || !strings.Contains(out2, "Workers Planned") {
+		t.Fatalf("tuned plan rendering:\n%s", out2)
+	}
+}

@@ -1,0 +1,74 @@
+package simdb
+
+import (
+	"testing"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/workload"
+)
+
+func newSet(t *testing.T, slaves int) *ReplicaSet {
+	t.Helper()
+	rs, err := NewReplicaSet(Options{
+		Engine:      knobs.Postgres,
+		Resources:   Resources{MemoryBytes: 4 * workload.GiB, VCPU: 2, DiskIOPS: 3000, DiskSSD: true},
+		DBSizeBytes: 10 * workload.GiB,
+		Seed:        1,
+	}, slaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestReplicaSetTopology(t *testing.T) {
+	rs := newSet(t, 2)
+	if rs.Master() == nil || len(rs.Slaves()) != 2 || len(rs.Nodes()) != 3 {
+		t.Fatalf("topology wrong: %d slaves, %d nodes", len(rs.Slaves()), len(rs.Nodes()))
+	}
+	if _, err := NewReplicaSet(Options{Engine: knobs.Postgres, Resources: m4Large(), DBSizeBytes: 1e9}, -1); err == nil {
+		t.Fatal("negative slaves accepted")
+	}
+}
+
+func TestApplyAllReachesEveryNode(t *testing.T) {
+	rs := newSet(t, 2)
+	cfg := knobs.Config{"work_mem": 64 * 1024 * 1024}
+	if err := rs.ApplyAll(cfg, ApplyReload); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range rs.Nodes() {
+		if n.Config()["work_mem"] != 64*1024*1024 {
+			t.Fatalf("node %d config not applied", i)
+		}
+	}
+}
+
+func TestApplyAllRejectsOnSlaveCrashAndProtectsMaster(t *testing.T) {
+	rs := newSet(t, 1)
+	before := rs.Master().Config()
+	// This config OOMs a 4GB instance.
+	bad := knobs.Config{"work_mem": 2 * workload.GiB, "maintenance_work_mem": 2 * workload.GiB}
+	if err := rs.ApplyAll(bad, ApplyReload); err == nil {
+		t.Fatal("OOM config accepted")
+	}
+	if rs.Master().Down() {
+		t.Fatal("master crashed — slave-first ordering violated")
+	}
+	if !rs.Master().Config().Equal(before) {
+		t.Fatal("master config changed despite rejection")
+	}
+	if rs.Slaves()[0].Down() {
+		t.Fatal("crashed slave was not restarted during rollback")
+	}
+}
+
+func TestApplyAllValidationErrorIsClean(t *testing.T) {
+	rs := newSet(t, 1)
+	if err := rs.ApplyAll(knobs.Config{"bogus": 1}, ApplyReload); err == nil {
+		t.Fatal("unknown knob accepted")
+	}
+	if rs.Master().Down() || rs.Slaves()[0].Down() {
+		t.Fatal("validation error crashed a node")
+	}
+}

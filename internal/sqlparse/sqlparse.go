@@ -1,0 +1,303 @@
+// Package sqlparse turns raw SQL log lines into parameter-free templates
+// and coarse query classes. The Throttling Detection Engine uses it to
+// reduce the production query stream to a manageable pool of templates
+// (which are then reservoir-sampled) and to group queries into the
+// classes whose frequencies feed the entropy filter — the approach the
+// paper adopts from query-based workload forecasting.
+//
+// This is not a full SQL parser: it is a tokenizer with the recognition
+// power the TDE needs (statement verb, clause markers, literal
+// stripping), which matches how production log-templating tools work.
+package sqlparse
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"unicode"
+)
+
+// Class is a coarse query category used for entropy histograms and
+// throttle attribution.
+type Class int
+
+// Query classes. The groupings follow section 3.1 of the paper: classes
+// are defined by which knob class their execution pressures.
+const (
+	ClassSimpleSelect Class = iota // point/range reads, no heavy memory use
+	ClassJoin                      // multi-table joins (work_mem / join_buffer)
+	ClassAggregate                 // GROUP BY / aggregate functions (work_mem)
+	ClassSort                      // ORDER BY without aggregation (work_mem / sort_buffer)
+	ClassInsert                    // writes (WAL / bgwriter pressure)
+	ClassUpdate                    // writes (WAL / bgwriter pressure)
+	ClassDelete                    // deletes (maintenance_work_mem via vacuum)
+	ClassIndexDDL                  // CREATE/DROP INDEX (maintenance_work_mem)
+	ClassTempTable                 // CREATE TEMP TABLE ... (temp_buffers)
+	ClassAlterTable                // ALTER TABLE (maintenance_work_mem)
+	ClassOther
+)
+
+// NumClasses is the number of distinct query classes.
+const NumClasses = int(ClassOther) + 1
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassSimpleSelect:
+		return "select"
+	case ClassJoin:
+		return "join"
+	case ClassAggregate:
+		return "aggregate"
+	case ClassSort:
+		return "sort"
+	case ClassInsert:
+		return "insert"
+	case ClassUpdate:
+		return "update"
+	case ClassDelete:
+		return "delete"
+	case ClassIndexDDL:
+		return "index-ddl"
+	case ClassTempTable:
+		return "temp-table"
+	case ClassAlterTable:
+		return "alter-table"
+	default:
+		return "other"
+	}
+}
+
+// Template is a normalized, parameter-free query shape.
+type Template struct {
+	ID    string // stable hash of the normalized text
+	Text  string // normalized SQL with literals replaced by '?'
+	Class Class
+}
+
+// Normalize strips literals and whitespace variance from a SQL string:
+// numbers and quoted strings become '?', identifiers are lower-cased,
+// runs of whitespace collapse, and IN-lists collapse to a single '?'.
+func Normalize(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	i := 0
+	n := len(sql)
+	lastSpace := true
+	writeByte := func(c byte) {
+		b.WriteByte(c)
+		lastSpace = c == ' '
+	}
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == '-' && i+1 < n && sql[i+1] == '-':
+			// Line comment: skip to end of line.
+			for i < n && sql[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && sql[i+1] == '*':
+			// Block comment: skip to the closing marker.
+			i += 2
+			for i+1 < n && !(sql[i] == '*' && sql[i+1] == '/') {
+				i++
+			}
+			if i+1 < n {
+				i += 2
+			} else {
+				i = n
+			}
+		case c == '\'' || c == '"':
+			// Quoted literal: skip to the closing quote (handling '' escapes).
+			q := c
+			i++
+			for i < n {
+				if sql[i] == q {
+					if i+1 < n && sql[i+1] == q {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			writeByte('?')
+		case c >= '0' && c <= '9':
+			// Numeric literal (only when not part of an identifier).
+			for i < n && (sql[i] >= '0' && sql[i] <= '9' || sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+				((sql[i] == '+' || sql[i] == '-') && i > 0 && (sql[i-1] == 'e' || sql[i-1] == 'E'))) {
+				i++
+			}
+			writeByte('?')
+		case isIdentByte(c):
+			start := i
+			for i < n && (isIdentByte(sql[i]) || sql[i] >= '0' && sql[i] <= '9') {
+				i++
+			}
+			word := strings.ToLower(sql[start:i])
+			b.WriteString(word)
+			lastSpace = false
+		case unicode.IsSpace(rune(c)):
+			if !lastSpace {
+				writeByte(' ')
+			}
+			i++
+		default:
+			writeByte(c)
+			i++
+		}
+	}
+	out := strings.TrimSpace(b.String())
+	out = collapseInLists(out)
+	return out
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// collapseInLists rewrites "in (?, ?, ?)" (any arity) as "in (?)" so
+// IN-list size does not explode the template space.
+func collapseInLists(s string) string {
+	for {
+		idx := strings.Index(s, "in (?")
+		if idx < 0 {
+			return s
+		}
+		end := idx + len("in (?")
+		j := end
+		for j < len(s) && (s[j] == ',' || s[j] == ' ' || s[j] == '?') {
+			j++
+		}
+		if j < len(s) && s[j] == ')' {
+			s = s[:end] + s[j:]
+			// Advance past this occurrence to avoid an infinite loop on
+			// the already-collapsed "in (?)".
+			next := strings.Index(s[end:], "in (?")
+			if next < 0 {
+				return s
+			}
+			s = s[:end] + collapseInLists(s[end:])
+			return s
+		}
+		// Not a collapsible list; look after this occurrence.
+		rest := collapseInLists(s[end:])
+		return s[:end] + rest
+	}
+}
+
+// Classify infers the query class from normalized SQL text.
+func Classify(normalized string) Class {
+	s := normalized
+	if !strings.HasPrefix(s, " ") {
+		s = " " + s + " "
+	}
+	has := func(kw string) bool { return strings.Contains(s, " "+kw+" ") }
+	switch {
+	case strings.Contains(s, "create index") || strings.Contains(s, "drop index"):
+		return ClassIndexDDL
+	case strings.Contains(s, "create temporary table") || strings.Contains(s, "create temp table"):
+		return ClassTempTable
+	case strings.Contains(s, "alter table"):
+		return ClassAlterTable
+	case has("insert"):
+		return ClassInsert
+	case has("update"):
+		return ClassUpdate
+	case has("delete"):
+		return ClassDelete
+	case has("select"):
+		switch {
+		case has("group") || containsAggregate(s):
+			return ClassAggregate
+		case has("join"):
+			return ClassJoin
+		case has("order"):
+			return ClassSort
+		default:
+			return ClassSimpleSelect
+		}
+	default:
+		return ClassOther
+	}
+}
+
+func containsAggregate(s string) bool {
+	for _, fn := range []string{"count(", "count (", "sum(", "sum (", "avg(", "avg (", "min(", "min (", "max(", "max ("} {
+		if strings.Contains(s, fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// TemplateOf normalizes, classifies and fingerprints a raw SQL string.
+func TemplateOf(sql string) Template {
+	norm := Normalize(sql)
+	sum := sha256.Sum256([]byte(norm))
+	return Template{
+		ID:    hex.EncodeToString(sum[:8]),
+		Text:  norm,
+		Class: Classify(norm),
+	}
+}
+
+// Templatizer deduplicates a query stream into templates with counts.
+type Templatizer struct {
+	templates map[string]*TemplateStats
+}
+
+// TemplateStats tracks per-template occurrence data.
+type TemplateStats struct {
+	Template Template
+	Count    int
+	// LastArgsSQL keeps a recent concrete instance so the TDE can run
+	// plan evaluation "with the most frequent parameters substituted".
+	LastArgsSQL string
+}
+
+// NewTemplatizer returns an empty templatizer.
+func NewTemplatizer() *Templatizer {
+	return &Templatizer{templates: make(map[string]*TemplateStats)}
+}
+
+// Observe records one raw query and returns its template.
+func (t *Templatizer) Observe(sql string) Template {
+	tpl := TemplateOf(sql)
+	st, ok := t.templates[tpl.ID]
+	if !ok {
+		st = &TemplateStats{Template: tpl}
+		t.templates[tpl.ID] = st
+	}
+	st.Count++
+	st.LastArgsSQL = sql
+	return tpl
+}
+
+// Stats returns the stats entry for a template ID, or nil.
+func (t *Templatizer) Stats(id string) *TemplateStats { return t.templates[id] }
+
+// Templates returns all observed templates (unspecified order).
+func (t *Templatizer) Templates() []*TemplateStats {
+	out := make([]*TemplateStats, 0, len(t.templates))
+	for _, st := range t.templates {
+		out = append(out, st)
+	}
+	return out
+}
+
+// Len returns the number of distinct templates observed.
+func (t *Templatizer) Len() int { return len(t.templates) }
+
+// ClassHistogram counts observations per class across all templates.
+func (t *Templatizer) ClassHistogram() map[Class]int {
+	h := make(map[Class]int)
+	for _, st := range t.templates {
+		h[st.Template.Class] += st.Count
+	}
+	return h
+}
+
+// Reset clears all accumulated templates.
+func (t *Templatizer) Reset() { t.templates = make(map[string]*TemplateStats) }

@@ -1,0 +1,257 @@
+package bo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/metrics"
+	"autodbaas/internal/simdb"
+	"autodbaas/internal/tuner"
+	"autodbaas/internal/workload"
+)
+
+// runConfig provisions a fresh engine, applies cfg, executes gen for a
+// few windows and returns the resulting training sample.
+func runConfig(t *testing.T, gen workload.Generator, cfg knobs.Config, seed int64) tuner.Sample {
+	t.Helper()
+	e, err := simdb.NewEngine(simdb.Options{
+		Engine:      knobs.Postgres,
+		Resources:   simdb.Resources{MemoryBytes: 16 * workload.GiB, VCPU: 4, DiskIOPS: 6000, DiskSSD: true},
+		DBSizeBytes: gen.DBSizeBytes(),
+		Seed:        seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != nil {
+		if err := e.ApplyConfig(cfg, simdb.ApplyReload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.Snapshot()
+	var last simdb.WindowStats
+	for i := 0; i < 3; i++ {
+		last, err = e.RunWindow(gen, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tuner.Sample{
+		WorkloadID: gen.Name(),
+		Engine:     knobs.Postgres,
+		Config:     e.Config(),
+		Metrics:    metrics.Delta(before, e.Snapshot()),
+		Objective:  last.Achieved,
+		Quality:    true,
+		At:         e.Now(),
+	}
+}
+
+// randomConfig draws a random tunable config.
+func randomConfig(rng *rand.Rand, kcat *knobs.Catalog) knobs.Config {
+	names := kcat.TunableNames()
+	vec := make([]float64, len(names))
+	for i := range vec {
+		vec[i] = rng.Float64()
+	}
+	return kcat.Denormalize(vec, names)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Engine: "oracle"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	tn, err := New(DefaultOptions(knobs.Postgres))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Name() != "ottertune-bo" {
+		t.Fatalf("name = %s", tn.Name())
+	}
+}
+
+func TestObserveRejectsWrongEngine(t *testing.T) {
+	tn, _ := New(DefaultOptions(knobs.Postgres))
+	if err := tn.Observe(tuner.Sample{Engine: knobs.MySQL}); err == nil {
+		t.Fatal("mysql sample accepted by postgres tuner")
+	}
+}
+
+func TestRecommendBeforeTraining(t *testing.T) {
+	tn, _ := New(DefaultOptions(knobs.Postgres))
+	_, err := tn.Recommend(tuner.Request{Engine: knobs.Postgres, WorkloadID: "w"})
+	if !errors.Is(err, tuner.ErrNotTrained) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkloadMappingSeparatesWorkloads(t *testing.T) {
+	tn, _ := New(DefaultOptions(knobs.Postgres))
+	tpcc := workload.NewTPCC(26*workload.GiB, 3300)
+	tpch := workload.NewTPCH(24*workload.GiB, 2)
+	rng := rand.New(rand.NewSource(1))
+	kcat := knobs.PostgresCatalog()
+	for i := 0; i < 6; i++ {
+		tn.Observe(runConfig(t, tpcc, randomConfig(rng, kcat), int64(i)))
+		tn.Observe(runConfig(t, tpch, randomConfig(rng, kcat), int64(100+i)))
+	}
+	probe := runConfig(t, tpcc, nil, 999)
+	id, _, ok := tn.MapWorkload(probe.Metrics)
+	if !ok || id != "tpcc" {
+		t.Fatalf("TPCC probe mapped to %q (ok=%v)", id, ok)
+	}
+	probe2 := runConfig(t, tpch, nil, 998)
+	id2, _, _ := tn.MapWorkload(probe2.Metrics)
+	if id2 != "tpch" {
+		t.Fatalf("TPCH probe mapped to %q", id2)
+	}
+}
+
+func TestRankKnobsFindsInfluentialKnob(t *testing.T) {
+	tn, _ := New(DefaultOptions(knobs.Postgres))
+	kcat := knobs.PostgresCatalog()
+	rng := rand.New(rand.NewSource(2))
+	// Synthetic: objective responds only to work_mem (log-normalized).
+	var samples []tuner.Sample
+	for i := 0; i < 80; i++ {
+		cfg := randomConfig(rng, kcat)
+		u := kcat.Normalize(cfg, []string{"work_mem"})[0]
+		samples = append(samples, tuner.Sample{
+			Engine: knobs.Postgres, WorkloadID: "synthetic",
+			Config: cfg, Objective: 1000*u + rng.NormFloat64()*5,
+		})
+	}
+	ranked, err := tn.RankKnobs(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0] != "work_mem" {
+		t.Fatalf("top knob = %s, want work_mem (full ranking: %v)", ranked[0], ranked[:3])
+	}
+	if _, err := tn.RankKnobs(samples[:2]); !errors.Is(err, tuner.ErrNotTrained) {
+		t.Fatal("tiny sample set should be ErrNotTrained")
+	}
+}
+
+func TestRecommendImprovesThroughput(t *testing.T) {
+	// Closed loop: train on random configs of a spill-prone workload,
+	// then verify the recommendation beats the default configuration.
+	// TopKnobs=0: search the full tunable space — with a knob ranking
+	// that misses a load-bearing knob, the recommendation would freeze
+	// it at its (bad) current value.
+	tn, err := New(Options{Engine: knobs.Postgres, MaxSamplesPerFit: 200, Candidates: 800, UCBBeta: 0.5, TopKnobs: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TPCH is capacity-bound: throughput responds to work_mem (spills),
+	// parallel workers and prefetch depth — the knobs under search.
+	gen := workload.NewTPCH(24*workload.GiB, 2)
+	rng := rand.New(rand.NewSource(3))
+	kcat := knobs.PostgresCatalog()
+	for i := 0; i < 30; i++ {
+		tn.Observe(runConfig(t, gen, randomConfig(rng, kcat), int64(i)))
+	}
+	probe := runConfig(t, gen, nil, 777)
+	rec, err := tn.Recommend(tuner.Request{
+		InstanceID:  "db-1",
+		Engine:      knobs.Postgres,
+		WorkloadID:  gen.Name(),
+		Metrics:     probe.Metrics,
+		Current:     probe.Config,
+		MemoryBytes: 16 * workload.GiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TrainedOn < 4 || rec.Cost <= 0 {
+		t.Fatalf("recommendation metadata: %+v", rec)
+	}
+	tuned := runConfig(t, gen, rec.Config, 777)
+	if !(tuned.Objective > probe.Objective*1.02) {
+		t.Fatalf("tuned throughput %.0f not above default %.0f", tuned.Objective, probe.Objective)
+	}
+}
+
+func TestRecommendRespectsMemoryBudget(t *testing.T) {
+	tn, _ := New(Options{Engine: knobs.Postgres, Seed: 4, Candidates: 100})
+	kcat := knobs.PostgresCatalog()
+	rng := rand.New(rand.NewSource(4))
+	gen := workload.NewTPCC(10*workload.GiB, 2000)
+	for i := 0; i < 8; i++ {
+		tn.Observe(runConfig(t, gen, randomConfig(rng, kcat), int64(i)))
+	}
+	mem := 2.0 * workload.GiB
+	rec, err := tn.Recommend(tuner.Request{
+		Engine: knobs.Postgres, WorkloadID: gen.Name(),
+		Metrics: metrics.Snapshot{}, MemoryBytes: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kcat.CheckMemoryBudget(rec.Config, knobs.MemoryBudget{TotalBytes: mem, WorkMemSessions: 8}); err != nil {
+		t.Fatalf("recommendation busts a 2GB instance: %v", err)
+	}
+}
+
+func TestThrottleClassNarrowsSearch(t *testing.T) {
+	tn, _ := New(Options{Engine: knobs.Postgres, Seed: 5, Candidates: 100})
+	kcat := knobs.PostgresCatalog()
+	rng := rand.New(rand.NewSource(5))
+	gen := workload.NewTPCC(10*workload.GiB, 2000)
+	for i := 0; i < 8; i++ {
+		tn.Observe(runConfig(t, gen, randomConfig(rng, kcat), int64(i)))
+	}
+	cls := knobs.BgWriter
+	cur := kcat.DefaultConfig()
+	rec, err := tn.Recommend(tuner.Request{
+		Engine: knobs.Postgres, WorkloadID: gen.Name(),
+		Metrics: metrics.Snapshot{}, Current: cur, ThrottleClass: &cls,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Knobs outside the throttled class must stay at their current values.
+	for _, n := range kcat.NamesByClass(knobs.Memory) {
+		if rec.Config[n] != cur[n] {
+			t.Fatalf("memory knob %s changed by a bgwriter-scoped recommendation", n)
+		}
+	}
+	changed := false
+	for _, n := range kcat.NamesByClass(knobs.BgWriter) {
+		if rec.Config[n] != cur[n] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("bgwriter-scoped recommendation changed nothing")
+	}
+}
+
+func TestBgWriterBaselineFromMappedWorkload(t *testing.T) {
+	tn, _ := New(DefaultOptions(knobs.Postgres))
+	// Cold tuner: no baseline available yet.
+	if _, _, ok := tn.BgWriterBaseline(metrics.Snapshot{}); ok {
+		t.Fatal("cold tuner produced a baseline")
+	}
+	gen := workload.NewTPCC(26*workload.GiB, 3300)
+	rng := rand.New(rand.NewSource(8))
+	kcat := knobs.PostgresCatalog()
+	for i := 0; i < 6; i++ {
+		s := runConfig(t, gen, randomConfig(rng, kcat), int64(i))
+		s.Window = 3 * time.Minute
+		if err := tn.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := runConfig(t, gen, nil, 99)
+	rate, lat, ok := tn.BgWriterBaseline(probe.Metrics)
+	if !ok {
+		t.Fatal("trained tuner produced no baseline")
+	}
+	if rate < 0 || lat <= 0 {
+		t.Fatalf("baseline = %g ckpt/s at %g ms", rate, lat)
+	}
+}

@@ -1,0 +1,138 @@
+// Package tuner defines the tuner-facing contract of AutoDBaaS: the
+// training-sample schema stored in the central data repository, the
+// recommendation request/response types exchanged with the config
+// director, and the Tuner interface implemented by the BO-style
+// (internal/tuner/bo) and RL-style (internal/tuner/rl) engines.
+package tuner
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/metrics"
+)
+
+// Sample is one training observation: the delta metrics observed while a
+// workload executed under a configuration, plus the objective (the
+// paper's X_{m,i,j} matrices, flattened).
+type Sample struct {
+	WorkloadID string           `json:"workload_id"`
+	Engine     knobs.Engine     `json:"engine"`
+	Config     knobs.Config     `json:"config"`
+	Metrics    metrics.Snapshot `json:"metrics"`
+	// Objective is the tuning target (throughput in qps).
+	Objective float64 `json:"objective"`
+	// Quality marks whether the sample was captured while the database
+	// actually needed tuning (TDE-gated). Low-quality samples are the
+	// paper's model-corruption vector.
+	Quality bool `json:"quality"`
+	// Window is the observation period the delta metrics cover, needed
+	// to turn counter deltas into rates (e.g. checkpoints/second for the
+	// bgwriter baseline).
+	Window time.Duration `json:"window"`
+	At     time.Time     `json:"at"`
+}
+
+// Request asks a tuner for a new configuration.
+type Request struct {
+	InstanceID string           `json:"instance_id"`
+	Engine     knobs.Engine     `json:"engine"`
+	WorkloadID string           `json:"workload_id"`
+	Metrics    metrics.Snapshot `json:"metrics"`
+	Current    knobs.Config     `json:"current"`
+	// MemoryBytes is the instance memory, for budget-feasible configs.
+	MemoryBytes float64 `json:"memory_bytes"`
+	// ThrottleClass optionally narrows the recommendation to one knob
+	// class (set when a TDE throttle triggered the request).
+	ThrottleClass *knobs.Class `json:"throttle_class,omitempty"`
+}
+
+// Recommendation is a tuner's answer.
+type Recommendation struct {
+	Config knobs.Config `json:"config"`
+	// Source describes what the recommendation was based on
+	// (e.g. "gpr:mapped=tpcc:n=420").
+	Source string `json:"source"`
+	// TrainedOn is the number of samples behind the model.
+	TrainedOn int `json:"trained_on"`
+	// Cost is the wall-clock cost of producing the recommendation — the
+	// paper's "recommendation-cost" scalability metric.
+	Cost time.Duration `json:"cost"`
+}
+
+// Tuner is a tuning engine.
+type Tuner interface {
+	// Name identifies the tuner ("ottertune-bo", "cdbtune-rl").
+	Name() string
+	// Observe ingests one training sample.
+	Observe(Sample) error
+	// Recommend produces a configuration for the request.
+	Recommend(Request) (Recommendation, error)
+}
+
+// ErrNotTrained is returned by Recommend before any usable training.
+var ErrNotTrained = errors.New("tuner: not trained yet")
+
+// Store is an in-memory sample store grouped by workload — the schema of
+// the central data repository. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	samples map[string][]Sample
+	order   []string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{samples: make(map[string][]Sample)}
+}
+
+// Add appends a sample to its workload.
+func (s *Store) Add(sm Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.samples[sm.WorkloadID]; !ok {
+		s.order = append(s.order, sm.WorkloadID)
+	}
+	s.samples[sm.WorkloadID] = append(s.samples[sm.WorkloadID], sm)
+}
+
+// Workloads returns workload IDs in first-seen order.
+func (s *Store) Workloads() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// Samples returns a copy of the samples for a workload.
+func (s *Store) Samples(workloadID string) []Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	src := s.samples[workloadID]
+	out := make([]Sample, len(src))
+	copy(out, src)
+	return out
+}
+
+// All returns every sample across workloads.
+func (s *Store) All() []Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Sample
+	for _, id := range s.order {
+		out = append(out, s.samples[id]...)
+	}
+	return out
+}
+
+// Len returns the total sample count.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int
+	for _, v := range s.samples {
+		n += len(v)
+	}
+	return n
+}

@@ -1,0 +1,62 @@
+package tuner
+
+import (
+	"testing"
+	"time"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/metrics"
+)
+
+func TestStoreGrouping(t *testing.T) {
+	s := NewStore()
+	s.Add(Sample{WorkloadID: "w1", Objective: 1})
+	s.Add(Sample{WorkloadID: "w2", Objective: 2})
+	s.Add(Sample{WorkloadID: "w1", Objective: 3})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	ws := s.Workloads()
+	if len(ws) != 2 || ws[0] != "w1" || ws[1] != "w2" {
+		t.Fatalf("workloads = %v", ws)
+	}
+	if got := s.Samples("w1"); len(got) != 2 || got[1].Objective != 3 {
+		t.Fatalf("w1 samples = %v", got)
+	}
+	if got := s.All(); len(got) != 3 {
+		t.Fatalf("All = %d", len(got))
+	}
+}
+
+func TestStoreSamplesAreCopies(t *testing.T) {
+	s := NewStore()
+	s.Add(Sample{WorkloadID: "w", Objective: 1})
+	got := s.Samples("w")
+	got[0].Objective = 99
+	if s.Samples("w")[0].Objective != 1 {
+		t.Fatal("Samples aliases internal storage")
+	}
+}
+
+func TestStoreEmptyWorkload(t *testing.T) {
+	s := NewStore()
+	if got := s.Samples("nope"); len(got) != 0 {
+		t.Fatalf("missing workload returned %v", got)
+	}
+}
+
+func TestSampleFieldsRoundTrip(t *testing.T) {
+	at := time.Date(2021, 3, 23, 9, 0, 0, 0, time.UTC)
+	s := Sample{
+		WorkloadID: "prod-1",
+		Engine:     knobs.Postgres,
+		Config:     knobs.Config{"work_mem": 1},
+		Metrics:    metrics.Snapshot{"xact_commit": 5},
+		Objective:  123,
+		Quality:    true,
+		At:         at,
+	}
+	if s.Config["work_mem"] != 1 || s.Metrics["xact_commit"] != 5 || !s.Quality {
+		t.Fatal("fields lost")
+	}
+}
