@@ -91,10 +91,15 @@ func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed in
 		}
 	}
 
-	// Serve the director and repository over HTTP while simulating.
+	// Serve the director and repository over HTTP while simulating, plus
+	// the control plane's own observability surfaces.
 	mux := http.NewServeMux()
 	mux.Handle("/director/", http.StripPrefix("/director", httpapi.NewDirectorServer(sys.Director)))
 	mux.Handle("/repository/", http.StripPrefix("/repository", httpapi.NewRepositoryServer(sys.Repository)))
+	obsHandler := httpapi.NewObsHandler(nil, nil)
+	mux.Handle("/metrics", obsHandler)
+	mux.Handle("/metrics.json", obsHandler)
+	mux.Handle("/debug/", obsHandler)
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -106,7 +111,7 @@ func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed in
 			fmt.Fprintf(os.Stderr, "autodbaas: http: %v\n", err)
 		}
 	}()
-	fmt.Printf("control plane on http://%s  (GET /director/v1/counters, /repository/v1/stats)\n", l.Addr())
+	fmt.Printf("control plane on http://%s  (GET /director/v1/counters, /repository/v1/stats, /metrics, /debug/spans, /debug/pprof/)\n", l.Addr())
 
 	fmt.Printf("simulating %d instances for %d virtual hours (%s mode)\n",
 		fleet, hours, map[bool]string{true: "periodic", false: "tde"}[periodic])

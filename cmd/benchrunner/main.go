@@ -21,6 +21,7 @@ import (
 
 	"autodbaas/internal/experiments"
 	"autodbaas/internal/knobs"
+	"autodbaas/internal/obs"
 )
 
 func main() {
@@ -28,11 +29,18 @@ func main() {
 	quick := flag.Bool("quick", false, "run scaled-down configurations")
 	only := flag.String("only", "", "comma-separated subset (e.g. fig5,fig9,table1)")
 	seed := flag.Int64("seed", 1, "base PRNG seed")
+	metricsOut := flag.String("metrics-out", "", "if set, dump the metrics registry per experiment (<dir>/<key>.prom)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := os.MkdirAll(*metricsOut, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*only, ",") {
@@ -94,13 +102,37 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Printf("running %-7s → %s\n", j.key, j.file)
+		if *metricsOut != "" {
+			// Fresh registry per experiment: components constructed by the
+			// job re-register their families from zero.
+			obs.Default().Reset()
+		}
 		text := j.run()
 		path := filepath.Join(*out, j.file)
 		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: write %s: %v\n", path, err)
 			os.Exit(1)
 		}
+		if *metricsOut != "" {
+			if err := dumpMetrics(filepath.Join(*metricsOut, j.key+".prom")); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: metrics %s: %v\n", j.key, err)
+				os.Exit(1)
+			}
+		}
 		fmt.Printf("  done in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 	fmt.Printf("artifacts written to %s\n", *out)
+}
+
+// dumpMetrics writes the default registry in Prometheus text format.
+func dumpMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default().WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -14,6 +14,7 @@ import (
 
 	"autodbaas/internal/cluster"
 	"autodbaas/internal/metrics"
+	"autodbaas/internal/obs"
 	"autodbaas/internal/simdb"
 	"autodbaas/internal/tde"
 	"autodbaas/internal/tuner"
@@ -86,6 +87,34 @@ type Agent struct {
 
 	uploaded   int
 	suppressed int
+
+	m agentMetrics
+	// dbGauges caches the per-semantic-counter export gauges for this
+	// instance so the per-tick export is map-free after warm-up.
+	dbGauges map[string]*obs.Gauge
+}
+
+// agentMetrics are the agent's registry handles, resolved once.
+type agentMetrics struct {
+	windows       *obs.Counter
+	tdeTicks      *obs.Counter
+	tdeSeconds    *obs.Histogram
+	uploaded      *obs.Counter
+	suppressed    *obs.Counter
+	uploadErrors  *obs.Counter
+	dispatchError *obs.Counter
+}
+
+func newAgentMetrics(r *obs.Registry) agentMetrics {
+	return agentMetrics{
+		windows:       r.Counter("autodbaas_agent_windows_total", "Observation windows executed across the fleet."),
+		tdeTicks:      r.Counter("autodbaas_agent_tde_ticks_total", "TDE detection rounds executed."),
+		tdeSeconds:    r.Histogram("autodbaas_agent_tde_run_seconds", "Wall-clock duration of one TDE detection round.", nil),
+		uploaded:      r.Counter("autodbaas_agent_samples_uploaded_total", "Training samples uploaded to the repository."),
+		suppressed:    r.Counter("autodbaas_agent_samples_suppressed_total", "Sample uploads suppressed by the TDE gate."),
+		uploadErrors:  r.Counter("autodbaas_agent_sample_upload_errors_total", "Sample uploads that failed at the sink."),
+		dispatchError: r.Counter("autodbaas_agent_event_dispatch_errors_total", "TDE event dispatches that failed at the director."),
+	}
 }
 
 // New builds an agent for inst running gen.
@@ -123,6 +152,8 @@ func New(inst *cluster.Instance, gen workload.Generator, events EventSink, sampl
 		lastPeriodic: master.Now(),
 		lastSnap:     master.Snapshot(),
 		lastSnapAt:   master.Now(),
+		m:            newAgentMetrics(obs.Default()),
+		dbGauges:     make(map[string]*obs.Gauge),
 	}, nil
 }
 
@@ -154,13 +185,23 @@ func (a *Agent) RunWindow(dur time.Duration) (simdb.WindowStats, []tde.Event, er
 			return st, nil, serr
 		}
 	}
+	a.m.windows.Inc()
 	now := master.Now()
 	if now.Sub(a.lastTick) < a.opts.TickEvery {
 		return st, nil, err
 	}
 	a.lastTick = now
 
+	tickStart := time.Now()
+	span := obs.DefaultTracer().StartAt("agent", "tde-tick", now)
+	span.SetAttr("instance", a.inst.ID)
 	events := a.tde.Tick()
+	a.m.tdeTicks.Inc()
+	a.m.tdeSeconds.Observe(time.Since(tickStart).Seconds())
+	span.SetAttr("events", fmt.Sprintf("%d", len(events)))
+	span.SetAttr("wall_ms", fmt.Sprintf("%.3f", time.Since(tickStart).Seconds()*1e3))
+	span.EndAt(master.Now())
+	a.exportDBCounters(master)
 	req := a.buildRequest(st)
 	var dispatchErr error
 	switch a.opts.Mode {
@@ -169,6 +210,7 @@ func (a *Agent) RunWindow(dur time.Duration) (simdb.WindowStats, []tde.Event, er
 			a.lastPeriodic = now
 			if derr := a.opts.Tuning.RequestTuning(a.inst.ID, req); derr != nil && !errors.Is(derr, tuner.ErrNotTrained) {
 				dispatchErr = derr
+				a.m.dispatchError.Inc()
 			}
 		}
 	default:
@@ -176,6 +218,7 @@ func (a *Agent) RunWindow(dur time.Duration) (simdb.WindowStats, []tde.Event, er
 			for _, ev := range events {
 				if derr := a.events.HandleEvent(a.inst.ID, ev, req); derr != nil && !errors.Is(derr, tuner.ErrNotTrained) {
 					dispatchErr = derr
+					a.m.dispatchError.Inc()
 				}
 			}
 		}
@@ -219,6 +262,7 @@ func (a *Agent) maybeUpload(st simdb.WindowStats, events []tde.Event, now time.T
 	}
 	if a.opts.GateSamples && !throttled {
 		a.suppressed++
+		a.m.suppressed.Inc()
 		// refresh the delta base even when suppressing, so the next
 		// uploaded sample covers only its own period.
 		master := a.inst.Replica.Master()
@@ -242,6 +286,25 @@ func (a *Agent) maybeUpload(st simdb.WindowStats, events []tde.Event, now time.T
 	a.lastSnapAt = now
 	if err := a.samples.Observe(sample); err == nil {
 		a.uploaded++
+		a.m.uploaded.Inc()
+	} else {
+		a.m.uploadErrors.Inc()
+	}
+}
+
+// exportDBCounters publishes the master engine's semantic counters
+// (checkpoints, bgwriter pages, spills, WAL bytes, ...) as labeled
+// gauges — the uniform cross-engine export the control plane scrapes.
+func (a *Agent) exportDBCounters(master *simdb.Engine) {
+	for sem, v := range master.Counters() {
+		g, ok := a.dbGauges[sem]
+		if !ok {
+			g = obs.Default().Gauge("autodbaas_simdb_counter",
+				"Simulated-engine semantic counters, exported uniformly across engines.",
+				obs.L("counter", sem), obs.L("instance", a.inst.ID))
+			a.dbGauges[sem] = g
+		}
+		g.Set(v)
 	}
 }
 

@@ -11,9 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"autodbaas/internal/cluster"
 	"autodbaas/internal/knobs"
+	"autodbaas/internal/obs"
 	"autodbaas/internal/orchestrator"
 	"autodbaas/internal/simdb"
 )
@@ -86,11 +88,33 @@ type DFA struct {
 
 	applied  int
 	rejected int
+
+	m dfaMetrics
+}
+
+// dfaMetrics are the DFA's registry handles, one apply counter per
+// strategy so reload-vs-restart traffic is visible at a glance.
+type dfaMetrics struct {
+	applies      [3]*obs.Counter // indexed by simdb.ApplyMethod
+	rejections   *obs.Counter
+	applySeconds *obs.Histogram
+}
+
+func newDFAMetrics(r *obs.Registry) dfaMetrics {
+	m := dfaMetrics{
+		rejections:   r.Counter("autodbaas_dfa_rejections_total", "Recommendations rejected by the apply path."),
+		applySeconds: r.Histogram("autodbaas_dfa_apply_seconds", "Wall-clock latency of one apply-strategy run.", nil),
+	}
+	for _, method := range []simdb.ApplyMethod{simdb.ApplyReload, simdb.ApplySocketActivation, simdb.ApplyRestart} {
+		m.applies[method] = r.Counter("autodbaas_dfa_applies_total",
+			"Recommendations successfully applied, by strategy.", obs.L("method", method.String()))
+	}
+	return m
 }
 
 // New returns a DFA with the standard adapters registered.
 func New(orch *orchestrator.Orchestrator) *DFA {
-	d := &DFA{orch: orch, adapters: make(map[knobs.Engine]Adapter)}
+	d := &DFA{orch: orch, adapters: make(map[knobs.Engine]Adapter), m: newDFAMetrics(obs.Default())}
 	d.Register(NewPostgresAdapter())
 	d.Register(NewMySQLAdapter())
 	return d
@@ -126,6 +150,8 @@ func (d *DFA) Apply(inst *cluster.Instance, cfg knobs.Config, method simdb.Apply
 	if inst == nil {
 		return errors.New("dfa: nil instance")
 	}
+	start := time.Now()
+	defer func() { d.m.applySeconds.Observe(time.Since(start).Seconds()) }()
 	if _, err := d.orch.Credentials(inst.ID); err != nil {
 		return fmt.Errorf("dfa: credentials: %w", err)
 	}
@@ -139,6 +165,7 @@ func (d *DFA) Apply(inst *cluster.Instance, cfg knobs.Config, method simdb.Apply
 		d.mu.Lock()
 		d.rejected++
 		d.mu.Unlock()
+		d.m.rejections.Inc()
 		return fmt.Errorf("%w: %v", ErrRejected, err)
 	}
 	// Persist what the master now runs (tunables applied immediately)
@@ -154,5 +181,8 @@ func (d *DFA) Apply(inst *cluster.Instance, cfg knobs.Config, method simdb.Apply
 	d.mu.Lock()
 	d.applied++
 	d.mu.Unlock()
+	if int(method) >= 0 && int(method) < len(d.m.applies) {
+		d.m.applies[method].Inc()
+	}
 	return nil
 }

@@ -13,10 +13,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"autodbaas/internal/cluster"
 	"autodbaas/internal/dfa"
 	"autodbaas/internal/knobs"
+	"autodbaas/internal/obs"
 	"autodbaas/internal/orchestrator"
 	"autodbaas/internal/simdb"
 	"autodbaas/internal/tde"
@@ -40,6 +42,39 @@ type Director struct {
 	planUpgrades    int
 	recommendations int
 	applyFailures   int
+
+	m directorMetrics
+}
+
+// directorMetrics are the director's registry handles, resolved once at
+// construction so the intake hot path only touches atomics.
+type directorMetrics struct {
+	eventsThrottle  *obs.Counter
+	eventsUpgrade   *obs.Counter
+	eventsAdvisory  *obs.Counter
+	tuningRequests  *obs.Counter
+	recommendations *obs.Counter
+	applyFailures   *obs.Counter
+	pendingUpgrades *obs.Gauge
+	inflight        *obs.Gauge
+	roundSeconds    *obs.Histogram
+	maintWindows    *obs.Counter
+}
+
+func newDirectorMetrics(r *obs.Registry) directorMetrics {
+	events := "autodbaas_director_events_total"
+	return directorMetrics{
+		eventsThrottle:  r.Counter(events, "TDE events received by kind.", obs.L("kind", "throttle")),
+		eventsUpgrade:   r.Counter(events, "", obs.L("kind", "plan_upgrade")),
+		eventsAdvisory:  r.Counter(events, "", obs.L("kind", "buffer_advisory")),
+		tuningRequests:  r.Counter("autodbaas_director_tuning_requests_total", "Tuning requests dispatched to the tuner pool."),
+		recommendations: r.Counter("autodbaas_director_recommendations_total", "Recommendations returned by tuners."),
+		applyFailures:   r.Counter("autodbaas_director_apply_failures_total", "Recommendations rejected on apply."),
+		pendingUpgrades: r.Gauge("autodbaas_director_pending_upgrade_requests", "Plan-upgrade signals awaiting customer action, fleet-wide."),
+		inflight:        r.Gauge("autodbaas_director_inflight_recommendations", "Recommendation rounds currently in flight (tuner fan-out depth)."),
+		roundSeconds:    r.Histogram("autodbaas_director_tuning_round_seconds", "Wall-clock latency of one tuning round (recommend + apply).", nil),
+		maintWindows:    r.Counter("autodbaas_director_maintenance_windows_total", "Maintenance windows executed."),
+	}
 }
 
 type maintState struct {
@@ -61,6 +96,7 @@ func New(orch *orchestrator.Orchestrator, d *dfa.DFA, tuners ...tuner.Tuner) (*D
 		orch:   orch,
 		dfa:    d,
 		maint:  make(map[string]*maintState),
+		m:      newDirectorMetrics(obs.Default()),
 	}, nil
 }
 
@@ -129,6 +165,8 @@ func (d *Director) HandleEvent(instanceID string, ev tde.Event, req tuner.Reques
 		st.entropyHits++
 		st.upgradeRequests++
 		d.mu.Unlock()
+		d.m.eventsUpgrade.Inc()
+		d.m.pendingUpgrades.Add(1)
 		// No tuning request: the customer is asked to upgrade the plan.
 		return nil
 	case tde.KindBufferAdvisory:
@@ -139,11 +177,14 @@ func (d *Director) HandleEvent(instanceID string, ev tde.Event, req tuner.Reques
 			st.workingSets = st.workingSets[len(st.workingSets)-256:]
 		}
 		d.mu.Unlock()
+		d.m.eventsAdvisory.Inc()
 		return nil
 	case tde.KindThrottle:
 		d.mu.Lock()
 		d.tuningRequests++
 		d.mu.Unlock()
+		d.m.eventsThrottle.Inc()
+		d.m.tuningRequests.Inc()
 		cls := ev.Class
 		req.ThrottleClass = &cls
 		return d.recommend(inst, req)
@@ -162,13 +203,34 @@ func (d *Director) RequestTuning(instanceID string, req tuner.Request) error {
 	d.mu.Lock()
 	d.tuningRequests++
 	d.mu.Unlock()
+	d.m.tuningRequests.Inc()
 	return d.recommend(inst, req)
 }
 
 func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
+	start := time.Now()
+	d.m.inflight.Add(1)
+	defer func() {
+		d.m.inflight.Add(-1)
+		d.m.roundSeconds.Observe(time.Since(start).Seconds())
+	}()
+	// Span instants are the instance's virtual timeline; wall cost rides
+	// along as an attribute when the span ends.
+	vnow := inst.Replica.Master().Now()
+	span := obs.DefaultTracer().StartAt("director", "recommend", vnow)
+	span.SetAttr("instance", inst.ID)
+	defer func() {
+		span.SetAttr("wall_ms", fmt.Sprintf("%.3f", time.Since(start).Seconds()*1e3))
+		span.EndAt(inst.Replica.Master().Now())
+	}()
+
 	t := d.pickTuner()
+	span.SetAttr("tuner", t.Name())
+	tspan := span.StartChildAt("tuner.Recommend", vnow)
 	rec, err := t.Recommend(req)
+	tspan.EndAt(vnow)
 	if err != nil {
+		span.SetAttr("error", err.Error())
 		return fmt.Errorf("director: %s: %w", t.Name(), err)
 	}
 	d.mu.Lock()
@@ -182,12 +244,18 @@ func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
 		}
 	}
 	d.mu.Unlock()
+	d.m.recommendations.Inc()
+	aspan := span.StartChildAt("dfa.Apply", vnow)
 	if err := d.dfa.Apply(inst, rec.Config, simdb.ApplyReload); err != nil {
+		aspan.SetAttr("error", err.Error())
+		aspan.EndAt(vnow)
 		d.mu.Lock()
 		d.applyFailures++
 		d.mu.Unlock()
+		d.m.applyFailures.Inc()
 		return err
 	}
+	aspan.EndAt(vnow)
 	return nil
 }
 
@@ -203,8 +271,10 @@ func (d *Director) PendingUpgradeRequests(instanceID string) int {
 // ClearUpgradeRequests resets the queue after the customer acts.
 func (d *Director) ClearUpgradeRequests(instanceID string) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	cleared := d.maintFor(instanceID).upgradeRequests
 	d.maintFor(instanceID).upgradeRequests = 0
+	d.mu.Unlock()
+	d.m.pendingUpgrades.Add(-float64(cleared))
 }
 
 // MaintenanceWindowByID resolves the instance and runs MaintenanceWindow.
@@ -223,6 +293,7 @@ func (d *Director) MaintenanceWindowByID(instanceID string) error {
 // entropy hit occurred, shrink it to make room for tunable knobs.
 // The chosen value is staged and every node restarts.
 func (d *Director) MaintenanceWindow(inst *cluster.Instance) error {
+	d.m.maintWindows.Inc()
 	master := inst.Replica.Master()
 	kcat := master.KnobCatalog()
 	bp := kcat.BufferPoolKnob()

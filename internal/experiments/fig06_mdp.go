@@ -8,6 +8,7 @@ import (
 
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/mdp"
+	"autodbaas/internal/obs"
 	"autodbaas/internal/simdb"
 	"autodbaas/internal/workload"
 )
@@ -65,6 +66,7 @@ func Fig6MDPLearning(episodes, stepsPerEpisode int, seed int64) Fig6Result {
 		}
 	}
 	pool := eng.QueryLog(2048)
+	obs.Debugf("fig6: captured %d queries; running %d episodes × %d steps", len(pool), episodes, stepsPerEpisode)
 
 	kcat := eng.KnobCatalog()
 	var automata []*mdp.Automaton
@@ -162,6 +164,7 @@ func Fig6MDPLearning(episodes, stepsPerEpisode int, seed int64) Fig6Result {
 		}
 		res.Reward.Points = append(res.Reward.Points, Point{X: float64(e), Y: reward})
 		res.Accuracy.Points = append(res.Accuracy.Points, Point{X: float64(e), Y: acc})
+		obs.Debugf("fig6: episode %d/%d reward=%.3f accuracy=%.3f (gradient steps %d)", e+1, episodes, reward, acc, gradientSteps)
 	}
 	return res
 }

@@ -14,17 +14,84 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
+	"syscall"
 	"time"
 
 	"autodbaas/internal/director"
 	"autodbaas/internal/knobs"
+	"autodbaas/internal/obs"
 	"autodbaas/internal/repository"
 	"autodbaas/internal/tde"
 	"autodbaas/internal/tuner"
 )
+
+// ---- client retry policy ----
+
+// Transient network blips (a dropped connection mid-day) used to lose
+// the sample or event silently; clients now retry with exponential
+// backoff + full jitter. Only network-level failures are retried —
+// once the server answered, whatever it said is authoritative.
+const (
+	clientMaxAttempts = 3
+	clientRetryBase   = 25 * time.Millisecond
+)
+
+// isTransientNetErr reports whether err is a network-level failure
+// worth retrying (refused/reset connections, timeouts, dropped conns).
+func isTransientNetErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// doWithRetry issues the request built by mk up to clientMaxAttempts
+// times. mk is called per attempt so request bodies are fresh readers.
+func doWithRetry(hc *http.Client, path string, mk func() (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < clientMaxAttempts; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff with full jitter: 25–50ms, 50–100ms.
+			d := clientRetryBase << (attempt - 1)
+			d += time.Duration(rand.Int63n(int64(d)))
+			time.Sleep(d)
+			obs.Default().Counter("autodbaas_httpapi_client_retries_total",
+				"HTTP client retries after transient network errors, by path.",
+				obs.L("path", path)).Inc()
+		}
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := hc.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !isTransientNetErr(err) {
+			return nil, err
+		}
+		obs.Debugf("httpapi: %s attempt %d failed transiently: %v", path, attempt+1, err)
+	}
+	return nil, lastErr
+}
 
 // ---- wire types ----
 
@@ -185,10 +252,20 @@ func (c *RepositoryClient) post(path string, body, out interface{}) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	resp, err := doWithRetry(c.hc, path, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(buf))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return err
 	}
+	obs.Default().Counter("autodbaas_httpapi_upload_bytes_total",
+		"Request payload bytes sent by control-plane HTTP clients, by path.",
+		obs.L("path", path)).Add(float64(len(buf)))
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		var er errorResponse
@@ -347,7 +424,9 @@ func (c *DirectorClient) MaintenanceWindow(instanceID string) error {
 
 // PendingUpgradeRequests fetches the plan-upgrade queue length.
 func (c *DirectorClient) PendingUpgradeRequests(instanceID string) (int, error) {
-	resp, err := c.hc.Get(c.base + "/v1/upgrade-requests?instance_id=" + url.QueryEscape(instanceID))
+	resp, err := doWithRetry(c.hc, "/v1/upgrade-requests", func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+"/v1/upgrade-requests?instance_id="+url.QueryEscape(instanceID), nil)
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -364,7 +443,9 @@ func (c *DirectorClient) PendingUpgradeRequests(instanceID string) (int, error) 
 
 // Counters fetches the director counters.
 func (c *DirectorClient) Counters() (tuning, recs, failures, upgrades int, err error) {
-	resp, err := c.hc.Get(c.base + "/v1/counters")
+	resp, err := doWithRetry(c.hc, "/v1/counters", func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+"/v1/counters", nil)
+	})
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}

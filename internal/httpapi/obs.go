@@ -1,0 +1,58 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"autodbaas/internal/obs"
+)
+
+// NewObsHandler serves the control plane's own observability surfaces:
+//
+//	GET /metrics       — Prometheus text exposition of the registry
+//	GET /metrics.json  — JSON snapshot of the same registry
+//	GET /debug/spans   — virtual-time span dump (?component= filters)
+//	GET /debug/pprof/* — the standard Go profiling endpoints
+//
+// Mount it on the binaries' root mux; nil registry/tracer fall back to
+// the process-wide defaults.
+func NewObsHandler(reg *obs.Registry, tr *obs.Tracer) http.Handler {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	if tr == nil {
+		tr = obs.DefaultTracer()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteJSON(w, r.URL.Query().Get("component"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

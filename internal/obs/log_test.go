@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	var b bytes.Buffer
+	l := NewLogger(&b, LevelWarn)
+	l.Debugf("nope %d", 1)
+	l.Infof("nope %d", 2)
+	l.Warnf("yes %d", 3)
+	l.Errorf("yes %d", 4)
+	out := b.String()
+	if strings.Contains(out, "nope") {
+		t.Errorf("suppressed levels leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN  yes 3") || !strings.Contains(out, "ERROR yes 4") {
+		t.Errorf("missing emitted lines:\n%s", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debugf("now visible")
+	if !strings.Contains(b.String(), "DEBUG now visible") {
+		t.Errorf("level change ignored:\n%s", b.String())
+	}
+	l.SetLevel(LevelOff)
+	l.Errorf("silenced")
+	if strings.Contains(b.String(), "silenced") {
+		t.Error("LevelOff still emits")
+	}
+}
+
+func TestDefaultLoggerQuiet(t *testing.T) {
+	// The package default must be quiet below Warn so test output
+	// stays clean.
+	if DefaultLogger().Enabled(LevelInfo) {
+		t.Error("default logger emits at info level")
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// lazy lookups and atomic updates interleaved — and checks the totals.
+// Run under -race (the CI race scope includes this package).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Half the goroutines resolve handles fresh each iteration
+			// (lookup path), half cache them (hot path).
+			c := r.Counter("test_ops_total", "ops", L("worker", "shared"))
+			ga := r.Gauge("test_level", "level")
+			h := r.Histogram("test_latency_seconds", "lat", []float64{0.01, 0.1, 1})
+			for i := 0; i < perG; i++ {
+				if g%2 == 0 {
+					r.Counter("test_ops_total", "ops", L("worker", "shared")).Inc()
+				} else {
+					c.Inc()
+				}
+				ga.Add(1)
+				h.Observe(float64(i%3) * 0.05)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Counter("test_ops_total", "", L("worker", "shared")).Value(); got != goroutines*perG {
+		t.Errorf("counter = %v, want %v", got, goroutines*perG)
+	}
+	if got := r.Gauge("test_level", "").Value(); got != goroutines*perG {
+		t.Errorf("gauge = %v, want %v", got, goroutines*perG)
+	}
+	h := r.Histogram("test_latency_seconds", "", nil)
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %v, want %v", got, goroutines*perG)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound bucket
+// semantics (Prometheus le) with a boundary table.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 2.5, 5}
+	cases := []struct {
+		v    float64
+		want int // bucket index; len(bounds) means +Inf
+	}{
+		{-1, 0},
+		{0, 0},
+		{0.999, 0},
+		{1, 0},    // exactly on a bound: inclusive
+		{1.0001, 1},
+		{2.5, 1},
+		{2.50001, 2},
+		{5, 2},
+		{5.1, 3},
+		{math.Inf(1), 3},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		h := r.Histogram("h", "", bounds)
+		h.Observe(tc.v)
+		counts := h.BucketCounts()
+		for i, c := range counts {
+			want := uint64(0)
+			if i == tc.want {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("Observe(%v): bucket[%d] = %d, want %d", tc.v, i, c, want)
+			}
+		}
+	}
+}
+
+func TestHistogramCumulativeExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rt_seconds", "round trip", []float64{1, 2}, L("op", "x"))
+	for _, v := range []float64{0.5, 0.5, 1.5, 10} {
+		h.Observe(v)
+	}
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE rt_seconds histogram",
+		`rt_seconds_bucket{op="x",le="1"} 2`,
+		`rt_seconds_bucket{op="x",le="2"} 3`,
+		`rt_seconds_bucket{op="x",le="+Inf"} 4`,
+		`rt_seconds_sum{op="x"} 12.5`,
+		`rt_seconds_count{op="x"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter after negative add = %v, want 5", c.Value())
+	}
+}
+
+func TestLabelIdentityOrderIndependent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "", L("x", "1"), L("y", "2"))
+	b := r.Counter("c", "", L("y", "2"), L("x", "1"))
+	if a != b {
+		t.Fatal("label order changed instrument identity")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles not shared")
+	}
+}
+
+func TestRegistryResetAndFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Inc()
+	r.Gauge("b", "").Set(2)
+	fams := r.Families()
+	if len(fams) != 2 || fams[0] != "a_total" || fams[1] != "b" {
+		t.Fatalf("Families() = %v", fams)
+	}
+	r.Reset()
+	if len(r.Families()) != 0 {
+		t.Fatal("Reset left families behind")
+	}
+	if got := r.Counter("a_total", "").Value(); got != 0 {
+		t.Fatalf("counter after reset = %v, want 0", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits", L("svc", "dir")).Add(3)
+	r.Histogram("lat", "", []float64{1}).Observe(0.5)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap []MetricSnapshot
+	if err := json.Unmarshal(b.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d metrics, want 2", len(snap))
+	}
+	for _, m := range snap {
+		if m.Name == "hits_total" {
+			if m.Value != 3 || m.Labels["svc"] != "dir" {
+				t.Errorf("bad counter snapshot: %+v", m)
+			}
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", `a "quoted" help`, L("p", `x"y\z`+"\n")).Inc()
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `p="x\"y\\z\n"`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}

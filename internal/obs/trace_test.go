@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"autodbaas/internal/simclock"
+)
+
+// TestSpanParentChildVirtualTime drives spans off a Virtual clock and
+// asserts parent/child linkage and ordering on virtual start instants.
+func TestSpanParentChildVirtualTime(t *testing.T) {
+	vc := simclock.NewVirtualAtZero()
+	tr := NewTracer(vc, 16)
+
+	root := tr.Start("director", "recommend")
+	vc.Advance(2 * time.Minute)
+	child := root.StartChild("gpr-fit")
+	vc.Advance(3 * time.Minute)
+	child.End()
+	vc.Advance(time.Minute)
+	root.End()
+
+	spans := tr.Spans("director")
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Ordering is by virtual start: root (t0) before child (t0+2m),
+	// even though the child *ended* first.
+	if spans[0].Name != "recommend" || spans[1].Name != "gpr-fit" {
+		t.Fatalf("span order = [%s, %s], want [recommend, gpr-fit]", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].ParentID != spans[0].ID {
+		t.Errorf("child ParentID = %d, want %d", spans[1].ParentID, spans[0].ID)
+	}
+	if got := spans[0].Duration(); got != 6*time.Minute {
+		t.Errorf("root virtual duration = %v, want 6m", got)
+	}
+	if got := spans[1].Duration(); got != 3*time.Minute {
+		t.Errorf("child virtual duration = %v, want 3m", got)
+	}
+	if !spans[1].Start.Equal(spans[0].Start.Add(2 * time.Minute)) {
+		t.Errorf("child start %v not 2m after root start %v", spans[1].Start, spans[0].Start)
+	}
+}
+
+func TestTracerExplicitInstants(t *testing.T) {
+	tr := NewTracer(nil, 8)
+	t0 := time.Date(2021, 3, 23, 8, 0, 0, 0, time.UTC)
+	sp := tr.StartAt("agent", "tde-tick", t0)
+	sp.SetAttr("instance", "db-001")
+	sp.EndAt(t0.Add(5 * time.Minute))
+	spans := tr.Spans("agent")
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Attrs["instance"] != "db-001" {
+		t.Errorf("attr lost: %+v", spans[0].Attrs)
+	}
+	if spans[0].Duration() != 5*time.Minute {
+		t.Errorf("duration = %v", spans[0].Duration())
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(nil, 4)
+	t0 := time.Date(2021, 3, 23, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		sp := tr.StartAt("c", "s", t0.Add(time.Duration(i)*time.Second))
+		sp.EndAt(t0.Add(time.Duration(i)*time.Second + time.Millisecond))
+	}
+	spans := tr.Spans("c")
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	// Oldest surviving span is i=6.
+	if !spans[0].Start.Equal(t0.Add(6 * time.Second)) {
+		t.Errorf("oldest span start = %v, want t0+6s", spans[0].Start)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(nil, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("comp", "op")
+				sp.SetAttr("g", "x")
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Spans("comp")); got != 64 {
+		t.Fatalf("ring holds %d, want 64", got)
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(nil, 8)
+	sp := tr.Start("dfa", "apply")
+	sp.End()
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string][]SpanData
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatalf("span JSON does not parse: %v", err)
+	}
+	if len(out["dfa"]) != 1 {
+		t.Fatalf("span dump = %+v", out)
+	}
+	// Double End must not duplicate the span.
+	sp.End()
+	if got := len(tr.Spans("dfa")); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"autodbaas/internal/cluster"
 	"autodbaas/internal/knobs"
+	"autodbaas/internal/obs"
 	"autodbaas/internal/simdb"
 )
 
@@ -43,6 +44,29 @@ type Orchestrator struct {
 	WatcherTimeout time.Duration
 
 	reconciliations int
+
+	m orchestratorMetrics
+}
+
+// orchestratorMetrics are the orchestrator's registry handles.
+type orchestratorMetrics struct {
+	instances       *obs.Gauge
+	reconcileTicks  *obs.Counter
+	reconciliations *obs.Counter
+	drifting        *obs.Gauge
+	redeploys       *obs.Counter
+	redeploySeconds *obs.Histogram
+}
+
+func newOrchestratorMetrics(r *obs.Registry) orchestratorMetrics {
+	return orchestratorMetrics{
+		instances:       r.Gauge("autodbaas_orchestrator_instances", "Database service instances provisioned."),
+		reconcileTicks:  r.Counter("autodbaas_orchestrator_reconcile_ticks_total", "Reconciler watch-loop iterations."),
+		reconciliations: r.Counter("autodbaas_orchestrator_reconciliations_total", "Drift reconciliations forced onto instances."),
+		drifting:        r.Gauge("autodbaas_orchestrator_drifting_instances", "Instances currently observed in config drift."),
+		redeploys:       r.Counter("autodbaas_orchestrator_redeploys_total", "Re-deployments executed."),
+		redeploySeconds: r.Histogram("autodbaas_orchestrator_redeploy_seconds", "Wall-clock latency of one re-deployment.", nil),
+	}
 }
 
 // New returns an orchestrator over a fresh provisioner.
@@ -53,6 +77,7 @@ func New() *Orchestrator {
 		persisted:      make(map[string]knobs.Config),
 		driftSince:     make(map[string]time.Time),
 		WatcherTimeout: 2 * time.Minute,
+		m:              newOrchestratorMetrics(obs.Default()),
 	}
 }
 
@@ -73,6 +98,7 @@ func (o *Orchestrator) Provision(spec cluster.ProvisionSpec) (*cluster.Instance,
 		Password: randomToken(),
 	}
 	o.persisted[spec.ID] = inst.Replica.Master().Config()
+	o.m.instances.Add(1)
 	return inst, nil
 }
 
@@ -124,6 +150,7 @@ func (o *Orchestrator) PersistedConfig(id string) (knobs.Config, error) {
 // §4 demands so that "a database reset or re-deployment doesn't
 // overwrite the settings".
 func (o *Orchestrator) Redeploy(id string) error {
+	start := time.Now()
 	o.mu.Lock()
 	cfg, ok := o.persisted[id]
 	o.mu.Unlock()
@@ -134,8 +161,17 @@ func (o *Orchestrator) Redeploy(id string) error {
 	if !found {
 		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
 	}
+	span := obs.DefaultTracer().StartAt("orchestrator", "redeploy", inst.Replica.Master().Now())
+	span.SetAttr("instance", id)
+	defer func() {
+		o.m.redeploys.Inc()
+		o.m.redeploySeconds.Observe(time.Since(start).Seconds())
+		span.SetAttr("wall_ms", fmt.Sprintf("%.3f", time.Since(start).Seconds()*1e3))
+		span.EndAt(inst.Replica.Master().Now())
+	}()
 	for _, node := range inst.Replica.Nodes() {
 		if err := node.ApplyConfig(cfg, simdb.ApplyRestart); err != nil {
+			span.SetAttr("error", err.Error())
 			return fmt.Errorf("orchestrator: redeploy %s: %w", id, err)
 		}
 	}
@@ -155,6 +191,7 @@ func (o *Orchestrator) Reconciliations() int {
 // config onto all nodes (rejecting whatever half-applied recommendation
 // caused the drift). Returns the IDs reconciled this tick.
 func (o *Orchestrator) ReconcileTick(now time.Time) []string {
+	o.m.reconcileTicks.Inc()
 	var reconciled []string
 	for _, inst := range o.prov.List() {
 		o.mu.Lock()
@@ -190,8 +227,12 @@ func (o *Orchestrator) ReconcileTick(now time.Time) []string {
 		delete(o.driftSince, inst.ID)
 		o.reconciliations++
 		o.mu.Unlock()
+		o.m.reconciliations.Inc()
 		reconciled = append(reconciled, inst.ID)
 	}
+	o.mu.Lock()
+	o.m.drifting.Set(float64(len(o.driftSince)))
+	o.mu.Unlock()
 	return reconciled
 }
 

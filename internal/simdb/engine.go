@@ -362,6 +362,21 @@ func (e *Engine) QueryLog(n int) []string {
 	return e.queryLog.last(n)
 }
 
+// Counters returns a copy of the engine's semantic counters (the
+// engine-neutral names: spill_files, spill_bytes, ckpt_req, ckpt_bytes,
+// bgwriter pages, ...). The same quantities appear under engine-native
+// names in Snapshot; this surface lets the control plane export them
+// uniformly across PostgreSQL and MySQL instances.
+func (e *Engine) Counters() map[string]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]float64, len(e.counters))
+	for k, v := range e.counters {
+		out[k] = v
+	}
+	return out
+}
+
 // Snapshot returns the current metric snapshot in the engine's native
 // metric schema.
 func (e *Engine) Snapshot() metrics.Snapshot {

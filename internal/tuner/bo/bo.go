@@ -24,6 +24,7 @@ import (
 	"autodbaas/internal/lasso"
 	"autodbaas/internal/linalg"
 	"autodbaas/internal/metrics"
+	"autodbaas/internal/obs"
 	"autodbaas/internal/tuner"
 )
 
@@ -76,6 +77,10 @@ type Tuner struct {
 	meanSums   map[string][]float64
 	meanCounts map[string]int
 	meanOrder  []string
+
+	recommendSeconds *obs.Histogram
+	gprFitSeconds    *obs.Histogram
+	trainingSamples  *obs.Gauge
 }
 
 // New constructs a BO tuner.
@@ -97,6 +102,7 @@ func New(opts Options) (*Tuner, error) {
 	if opts.UCBBeta < 0 {
 		opts.UCBBeta = 1.2
 	}
+	reg := obs.Default()
 	return &Tuner{
 		opts:       opts,
 		kcat:       kcat,
@@ -106,6 +112,12 @@ func New(opts Options) (*Tuner, error) {
 		knobNames:  kcat.TunableNames(),
 		meanSums:   make(map[string][]float64),
 		meanCounts: make(map[string]int),
+		recommendSeconds: reg.Histogram("autodbaas_tuner_recommend_seconds",
+			"Wall-clock recommendation latency by tuner kind.", nil, obs.L("tuner", "ottertune-bo")),
+		gprFitSeconds: reg.Histogram("autodbaas_tuner_gpr_fit_seconds",
+			"Wall-clock GPR training time per recommendation (the O(n³) cost).", nil),
+		trainingSamples: reg.Gauge("autodbaas_tuner_training_samples",
+			"Training samples held by a tuner kind.", obs.L("tuner", "ottertune-bo")),
 	}, nil
 }
 
@@ -135,6 +147,7 @@ func (t *Tuner) Observe(s tuner.Sample) error {
 	}
 	t.meanCounts[s.WorkloadID]++
 	t.mu.Unlock()
+	t.trainingSamples.Set(float64(t.store.Len()))
 	return nil
 }
 
@@ -222,6 +235,7 @@ func (t *Tuner) RankKnobs(samples []tuner.Sample) ([]string, error) {
 // data (target + mapped), fit the GP and maximize UCB over candidates.
 func (t *Tuner) Recommend(req tuner.Request) (tuner.Recommendation, error) {
 	start := time.Now()
+	defer func() { t.recommendSeconds.Observe(time.Since(start).Seconds()) }()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
@@ -264,9 +278,11 @@ func (t *Tuner) Recommend(req tuner.Request) (tuner.Recommendation, error) {
 		yn[i] = y[i] / ymax
 	}
 	model := gp.NewRegressor(gp.NewSEARD(len(names), 0.35, 1.0), 1e-3)
+	fitStart := time.Now()
 	if err := model.Fit(x, yn); err != nil {
 		return tuner.Recommendation{}, fmt.Errorf("bo: GPR fit: %w", err)
 	}
+	t.gprFitSeconds.Observe(time.Since(fitStart).Seconds())
 
 	// Acquisition: random candidates + perturbations of the incumbent.
 	bestIdx := 0

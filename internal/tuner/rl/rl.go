@@ -16,6 +16,7 @@ import (
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/metrics"
 	"autodbaas/internal/nn"
+	"autodbaas/internal/obs"
 	"autodbaas/internal/tuner"
 )
 
@@ -88,6 +89,10 @@ type Tuner struct {
 
 	observed int
 	trained  int
+
+	recommendSeconds *obs.Histogram
+	replaySize       *obs.Gauge
+	trainSteps       *obs.Counter
 }
 
 type episode struct {
@@ -162,6 +167,12 @@ func New(opts Options) (*Tuner, error) {
 		criticTarget: criticTarget,
 		replay:       make([]transition, 0, opts.ReplayCap),
 		episodes:     make(map[string]*episode),
+		recommendSeconds: obs.Default().Histogram("autodbaas_tuner_recommend_seconds",
+			"Wall-clock recommendation latency by tuner kind.", nil, obs.L("tuner", "cdbtune-rl")),
+		replaySize: obs.Default().Gauge("autodbaas_tuner_rl_replay_buffer_size",
+			"Transitions held in the DDPG replay buffer."),
+		trainSteps: obs.Default().Counter("autodbaas_tuner_rl_train_steps_total",
+			"DDPG SGD updates executed."),
 	}, nil
 }
 
@@ -248,6 +259,7 @@ func (t *Tuner) Observe(s tuner.Sample) error {
 func (t *Tuner) push(tr transition) {
 	if len(t.replay) < t.opts.ReplayCap {
 		t.replay = append(t.replay, tr)
+		t.replaySize.Set(float64(len(t.replay)))
 		return
 	}
 	t.replay[t.next] = tr
@@ -306,6 +318,7 @@ func (t *Tuner) trainLocked() {
 	_ = t.actorTarget.SoftUpdate(t.actor, t.opts.Tau)
 	_ = t.criticTarget.SoftUpdate(t.critic, t.opts.Tau)
 	t.trained++
+	t.trainSteps.Inc()
 }
 
 func concat(a, b []float64) []float64 {
@@ -318,6 +331,7 @@ func concat(a, b []float64) []float64 {
 // exploration noise — constant-time, the RL scalability advantage.
 func (t *Tuner) Recommend(req tuner.Request) (tuner.Recommendation, error) {
 	start := time.Now()
+	defer func() { t.recommendSeconds.Observe(time.Since(start).Seconds()) }()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.observed == 0 {

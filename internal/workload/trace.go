@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"time"
 
+	"autodbaas/internal/obs"
 	"autodbaas/internal/sqlparse"
 )
 
@@ -68,6 +69,7 @@ func RecordTrace(w io.Writer, gen Generator, rng *rand.Rand, n int) error {
 			return fmt.Errorf("workload: record trace: %w", err)
 		}
 	}
+	obs.Debugf("workload: recorded %d-query trace from %s", n, gen.Name())
 	return bw.Flush()
 }
 
@@ -99,6 +101,7 @@ func LoadTrace(r io.Reader, name string, dbSize, rate float64) (*Trace, error) {
 	if len(queries) == 0 {
 		return nil, errors.New("workload: empty trace")
 	}
+	obs.Debugf("workload: loaded trace %q: %d queries, db %.0f MB, %.0f req/s", name, len(queries), dbSize/mbF, rate)
 	return &Trace{name: name, dbSize: dbSize, rate: rate, queries: queries}, nil
 }
 
