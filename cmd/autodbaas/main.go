@@ -40,15 +40,16 @@ func main() {
 	tuners := flag.Int("tuners", 3, "tuner instances behind the director")
 	periodic := flag.Bool("periodic", false, "use the periodic baseline instead of TDE-driven requests")
 	seed := flag.Int64("seed", 1, "PRNG seed")
+	parallelism := flag.Int("parallelism", 0, "fleet-step parallelism (0: GOMAXPROCS); results are identical at every level")
 	flag.Parse()
 
-	if err := run(*fleet, *hours, *listen, *tuners, *periodic, *seed); err != nil {
+	if err := run(*fleet, *hours, *listen, *tuners, *periodic, *seed, *parallelism); err != nil {
 		fmt.Fprintf(os.Stderr, "autodbaas: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed int64) error {
+func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed int64, parallelism int) error {
 	tuners := make([]tuner.Tuner, 0, tunerCount)
 	for i := 0; i < tunerCount; i++ {
 		t, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 200, MaxSamplesPerFit: 150, UCBBeta: 0.5, Seed: seed + int64(i)})
@@ -57,7 +58,7 @@ func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed in
 		}
 		tuners = append(tuners, t)
 	}
-	sys, err := core.NewSystem(tuners...)
+	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: parallelism}, tuners...)
 	if err != nil {
 		return err
 	}
@@ -113,8 +114,8 @@ func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed in
 	}()
 	fmt.Printf("control plane on http://%s  (GET /director/v1/counters, /repository/v1/stats, /metrics, /debug/spans, /debug/pprof/)\n", l.Addr())
 
-	fmt.Printf("simulating %d instances for %d virtual hours (%s mode)\n",
-		fleet, hours, map[bool]string{true: "periodic", false: "tde"}[periodic])
+	fmt.Printf("simulating %d instances for %d virtual hours (%s mode, parallelism %d)\n",
+		fleet, hours, map[bool]string{true: "periodic", false: "tde"}[periodic], sys.Parallelism())
 	for h := 0; h < hours; h++ {
 		select {
 		case <-ctx.Done():

@@ -29,6 +29,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run scaled-down configurations")
 	only := flag.String("only", "", "comma-separated subset (e.g. fig5,fig9,table1)")
 	seed := flag.Int64("seed", 1, "base PRNG seed")
+	parallelism := flag.Int("parallelism", 0, "fleet-step parallelism for fleet experiments (0: GOMAXPROCS); results are identical at every level")
 	metricsOut := flag.String("metrics-out", "", "if set, dump the metrics registry per experiment (<dir>/<key>.prom)")
 	flag.Parse()
 
@@ -70,7 +71,9 @@ func main() {
 		{"fig6", "fig06_mdp_learning.tsv", func() string { return experiments.Fig6MDPLearning(scale(24, 6), scale(375, 100), *seed).Render() }},
 		{"fig7", "fig07_reload_jitter.tsv", func() string { return experiments.Fig7ReloadJitter(scale(15, 3), *seed).Render() }},
 		{"fig8", "fig08_arrival_rate.tsv", func() string { return experiments.Fig8ArrivalRate(10).Render() }},
-		{"fig9", "fig09_request_rate.tsv", func() string { return experiments.Fig9RequestRate(scale(80, 8), scale(24, 6), *seed).Render() }},
+		{"fig9", "fig09_request_rate.tsv", func() string {
+			return experiments.Fig9RequestRateParallel(scale(80, 8), scale(24, 6), *parallelism, *seed).Render()
+		}},
 		{"fig10", "fig10_throttles_postgres.txt", func() string { return experiments.Fig10Throttles(knobs.Postgres, scale(22, 4), *seed).Render() }},
 		{"fig11", "fig11_throttles_mysql.txt", func() string { return experiments.Fig10Throttles(knobs.MySQL, scale(22, 4), *seed).Render() }},
 		{"fig12", "fig12_throughput_bo.tsv", func() string {

@@ -48,7 +48,9 @@ func runPolicy(mode agent.Mode, period time.Duration) []int {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := core.NewSystem(tn)
+	// Step the fleet with all cores; the scheduler's ordered merge keeps
+	// the request counts identical to a sequential run.
+	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: 0}, tn)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -169,45 +169,109 @@ func (a *Agent) Generator() workload.Generator { return a.gen }
 // Uploaded returns how many training samples were uploaded.
 func (a *Agent) Uploaded() int { return a.uploaded }
 
+// WindowOutcome is the deferred result of RunWindowLocal: what one
+// observation window produced touching only this agent's own instance.
+// The fleet scheduler runs the local phase for many agents
+// concurrently, then runs the detection round and control-plane side
+// effects with Dispatch in onboarding order, so results are identical
+// to the sequential schedule at any parallelism.
+type WindowOutcome struct {
+	// Stats are the master's window statistics.
+	Stats simdb.WindowStats
+	// Events are the TDE events of the detection round; Dispatch fills
+	// them in (nil when the TDE period had not elapsed).
+	Events []tde.Event
+	// Err is the window error (engine failures other than clean
+	// downtime carry through; simdb.ErrDown is reported but does not
+	// abort the round).
+	Err error
+
+	ticked bool
+	tickAt time.Time
+}
+
 // RunWindow advances the instance by one observation window: all nodes
 // execute the workload, and if the TDE period elapsed, a detection round
 // runs, events are dispatched and a training sample is (possibly)
 // uploaded. It returns the master's window stats and the TDE events.
+//
+// RunWindow is the sequential composition of RunWindowLocal and
+// Dispatch; callers that step many agents concurrently use the two
+// phases directly.
 func (a *Agent) RunWindow(dur time.Duration) (simdb.WindowStats, []tde.Event, error) {
+	out := a.RunWindowLocal(dur)
+	dispatchErr := a.Dispatch(&out)
+	if out.Err != nil {
+		return out.Stats, out.Events, out.Err
+	}
+	return out.Stats, out.Events, dispatchErr
+}
+
+// RunWindowLocal runs the instance-local half of one observation
+// window: the workload executes on every node and the TDE-period gate
+// is checked. Nothing shared is touched — not the director or
+// repository, and not the detection round either, whose checkpoint
+// detector reads a baseline off the (shared) tuner's sample store — so
+// RunWindowLocal calls for distinct agents are safe to run
+// concurrently.
+func (a *Agent) RunWindowLocal(dur time.Duration) WindowOutcome {
+	out := WindowOutcome{}
 	master := a.inst.Replica.Master()
 	st, err := master.RunWindow(a.gen, dur)
+	out.Stats = st
 	if err != nil && !errors.Is(err, simdb.ErrDown) {
-		return st, nil, err
+		out.Err = err
+		return out
 	}
 	// Slaves replay the workload too (replication).
 	for _, s := range a.inst.Replica.Slaves() {
 		if _, serr := s.RunWindow(a.gen, dur); serr != nil && !errors.Is(serr, simdb.ErrDown) {
-			return st, nil, serr
+			out.Err = serr
+			return out
 		}
 	}
 	a.m.windows.Inc()
+	out.Err = err
 	now := master.Now()
 	if now.Sub(a.lastTick) < a.opts.TickEvery {
-		return st, nil, err
+		return out
 	}
 	a.lastTick = now
+	out.ticked = true
+	out.tickAt = now
+	return out
+}
 
+// Dispatch runs the detection round for a window outcome and applies
+// its control-plane side effects: TDE events (or the periodic-mode
+// request) go to the director, and the training sample is uploaded to
+// the repository honouring the TDE gate. The detection round belongs
+// here, not in the local phase: its checkpoint detector consults the
+// tuner's baseline, which earlier agents' uploads in the same step may
+// have grown — exactly as in the sequential schedule. Dispatch must be
+// called from one goroutine at a time per agent, in the same order
+// windows ran; it fills out.Events.
+func (a *Agent) Dispatch(out *WindowOutcome) error {
+	if !out.ticked {
+		return nil
+	}
+	master := a.inst.Replica.Master()
 	tickStart := time.Now()
-	span := obs.DefaultTracer().StartAt("agent", "tde-tick", now)
+	span := obs.DefaultTracer().StartAt("agent", "tde-tick", out.tickAt)
 	span.SetAttr("instance", a.inst.ID)
-	events := a.tde.Tick()
+	out.Events = a.tde.Tick()
 	a.m.tdeTicks.Inc()
 	a.m.tdeSeconds.Observe(time.Since(tickStart).Seconds())
-	span.SetAttr("events", fmt.Sprintf("%d", len(events)))
+	span.SetAttr("events", fmt.Sprintf("%d", len(out.Events)))
 	span.SetAttr("wall_ms", fmt.Sprintf("%.3f", time.Since(tickStart).Seconds()*1e3))
 	span.EndAt(master.Now())
 	a.exportDBCounters(master)
-	req := a.buildRequest(st)
+	req := a.buildRequest(out.Stats)
 	var dispatchErr error
 	switch a.opts.Mode {
 	case ModePeriodic:
-		if now.Sub(a.lastPeriodic) >= a.opts.PeriodicEvery {
-			a.lastPeriodic = now
+		if out.tickAt.Sub(a.lastPeriodic) >= a.opts.PeriodicEvery {
+			a.lastPeriodic = out.tickAt
 			if derr := a.opts.Tuning.RequestTuning(a.inst.ID, req); derr != nil && !errors.Is(derr, tuner.ErrNotTrained) {
 				dispatchErr = derr
 				a.m.dispatchError.Inc()
@@ -215,7 +279,7 @@ func (a *Agent) RunWindow(dur time.Duration) (simdb.WindowStats, []tde.Event, er
 		}
 	default:
 		if a.events != nil {
-			for _, ev := range events {
+			for _, ev := range out.Events {
 				if derr := a.events.HandleEvent(a.inst.ID, ev, req); derr != nil && !errors.Is(derr, tuner.ErrNotTrained) {
 					dispatchErr = derr
 					a.m.dispatchError.Inc()
@@ -223,11 +287,8 @@ func (a *Agent) RunWindow(dur time.Duration) (simdb.WindowStats, []tde.Event, er
 			}
 		}
 	}
-	a.maybeUpload(st, events, now)
-	if err != nil {
-		return st, events, err
-	}
-	return st, events, dispatchErr
+	a.maybeUpload(out.Stats, out.Events, out.tickAt)
+	return dispatchErr
 }
 
 // buildRequest assembles the recommendation request for this window.

@@ -9,7 +9,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autodbaas/internal/agent"
@@ -17,6 +19,7 @@ import (
 	"autodbaas/internal/dfa"
 	"autodbaas/internal/director"
 	"autodbaas/internal/monitor"
+	"autodbaas/internal/obs"
 	"autodbaas/internal/orchestrator"
 	"autodbaas/internal/repository"
 	"autodbaas/internal/simdb"
@@ -24,6 +27,16 @@ import (
 	"autodbaas/internal/tuner"
 	"autodbaas/internal/workload"
 )
+
+// Options configures a System beyond its tuner fleet.
+type Options struct {
+	// Parallelism bounds how many instances step concurrently inside
+	// one Step call. Each instance owns its virtual clock and RNG, so
+	// observation windows are independent; control-plane side effects
+	// are merged in onboarding order, making results bit-for-bit
+	// identical at every parallelism level. 0 means GOMAXPROCS.
+	Parallelism int
+}
 
 // System is one AutoDBaaS deployment.
 type System struct {
@@ -38,13 +51,45 @@ type System struct {
 	agents   map[string]*agent.Agent
 	order    []string
 	monitors map[string]*monitor.Agent
+
+	parallelism int
+	m           coreMetrics
 }
 
-// NewSystem wires a deployment around the given tuner fleet. Every
-// tuner is subscribed to the central data repository.
+// coreMetrics are the fleet scheduler's registry handles.
+type coreMetrics struct {
+	stepSeconds  *obs.Histogram
+	mergeSeconds *obs.Histogram
+	workersBusy  *obs.Gauge
+	utilization  *obs.Gauge
+	parallelism  *obs.Gauge
+}
+
+func newCoreMetrics(r *obs.Registry) coreMetrics {
+	return coreMetrics{
+		stepSeconds:  r.Histogram("autodbaas_core_step_seconds", "Wall-clock latency of one fleet step (parallel windows + ordered merge).", nil),
+		mergeSeconds: r.Histogram("autodbaas_core_step_merge_seconds", "Wall-clock latency of the ordered control-plane merge phase of one step.", nil),
+		workersBusy:  r.Gauge("autodbaas_core_fleet_workers_busy", "Fleet-scheduler workers currently running an instance window."),
+		utilization:  r.Gauge("autodbaas_core_fleet_worker_utilization", "Busy-time share of the worker pool over the last parallel window phase (0-1)."),
+		parallelism:  r.Gauge("autodbaas_core_fleet_parallelism", "Configured fleet-step parallelism."),
+	}
+}
+
+// NewSystem wires a deployment around the given tuner fleet with
+// default options. Every tuner is subscribed to the central data
+// repository.
 func NewSystem(tuners ...tuner.Tuner) (*System, error) {
+	return NewSystemWithOptions(Options{}, tuners...)
+}
+
+// NewSystemWithOptions wires a deployment around the given tuner fleet.
+func NewSystemWithOptions(opts Options, tuners ...tuner.Tuner) (*System, error) {
 	if len(tuners) == 0 {
 		return nil, errors.New("core: need at least one tuner instance")
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
 	orch := orchestrator.New()
 	d := dfa.New(orch)
@@ -56,7 +101,7 @@ func NewSystem(tuners ...tuner.Tuner) (*System, error) {
 	for _, t := range tuners {
 		repo.Subscribe(t)
 	}
-	return &System{
+	s := &System{
 		Orchestrator: orch,
 		DFA:          d,
 		Director:     dir,
@@ -64,8 +109,15 @@ func NewSystem(tuners ...tuner.Tuner) (*System, error) {
 		Tuners:       tuners,
 		agents:       make(map[string]*agent.Agent),
 		monitors:     make(map[string]*monitor.Agent),
-	}, nil
+		parallelism:  par,
+		m:            newCoreMetrics(obs.Default()),
+	}
+	s.m.parallelism.Set(float64(par))
+	return s, nil
 }
+
+// Parallelism returns the configured fleet-step parallelism.
+func (s *System) Parallelism() int { return s.parallelism }
 
 // InstanceSpec describes one database service instance to onboard.
 type InstanceSpec struct {
@@ -149,43 +201,141 @@ type StepResult struct {
 	Throttles int
 }
 
+// stepAgent is one fleet member snapshotted for a step.
+type stepAgent struct {
+	a   *agent.Agent
+	mon *monitor.Agent
+}
+
+// snapshotFleet returns the fleet in onboarding order with its monitors.
+func (s *System) snapshotFleet() []stepAgent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]stepAgent, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, stepAgent{a: s.agents[id], mon: s.monitors[id]})
+	}
+	return out
+}
+
 // Step advances every instance by one observation window, sampling the
 // monitoring series and dispatching TDE events through the director.
+//
+// The step runs in two phases. First the instance-local window
+// simulation executes on a worker pool of up to Parallelism
+// goroutines; every instance owns its virtual clock and RNG, so this
+// phase has no cross-instance state. Then the detection round and the
+// control-plane side effects (director dispatch, repository upload,
+// monitor sampling) are merged strictly in onboarding order, with the
+// repository's async fan-out drained before each dispatch, so throttle
+// counts, monitor series, tuner state and errors are bit-for-bit
+// identical to the sequential schedule at any worker count.
 func (s *System) Step(dur time.Duration) StepResult {
+	stepStart := time.Now()
+	fleet := s.snapshotFleet()
 	res := StepResult{
 		Windows: make(map[string]simdb.WindowStats),
 		Events:  make(map[string][]tde.Event),
 		Errors:  make(map[string]error),
 	}
-	for _, a := range s.Agents() {
-		id := a.Instance().ID
-		st, events, err := a.RunWindow(dur)
-		res.Windows[id] = st
-		res.Events[id] = events
-		if err != nil {
-			res.Errors[id] = err
+	outs := make([]agent.WindowOutcome, len(fleet))
+
+	// Phase 1: parallel instance-local windows.
+	workers := s.parallelism
+	if workers > len(fleet) {
+		workers = len(fleet)
+	}
+	if workers <= 1 {
+		for i := range fleet {
+			outs[i] = runWindowLocal(fleet[i], dur)
 		}
-		for _, ev := range events {
+	} else {
+		var cursor atomic.Int64
+		var busyNanos atomic.Int64
+		var wg sync.WaitGroup
+		phaseStart := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(fleet) {
+						return
+					}
+					s.m.workersBusy.Add(1)
+					t0 := time.Now()
+					outs[i] = runWindowLocal(fleet[i], dur)
+					busyNanos.Add(int64(time.Since(t0)))
+					s.m.workersBusy.Add(-1)
+				}
+			}()
+		}
+		wg.Wait()
+		if wall := time.Since(phaseStart); wall > 0 {
+			s.m.utilization.Set(float64(busyNanos.Load()) / float64(int64(workers)*int64(wall)))
+		}
+	}
+
+	// Phase 2: ordered control-plane merge. The detection round runs
+	// inside Dispatch — its checkpoint detector reads a baseline off
+	// the shared tuner's sample store, which earlier agents' uploads in
+	// this very step grow — so it must execute in fleet order.
+	mergeStart := time.Now()
+	for i := range fleet {
+		a := fleet[i].a
+		id := a.Instance().ID
+		// Drain earlier agents' queued samples so this dispatch sees
+		// exactly the tuner state the sequential schedule would.
+		s.Repository.Flush()
+		dispatchErr := a.Dispatch(&outs[i])
+		out := outs[i]
+		res.Windows[id] = out.Stats
+		res.Events[id] = out.Events
+		for _, ev := range out.Events {
 			if ev.Kind == tde.KindThrottle {
 				res.Throttles++
 			}
 		}
-		// External monitoring (the Dynatrace substitute).
-		if m, ok := s.Monitor(id); ok {
+		switch {
+		case out.Err != nil:
+			res.Errors[id] = out.Err
+		case dispatchErr != nil:
+			res.Errors[id] = dispatchErr
+		}
+		// External monitoring (the Dynatrace substitute), sampled after
+		// dispatch as in the sequential schedule.
+		if mon := fleet[i].mon; mon != nil {
 			now := a.Instance().Replica.Master().Now()
-			_ = m.Series("disk_latency_ms").Append(now, st.DiskLatencyMs)
-			_ = m.Series("iops").Append(now, st.IOPS)
-			_ = m.Series("throughput_qps").Append(now, st.Achieved)
-			_ = m.Series("p99_latency_ms").Append(now, st.P99Ms)
+			st := out.Stats
+			_ = mon.Series("disk_latency_ms").Append(now, st.DiskLatencyMs)
+			_ = mon.Series("iops").Append(now, st.IOPS)
+			_ = mon.Series("throughput_qps").Append(now, st.Achieved)
+			_ = mon.Series("p99_latency_ms").Append(now, st.P99Ms)
 		}
 	}
+	s.Repository.Flush()
+	s.m.mergeSeconds.Observe(time.Since(mergeStart).Seconds())
+
 	// Reconciler watch loop rides on the step cadence.
+	s.mu.Lock()
+	var first *agent.Agent
 	if len(s.order) > 0 {
-		if a := s.agents[s.order[0]]; a != nil {
-			s.Orchestrator.ReconcileTick(a.Instance().Replica.Master().Now())
-		}
+		first = s.agents[s.order[0]]
 	}
+	s.mu.Unlock()
+	if first != nil {
+		s.Orchestrator.ReconcileTick(first.Instance().Replica.Master().Now())
+	}
+	s.m.stepSeconds.Observe(time.Since(stepStart).Seconds())
 	return res
+}
+
+// runWindowLocal runs one fleet member's instance-local phase. Only
+// sa's own state is touched, so calls for distinct members run
+// concurrently.
+func runWindowLocal(sa stepAgent, dur time.Duration) agent.WindowOutcome {
+	return sa.a.RunWindowLocal(dur)
 }
 
 // RunFor steps the system with the given window until total has elapsed,
@@ -229,6 +379,9 @@ func (s *System) ApproveUpgrade(id string, seed int64) (*agent.Agent, error) {
 	}
 	s.mu.Lock()
 	s.agents[id] = a
+	// Fresh monitor: the old series mixed pre-upgrade measurements with
+	// the new plan's; a monitor reset keeps every series single-plan.
+	s.monitors[id] = monitor.NewAgent(100_000)
 	s.mu.Unlock()
 	s.Director.ClearUpgradeRequests(id)
 	// Persist the upgraded instance's config as the new source of truth.

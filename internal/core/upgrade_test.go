@@ -64,10 +64,22 @@ func TestPlanUpgradeFlow(t *testing.T) {
 	if sys.Director.PendingUpgradeRequests("cramped") != 0 {
 		t.Fatal("upgrade queue not cleared")
 	}
+	// The monitor restarts with the upgrade so a series never mixes
+	// samples from two different VM plans.
+	mon, ok := sys.Monitor("cramped")
+	if !ok {
+		t.Fatal("monitor missing after upgrade")
+	}
+	if got := mon.Series("disk_latency_ms").Len(); got != 0 {
+		t.Fatalf("monitor kept %d pre-upgrade points, want a fresh series", got)
+	}
 	// The fleet keeps stepping with the new agent in place.
 	res := sys.Step(5 * time.Minute)
 	if res.Windows["cramped"].Achieved <= 0 {
 		t.Fatal("upgraded instance not serving")
+	}
+	if got := mon.Series("disk_latency_ms").Len(); got == 0 {
+		t.Fatal("fresh monitor not sampling after upgrade")
 	}
 	// Persisted config points at the upgraded instance's live config.
 	persisted, err := sys.Orchestrator.PersistedConfig("cramped")

@@ -1,0 +1,91 @@
+package director
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/dfa"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/orchestrator"
+	"autodbaas/internal/tde"
+	"autodbaas/internal/tuner"
+)
+
+// TestConcurrentIntakeAcrossInstances hammers HandleEvent and
+// RequestTuning from many goroutines over several instances — the
+// sharded-state contract the fleet scheduler and the HTTP intake rely
+// on. Run with -race; the assertions pin the atomic fleet counters and
+// the per-shard upgrade queues.
+func TestConcurrentIntakeAcrossInstances(t *testing.T) {
+	ft := &fakeTuner{name: "fake", rec: goodRec()}
+	orch := orchestrator.New()
+	d, err := New(orch, dfa.New(orch), ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const instances = 4
+	ids := make([]string, instances)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("db-%d", i)
+		if _, err := orch.Provision(cluster.ProvisionSpec{
+			ID: ids[i], Plan: "m4.large", Engine: knobs.Postgres,
+			DBSizeBytes: 10 * cluster.GiB, Seed: int64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers, rounds = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := ids[w%instances]
+			for i := 0; i < rounds; i++ {
+				// One throttle, one advisory, one upgrade signal per round.
+				if err := d.HandleEvent(id, throttleEvent(knobs.Memory), tuner.Request{Engine: knobs.Postgres}); err != nil && !errors.Is(err, tuner.ErrNotTrained) {
+					t.Errorf("throttle intake: %v", err)
+				}
+				if err := d.HandleEvent(id, tde.Event{Kind: tde.KindBufferAdvisory, WorkingSet: float64(i)}, tuner.Request{}); err != nil {
+					t.Errorf("advisory intake: %v", err)
+				}
+				if err := d.HandleEvent(id, tde.Event{Kind: tde.KindPlanUpgrade}, tuner.Request{}); err != nil {
+					t.Errorf("upgrade intake: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := workers * rounds
+	reqs, recs, fails, upgrades := d.Counters()
+	if reqs != total {
+		t.Errorf("tuning requests = %d, want %d", reqs, total)
+	}
+	if recs != total || fails != 0 {
+		t.Errorf("recommendations = %d (fails %d), want %d (0)", recs, fails, total)
+	}
+	if upgrades != total {
+		t.Errorf("plan upgrades = %d, want %d", upgrades, total)
+	}
+	var pendingSum int
+	for _, id := range ids {
+		pendingSum += d.PendingUpgradeRequests(id)
+	}
+	if pendingSum != total {
+		t.Errorf("pending upgrade requests = %d, want %d", pendingSum, total)
+	}
+	for _, id := range ids {
+		d.ClearUpgradeRequests(id)
+		if got := d.PendingUpgradeRequests(id); got != 0 {
+			t.Errorf("%s: %d pending after clear", id, got)
+		}
+	}
+	if ft.calls != total {
+		t.Errorf("tuner saw %d recommendation calls, want %d", ft.calls, total)
+	}
+}

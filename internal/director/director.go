@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autodbaas/internal/cluster"
@@ -26,22 +27,29 @@ import (
 )
 
 // Director coordinates throttle events, tuners and config application.
+// It is safe for concurrent intake from many agents: fleet-wide
+// counters are atomics, the round-robin cursor is lock-free, and all
+// per-instance maintenance state lives in per-instance shards with
+// their own locks, so events for different instances never contend.
 type Director struct {
-	mu sync.Mutex
-
 	tuners []tuner.Tuner
-	next   int // round-robin cursor
+	next   atomic.Uint64 // round-robin cursor
 
 	orch *orchestrator.Orchestrator
 	dfa  *dfa.DFA
 
-	// Per-instance maintenance state for the buffer-pool knob.
-	maint map[string]*maintState
+	// shardMu guards the shard map itself (read-mostly); each shard
+	// carries its own lock for the state inside.
+	shardMu sync.RWMutex
+	shards  map[string]*instShard
 
-	tuningRequests  int
-	planUpgrades    int
-	recommendations int
-	applyFailures   int
+	// Fleet-wide counters: the atomics are the single source of truth
+	// for the Counters()/TuningRequests() accessors; the obs handles in
+	// m mirror them into the process-wide metrics registry.
+	tuningRequests  atomic.Int64
+	planUpgrades    atomic.Int64
+	recommendations atomic.Int64
+	applyFailures   atomic.Int64
 
 	m directorMetrics
 }
@@ -77,7 +85,12 @@ func newDirectorMetrics(r *obs.Registry) directorMetrics {
 	}
 }
 
-type maintState struct {
+// instShard is the per-instance slice of director state: maintenance
+// bookkeeping for the buffer-pool knob plus the plan-upgrade queue. Its
+// lock is private, so concurrent intake for different instances never
+// serializes.
+type instShard struct {
+	mu          sync.Mutex
 	workingSets []float64 // recent gauged working-set sizes
 	bufferRecs  []float64 // buffer-knob values seen in recommendations
 	entropyHits int       // plan-upgrade signals since last window
@@ -95,7 +108,7 @@ func New(orch *orchestrator.Orchestrator, d *dfa.DFA, tuners ...tuner.Tuner) (*D
 		tuners: tuners,
 		orch:   orch,
 		dfa:    d,
-		maint:  make(map[string]*maintState),
+		shards: make(map[string]*instShard),
 		m:      newDirectorMetrics(obs.Default()),
 	}, nil
 }
@@ -103,35 +116,36 @@ func New(orch *orchestrator.Orchestrator, d *dfa.DFA, tuners ...tuner.Tuner) (*D
 // Counters returns (tuningRequests, recommendations, applyFailures,
 // planUpgrades) so far.
 func (d *Director) Counters() (int, int, int, int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.tuningRequests, d.recommendations, d.applyFailures, d.planUpgrades
+	return int(d.tuningRequests.Load()), int(d.recommendations.Load()),
+		int(d.applyFailures.Load()), int(d.planUpgrades.Load())
 }
 
 // TuningRequests returns how many tuning requests have been received —
 // the scalability metric of Fig. 9.
 func (d *Director) TuningRequests() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.tuningRequests
+	return int(d.tuningRequests.Load())
 }
 
 // pickTuner round-robins across the tuner pool (the director "performs
 // load balancing of recommendation request tasks across multiple tuner
 // instances").
 func (d *Director) pickTuner() tuner.Tuner {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	t := d.tuners[d.next%len(d.tuners)]
-	d.next++
-	return t
+	return d.tuners[int((d.next.Add(1)-1)%uint64(len(d.tuners)))]
 }
 
-func (d *Director) maintFor(id string) *maintState {
-	st, ok := d.maint[id]
-	if !ok {
-		st = &maintState{}
-		d.maint[id] = st
+// shard returns instance id's state shard, creating it on first use.
+func (d *Director) shard(id string) *instShard {
+	d.shardMu.RLock()
+	st, ok := d.shards[id]
+	d.shardMu.RUnlock()
+	if ok {
+		return st
+	}
+	d.shardMu.Lock()
+	defer d.shardMu.Unlock()
+	if st, ok = d.shards[id]; !ok {
+		st = &instShard{}
+		d.shards[id] = st
 	}
 	return st
 }
@@ -159,30 +173,28 @@ func (d *Director) HandleEvent(instanceID string, ev tde.Event, req tuner.Reques
 	}
 	switch ev.Kind {
 	case tde.KindPlanUpgrade:
-		d.mu.Lock()
-		d.planUpgrades++
-		st := d.maintFor(inst.ID)
+		d.planUpgrades.Add(1)
+		st := d.shard(inst.ID)
+		st.mu.Lock()
 		st.entropyHits++
 		st.upgradeRequests++
-		d.mu.Unlock()
+		st.mu.Unlock()
 		d.m.eventsUpgrade.Inc()
 		d.m.pendingUpgrades.Add(1)
 		// No tuning request: the customer is asked to upgrade the plan.
 		return nil
 	case tde.KindBufferAdvisory:
-		d.mu.Lock()
-		st := d.maintFor(inst.ID)
+		st := d.shard(inst.ID)
+		st.mu.Lock()
 		st.workingSets = append(st.workingSets, ev.WorkingSet)
 		if len(st.workingSets) > 256 {
 			st.workingSets = st.workingSets[len(st.workingSets)-256:]
 		}
-		d.mu.Unlock()
+		st.mu.Unlock()
 		d.m.eventsAdvisory.Inc()
 		return nil
 	case tde.KindThrottle:
-		d.mu.Lock()
-		d.tuningRequests++
-		d.mu.Unlock()
+		d.tuningRequests.Add(1)
 		d.m.eventsThrottle.Inc()
 		d.m.tuningRequests.Inc()
 		cls := ev.Class
@@ -200,9 +212,7 @@ func (d *Director) RequestTuning(instanceID string, req tuner.Request) error {
 	if err != nil {
 		return err
 	}
-	d.mu.Lock()
-	d.tuningRequests++
-	d.mu.Unlock()
+	d.tuningRequests.Add(1)
 	d.m.tuningRequests.Inc()
 	return d.recommend(inst, req)
 }
@@ -233,25 +243,23 @@ func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
 		span.SetAttr("error", err.Error())
 		return fmt.Errorf("director: %s: %w", t.Name(), err)
 	}
-	d.mu.Lock()
-	d.recommendations++
-	st := d.maintFor(inst.ID)
+	d.recommendations.Add(1)
+	st := d.shard(inst.ID)
 	bp := inst.Replica.Master().KnobCatalog().BufferPoolKnob()
 	if v, ok := rec.Config[bp]; ok {
+		st.mu.Lock()
 		st.bufferRecs = append(st.bufferRecs, v)
 		if len(st.bufferRecs) > 256 {
 			st.bufferRecs = st.bufferRecs[len(st.bufferRecs)-256:]
 		}
+		st.mu.Unlock()
 	}
-	d.mu.Unlock()
 	d.m.recommendations.Inc()
 	aspan := span.StartChildAt("dfa.Apply", vnow)
 	if err := d.dfa.Apply(inst, rec.Config, simdb.ApplyReload); err != nil {
 		aspan.SetAttr("error", err.Error())
 		aspan.EndAt(vnow)
-		d.mu.Lock()
-		d.applyFailures++
-		d.mu.Unlock()
+		d.applyFailures.Add(1)
 		d.m.applyFailures.Inc()
 		return err
 	}
@@ -263,17 +271,19 @@ func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
 // accumulated for an instance (the customer-facing "your plan is too
 // small" queue).
 func (d *Director) PendingUpgradeRequests(instanceID string) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.maintFor(instanceID).upgradeRequests
+	st := d.shard(instanceID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.upgradeRequests
 }
 
 // ClearUpgradeRequests resets the queue after the customer acts.
 func (d *Director) ClearUpgradeRequests(instanceID string) {
-	d.mu.Lock()
-	cleared := d.maintFor(instanceID).upgradeRequests
-	d.maintFor(instanceID).upgradeRequests = 0
-	d.mu.Unlock()
+	st := d.shard(instanceID)
+	st.mu.Lock()
+	cleared := st.upgradeRequests
+	st.upgradeRequests = 0
+	st.mu.Unlock()
 	d.m.pendingUpgrades.Add(-float64(cleared))
 }
 
@@ -300,13 +310,13 @@ func (d *Director) MaintenanceWindow(inst *cluster.Instance) error {
 	def := kcat.Def(bp)
 	cur := master.Config()[bp]
 
-	d.mu.Lock()
-	st := d.maintFor(inst.ID)
+	st := d.shard(inst.ID)
+	st.mu.Lock()
 	ws := percentile(st.workingSets, 0.95)
 	p99 := percentile(st.bufferRecs, 0.99)
 	entropyHits := st.entropyHits
 	st.entropyHits = 0
-	d.mu.Unlock()
+	st.mu.Unlock()
 
 	// Upper limit: buffer pool may use at most 60% of instance memory.
 	maxAllowed := 0.6 * master.Resources().MemoryBytes

@@ -209,8 +209,9 @@ func (s *RepositoryServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"samples":   s.repo.Len(),
-		"workloads": s.repo.Store().Workloads(),
+		"samples":        s.repo.Len(),
+		"workloads":      s.repo.Store().Workloads(),
+		"pending_fanout": s.repo.Pending(),
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -20,16 +21,31 @@ import (
 	"autodbaas/internal/tuner"
 )
 
-type fakeTuner struct{ observed, recommended int }
+// fakeTuner is mutex-guarded: the repository's fan-out delivers from a
+// background worker, not the HTTP handler goroutine.
+type fakeTuner struct {
+	mu                    sync.Mutex
+	observed, recommended int
+}
 
 func (f *fakeTuner) Name() string { return "fake" }
 func (f *fakeTuner) Observe(tuner.Sample) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.observed++
 	return nil
 }
 func (f *fakeTuner) Recommend(tuner.Request) (tuner.Recommendation, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.recommended++
 	return tuner.Recommendation{Config: knobs.Config{"work_mem": 16 * 1024 * 1024}}, nil
+}
+
+func (f *fakeTuner) counts() (int, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.observed, f.recommended
 }
 
 func TestRepositoryServerRoundTrip(t *testing.T) {
@@ -47,8 +63,9 @@ func TestRepositoryServerRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if repo.Len() != 1 || ft.observed != 1 {
-		t.Fatalf("repo=%d fanout=%d", repo.Len(), ft.observed)
+	repo.Flush() // fan-out is async: drain before asserting delivery
+	if obs, _ := ft.counts(); repo.Len() != 1 || obs != 1 {
+		t.Fatalf("repo=%d fanout=%d", repo.Len(), obs)
 	}
 	got := repo.Store().Samples("w1")
 	if len(got) != 1 || got[0].Objective != 42 {
@@ -115,7 +132,7 @@ func TestDirectorServerEventFlow(t *testing.T) {
 	if err := client.HandleEvent("db-1", ev, tuner.Request{Engine: knobs.Postgres}); err != nil {
 		t.Fatal(err)
 	}
-	if ft.recommended != 1 {
+	if _, recs := ft.counts(); recs != 1 {
 		t.Fatal("throttle did not reach the tuner")
 	}
 	if inst.Replica.Master().Config()["work_mem"] != 16*1024*1024 {

@@ -62,7 +62,7 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		{-1, 0},
 		{0, 0},
 		{0.999, 0},
-		{1, 0},    // exactly on a bound: inclusive
+		{1, 0}, // exactly on a bound: inclusive
 		{1.0001, 1},
 		{2.5, 1},
 		{2.50001, 2},

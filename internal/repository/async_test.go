@@ -1,0 +1,116 @@
+package repository
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tuner"
+)
+
+// recordingTuner captures the delivery order of workload IDs.
+type recordingTuner struct {
+	mu  sync.Mutex
+	ids []string
+}
+
+func (r *recordingTuner) Name() string { return "recording" }
+func (r *recordingTuner) Observe(s tuner.Sample) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ids = append(r.ids, s.WorkloadID)
+	return nil
+}
+func (r *recordingTuner) Recommend(tuner.Request) (tuner.Recommendation, error) {
+	return tuner.Recommendation{}, tuner.ErrNotTrained
+}
+
+func (r *recordingTuner) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.ids...)
+}
+
+// TestAsyncFanOutPreservesEnqueueOrder: the single drain worker must
+// deliver samples to each tuner in exactly the order they were
+// observed, across batch boundaries (the batch size is 64; 200 samples
+// span several batches).
+func TestAsyncFanOutPreservesEnqueueOrder(t *testing.T) {
+	r := New()
+	rec := &recordingTuner{}
+	r.Subscribe(rec)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := r.Observe(tuner.Sample{WorkloadID: fmt.Sprintf("w-%03d", i), Engine: knobs.Postgres}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Flush()
+	got := rec.snapshot()
+	if len(got) != n {
+		t.Fatalf("delivered %d samples, want %d", len(got), n)
+	}
+	for i, id := range got {
+		if want := fmt.Sprintf("w-%03d", i); id != want {
+			t.Fatalf("position %d delivered %s, want %s", i, id, want)
+		}
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after Flush", r.Pending())
+	}
+}
+
+// TestAsyncFanOutConcurrentProducers: uploads from many goroutines
+// (the fleet's agents) must all be stored and delivered after Flush.
+func TestAsyncFanOutConcurrentProducers(t *testing.T) {
+	r := New()
+	rec := &recordingTuner{}
+	r.Subscribe(rec)
+	const producers, perProducer = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				_ = r.Observe(tuner.Sample{WorkloadID: fmt.Sprintf("p%d", p), Engine: knobs.Postgres})
+			}
+		}(p)
+	}
+	wg.Wait()
+	r.Flush()
+	if got := len(rec.snapshot()); got != producers*perProducer {
+		t.Fatalf("delivered %d, want %d", got, producers*perProducer)
+	}
+	if r.Len() != producers*perProducer {
+		t.Fatalf("stored %d, want %d", r.Len(), producers*perProducer)
+	}
+}
+
+// TestCloseDrainsAndDegradesToSync: Close drains the queue; later
+// Observe calls deliver synchronously so nothing is lost.
+func TestCloseDrainsAndDegradesToSync(t *testing.T) {
+	r := New()
+	rec := &recordingTuner{}
+	r.Subscribe(rec)
+	_ = r.Observe(tuner.Sample{WorkloadID: "before", Engine: knobs.Postgres})
+	r.Close()
+	if got := rec.snapshot(); len(got) != 1 || got[0] != "before" {
+		t.Fatalf("after Close delivered %v", got)
+	}
+	_ = r.Observe(tuner.Sample{WorkloadID: "after", Engine: knobs.Postgres})
+	if got := rec.snapshot(); len(got) != 2 || got[1] != "after" {
+		t.Fatalf("post-Close observe delivered %v", got)
+	}
+	r.Close() // idempotent
+}
+
+// TestFlushOnEmptyQueueReturnsImmediately guards the fleet scheduler's
+// per-dispatch Flush: on an idle repository it must be a cheap no-op.
+func TestFlushOnEmptyQueueReturnsImmediately(t *testing.T) {
+	r := New()
+	for i := 0; i < 1000; i++ {
+		r.Flush()
+	}
+}

@@ -5,6 +5,13 @@
 // IaaS, and create a better ML model", §2). It offers both an in-process
 // API and an HTTP server/client pair; the client also serves agents over
 // unix domain sockets, matching the on-VM transport the paper describes.
+//
+// Tuner fan-out is asynchronous: Observe stores the sample and enqueues
+// it on a bounded queue drained by a single background worker that
+// delivers batches to every subscriber in enqueue order. An uploading
+// agent therefore never stalls behind a slow tuner (a BO refit is
+// O(n³)); callers that need delivery to have happened — tests, and the
+// fleet scheduler's deterministic merge — drain the queue with Flush.
 package repository
 
 import (
@@ -14,42 +21,176 @@ import (
 	"io"
 	"sync"
 
+	"autodbaas/internal/obs"
 	"autodbaas/internal/tuner"
+)
+
+// Fan-out queue sizing: producers block once maxPending samples are
+// queued (bounded memory, lossless backpressure); the worker hands off
+// at most batchSize samples per subscriber-delivery round so the lock
+// is released between batches.
+const (
+	maxPending = 1024
+	batchSize  = 64
 )
 
 // Repository stores samples and fans them out to subscribed tuners.
 type Repository struct {
+	store *tuner.Store
+
 	mu          sync.Mutex
-	store       *tuner.Store
+	notFull     sync.Cond // producers blocked on a full queue
+	drained     sync.Cond // Flush waiters
 	subscribers []tuner.Tuner
+	pending     []tuner.Sample
+	running     bool // fan-out worker alive
+	closed      bool
+	enqueued    int64
+	delivered   int64
+
+	m repoMetrics
+}
+
+// repoMetrics are the repository's registry handles.
+type repoMetrics struct {
+	queueDepth *obs.Gauge
+	delivered  *obs.Counter
+	batches    *obs.Counter
+	blocked    *obs.Counter
+}
+
+func newRepoMetrics(r *obs.Registry) repoMetrics {
+	return repoMetrics{
+		queueDepth: r.Gauge("autodbaas_repository_fanout_queue_depth", "Samples waiting in the async tuner fan-out queue."),
+		delivered:  r.Counter("autodbaas_repository_fanout_delivered_total", "Samples delivered to subscribed tuners (queue pops, not per-tuner)."),
+		batches:    r.Counter("autodbaas_repository_fanout_batches_total", "Fan-out delivery batches executed."),
+		blocked:    r.Counter("autodbaas_repository_fanout_blocked_total", "Observe calls that blocked on a full fan-out queue."),
+	}
 }
 
 // New returns an empty repository.
 func New() *Repository {
-	return &Repository{store: tuner.NewStore()}
+	r := &Repository{store: tuner.NewStore(), m: newRepoMetrics(obs.Default())}
+	r.notFull.L = &r.mu
+	r.drained.L = &r.mu
+	return r
 }
 
 // Subscribe registers a tuner to receive every future sample (the
 // "tuner instances fetch the new workloads" pull loop, push-modelled).
+// The fan-out queue is drained first so a late subscriber never
+// receives samples observed before it subscribed.
 func (r *Repository) Subscribe(t tuner.Tuner) {
+	r.Flush()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.subscribers = append(r.subscribers, t)
 }
 
-// Observe implements agent.SampleSink: store the sample and fan out.
-// Fan-out errors (e.g. engine mismatch: a MySQL sample is not delivered
-// to PostgreSQL tuners in any meaningful way) are skipped — each tuner
-// accepts only its own engine's samples.
+// Observe implements agent.SampleSink: store the sample synchronously
+// and enqueue it for asynchronous fan-out. Fan-out errors (e.g. engine
+// mismatch: a MySQL sample is not delivered to PostgreSQL tuners in any
+// meaningful way) are skipped — each tuner accepts only its own
+// engine's samples. Observe blocks only when the bounded queue is full;
+// after Close it degrades to synchronous delivery.
 func (r *Repository) Observe(s tuner.Sample) error {
-	r.mu.Lock()
-	subs := append([]tuner.Tuner(nil), r.subscribers...)
-	r.mu.Unlock()
 	r.store.Add(s)
-	for _, t := range subs {
-		_ = t.Observe(s) // engine-mismatch and similar are per-tuner concerns
+	r.mu.Lock()
+	for len(r.pending) >= maxPending && !r.closed {
+		r.m.blocked.Inc()
+		r.notFull.Wait()
 	}
+	if r.closed {
+		subs := append([]tuner.Tuner(nil), r.subscribers...)
+		r.mu.Unlock()
+		deliver(subs, []tuner.Sample{s})
+		return nil
+	}
+	r.pending = append(r.pending, s)
+	r.enqueued++
+	r.m.queueDepth.Set(float64(len(r.pending)))
+	if !r.running {
+		r.running = true
+		go r.fanoutLoop()
+	}
+	r.mu.Unlock()
 	return nil
+}
+
+// fanoutLoop drains the pending queue in batches, delivering each
+// sample to every subscriber in enqueue order, and exits when the queue
+// is empty (it is respawned on demand, so an idle repository holds no
+// goroutine).
+func (r *Repository) fanoutLoop() {
+	r.mu.Lock()
+	for {
+		if len(r.pending) == 0 {
+			r.running = false
+			r.m.queueDepth.Set(0)
+			r.drained.Broadcast()
+			r.mu.Unlock()
+			return
+		}
+		n := len(r.pending)
+		if n > batchSize {
+			n = batchSize
+		}
+		batch := make([]tuner.Sample, n)
+		copy(batch, r.pending)
+		rest := copy(r.pending, r.pending[n:])
+		r.pending = r.pending[:rest]
+		subs := append([]tuner.Tuner(nil), r.subscribers...)
+		r.m.queueDepth.Set(float64(rest))
+		r.notFull.Broadcast()
+		r.mu.Unlock()
+
+		deliver(subs, batch)
+
+		r.mu.Lock()
+		r.delivered += int64(n)
+		r.m.delivered.Add(float64(n))
+		r.m.batches.Inc()
+		r.drained.Broadcast()
+	}
+}
+
+// deliver pushes a batch to every subscriber; per-tuner errors are the
+// tuner's concern (engine mismatch and similar).
+func deliver(subs []tuner.Tuner, batch []tuner.Sample) {
+	for _, s := range batch {
+		for _, t := range subs {
+			_ = t.Observe(s)
+		}
+	}
+}
+
+// Flush blocks until every sample enqueued before the call has been
+// delivered to all subscribers. The fleet scheduler calls it before
+// each ordered dispatch so recommendations always see the tuner state
+// the sequential schedule would; tests call it to drain.
+func (r *Repository) Flush() {
+	r.mu.Lock()
+	for r.delivered < r.enqueued {
+		r.drained.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// Close drains the queue and switches the repository to synchronous
+// delivery; it is idempotent and Observe remains usable afterwards.
+func (r *Repository) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+	r.Flush()
+}
+
+// Pending returns how many samples are waiting in the fan-out queue.
+func (r *Repository) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
 }
 
 // Store returns the underlying sample store.
@@ -75,7 +216,9 @@ func (r *Repository) Save(w io.Writer) error {
 
 // Load reads JSON-line samples, storing each and fanning out to current
 // subscribers (so a freshly booted tuner warms up from the durable
-// store). It returns the number of samples loaded.
+// store). The fan-out queue is drained before returning, so subscribers
+// have seen every loaded sample. It returns the number of samples
+// loaded.
 func (r *Repository) Load(rd io.Reader) (int, error) {
 	dec := json.NewDecoder(bufio.NewReader(rd))
 	n := 0
@@ -84,12 +227,15 @@ func (r *Repository) Load(rd io.Reader) (int, error) {
 		if err := dec.Decode(&s); err == io.EOF {
 			break
 		} else if err != nil {
+			r.Flush()
 			return n, fmt.Errorf("repository: load: %w", err)
 		}
 		if err := r.Observe(s); err != nil {
+			r.Flush()
 			return n, err
 		}
 		n++
 	}
+	r.Flush()
 	return n, nil
 }

@@ -35,6 +35,7 @@ func TestObserveStoresAndFansOut(t *testing.T) {
 	if err := r.Observe(tuner.Sample{WorkloadID: "w", Engine: knobs.Postgres}); err != nil {
 		t.Fatal(err)
 	}
+	r.Flush() // fan-out is async: drain before asserting delivery
 	if r.Len() != 1 {
 		t.Fatalf("len = %d", r.Len())
 	}
@@ -56,6 +57,7 @@ func TestSubscribeAfterSamplesOnlySeesNew(t *testing.T) {
 	late := &countingTuner{engine: knobs.Postgres}
 	r.Subscribe(late)
 	r.Observe(tuner.Sample{WorkloadID: "new", Engine: knobs.Postgres})
+	r.Flush()
 	if late.observed != 1 {
 		t.Fatalf("late subscriber observed %d", late.observed)
 	}
