@@ -26,6 +26,7 @@ import (
 	"autodbaas/internal/agent"
 	"autodbaas/internal/cluster"
 	"autodbaas/internal/core"
+	"autodbaas/internal/faults"
 	"autodbaas/internal/httpapi"
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/tuner"
@@ -41,15 +42,17 @@ func main() {
 	periodic := flag.Bool("periodic", false, "use the periodic baseline instead of TDE-driven requests")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	parallelism := flag.Int("parallelism", 0, "fleet-step parallelism (0: GOMAXPROCS); results are identical at every level")
+	faultsProfile := flag.String("faults", "", "fault-injection profile: zero, light, medium or heavy (empty: no injection)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-injection seed (0: derive from -seed); chaos runs are reproducible from (seed, profile)")
 	flag.Parse()
 
-	if err := run(*fleet, *hours, *listen, *tuners, *periodic, *seed, *parallelism); err != nil {
+	if err := run(*fleet, *hours, *listen, *tuners, *periodic, *seed, *parallelism, *faultsProfile, *faultSeed); err != nil {
 		fmt.Fprintf(os.Stderr, "autodbaas: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed int64, parallelism int) error {
+func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed int64, parallelism int, faultsProfile string, faultSeed int64) error {
 	tuners := make([]tuner.Tuner, 0, tunerCount)
 	for i := 0; i < tunerCount; i++ {
 		t, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 200, MaxSamplesPerFit: 150, UCBBeta: 0.5, Seed: seed + int64(i)})
@@ -58,7 +61,18 @@ func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed in
 		}
 		tuners = append(tuners, t)
 	}
-	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: parallelism}, tuners...)
+	var injector *faults.Injector
+	if faultsProfile != "" {
+		prof, err := faults.ParseProfile(faultsProfile)
+		if err != nil {
+			return err
+		}
+		if faultSeed == 0 {
+			faultSeed = seed
+		}
+		injector = faults.New(faultSeed, prof)
+	}
+	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: parallelism, Faults: injector}, tuners...)
 	if err != nil {
 		return err
 	}
@@ -116,6 +130,9 @@ func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed in
 
 	fmt.Printf("simulating %d instances for %d virtual hours (%s mode, parallelism %d)\n",
 		fleet, hours, map[bool]string{true: "periodic", false: "tde"}[periodic], sys.Parallelism())
+	if injector != nil {
+		fmt.Printf("fault injection: profile=%s seed=%d\n", injector.Profile().Name, injector.Seed())
+	}
 	for h := 0; h < hours; h++ {
 		select {
 		case <-ctx.Done():
@@ -131,6 +148,9 @@ func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed in
 		reqs, recs, fails, upgrades := sys.Director.Counters()
 		fmt.Printf("hour %02d: throttles=%d tuning-requests=%d recommendations=%d apply-failures=%d plan-upgrades=%d samples=%d\n",
 			h, throttles, reqs, recs, fails, upgrades, sys.Repository.Len())
+	}
+	if injector != nil {
+		fmt.Printf("faults injected: %d total (%s)\n", injector.InjectedTotal(), injector)
 	}
 	fmt.Println("simulation complete; ctrl-c to stop the HTTP endpoints")
 	<-ctx.Done()

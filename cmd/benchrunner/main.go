@@ -31,6 +31,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base PRNG seed")
 	parallelism := flag.Int("parallelism", 0, "fleet-step parallelism for fleet experiments (0: GOMAXPROCS); results are identical at every level")
 	metricsOut := flag.String("metrics-out", "", "if set, dump the metrics registry per experiment (<dir>/<key>.prom)")
+	faultsProfile := flag.String("faults", "medium", "fault profile for the chaos job (zero|light|medium|heavy)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -90,6 +91,9 @@ func main() {
 		{"fig14", "fig14_workload_shift.txt", func() string { return experiments.Fig14WorkloadShift(scale(8, 4), *seed).Render() }},
 		{"fig15", "fig15_throttle_accuracy.txt", func() string {
 			return experiments.Fig15Accuracy(scale(20, 8), scale(8, 4), 2, *seed).Render()
+		}},
+		{"chaos", "chaos_soak.txt", func() string {
+			return experiments.ChaosSoak(scale(20, 6), scale(24, 4), *parallelism, *seed, *faultsProfile).Render()
 		}},
 		{"ablations", "ablations.txt", func() string {
 			out := experiments.AblationEntropyFilter([]int{2, 4, 8, 16, 64}, scale(30, 10), *seed).Render()

@@ -18,6 +18,7 @@ import (
 	"autodbaas/internal/cluster"
 	"autodbaas/internal/dfa"
 	"autodbaas/internal/director"
+	"autodbaas/internal/faults"
 	"autodbaas/internal/monitor"
 	"autodbaas/internal/obs"
 	"autodbaas/internal/orchestrator"
@@ -36,6 +37,12 @@ type Options struct {
 	// are merged in onboarding order, making results bit-for-bit
 	// identical at every parallelism level. 0 means GOMAXPROCS.
 	Parallelism int
+	// Faults, when non-nil, injects deterministic faults into every seam
+	// of the deployment: engine apply/restart/window hooks, tuner
+	// Recommend wrappers, repository fan-out fates and monitor sampling.
+	// The injector's per-site PRNG streams keep chaos runs bit-for-bit
+	// reproducible from (seed, profile) at every parallelism level.
+	Faults *faults.Injector
 }
 
 // System is one AutoDBaaS deployment.
@@ -53,6 +60,7 @@ type System struct {
 	monitors map[string]*monitor.Agent
 
 	parallelism int
+	faults      *faults.Injector
 	m           coreMetrics
 }
 
@@ -93,11 +101,18 @@ func NewSystemWithOptions(opts Options, tuners ...tuner.Tuner) (*System, error) 
 	}
 	orch := orchestrator.New()
 	d := dfa.New(orch)
+	// Chaos decoration happens at wiring time so every path — director
+	// dispatch, repository fan-out, engine hooks — sees the same wrapped
+	// fleet. WrapTuners preserves the tde.Baseline capability.
+	tuners = opts.Faults.WrapTuners(tuners)
 	dir, err := director.New(orch, d, tuners...)
 	if err != nil {
 		return nil, err
 	}
 	repo := repository.New()
+	if opts.Faults != nil {
+		repo.InjectFaults(opts.Faults)
+	}
 	for _, t := range tuners {
 		repo.Subscribe(t)
 	}
@@ -110,6 +125,7 @@ func NewSystemWithOptions(opts Options, tuners ...tuner.Tuner) (*System, error) 
 		agents:       make(map[string]*agent.Agent),
 		monitors:     make(map[string]*monitor.Agent),
 		parallelism:  par,
+		faults:       opts.Faults,
 		m:            newCoreMetrics(obs.Default()),
 	}
 	s.m.parallelism.Set(float64(par))
@@ -118,6 +134,9 @@ func NewSystemWithOptions(opts Options, tuners ...tuner.Tuner) (*System, error) 
 
 // Parallelism returns the configured fleet-step parallelism.
 func (s *System) Parallelism() int { return s.parallelism }
+
+// Faults returns the system's fault injector (nil when chaos is off).
+func (s *System) Faults() *faults.Injector { return s.faults }
 
 // InstanceSpec describes one database service instance to onboard.
 type InstanceSpec struct {
@@ -136,6 +155,7 @@ func (s *System) AddInstance(spec InstanceSpec) (*agent.Agent, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.installFaultHooks(inst)
 	opts := spec.Agent
 	if opts.Mode == agent.ModePeriodic && opts.Tuning == nil {
 		opts.Tuning = s.Director
@@ -164,6 +184,17 @@ func (s *System) AddInstance(spec InstanceSpec) (*agent.Agent, error) {
 	s.order = append(s.order, inst.ID)
 	s.monitors[inst.ID] = monitor.NewAgent(100_000)
 	return a, nil
+}
+
+// installFaultHooks attaches the injector's per-node engine hooks to
+// every node of the instance (a no-op without an injector).
+func (s *System) installFaultHooks(inst *cluster.Instance) {
+	if s.faults == nil {
+		return
+	}
+	for i, node := range inst.Replica.Nodes() {
+		node.SetFaultHooks(s.faults.EngineHooks(inst.ID, i))
+	}
 }
 
 // Agent returns the agent for an instance.
@@ -304,8 +335,10 @@ func (s *System) Step(dur time.Duration) StepResult {
 			res.Errors[id] = dispatchErr
 		}
 		// External monitoring (the Dynatrace substitute), sampled after
-		// dispatch as in the sequential schedule.
-		if mon := fleet[i].mon; mon != nil {
+		// dispatch as in the sequential schedule. An injected monitor
+		// loss drops the whole sampling round for this window, as if the
+		// scrape timed out.
+		if mon := fleet[i].mon; mon != nil && !s.faults.DropMonitorSample(id) {
 			now := a.Instance().Replica.Master().Now()
 			st := out.Stats
 			_ = mon.Series("disk_latency_ms").Append(now, st.DiskLatencyMs)
@@ -372,6 +405,7 @@ func (s *System) ApproveUpgrade(id string, seed int64) (*agent.Agent, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.installFaultHooks(inst)
 	opts := agent.Options{TickEvery: 5 * time.Minute, GateSamples: true}
 	a, err := agent.New(inst, gen, s.Director, s.Repository, opts)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"autodbaas/internal/agent"
 	"autodbaas/internal/cluster"
+	"autodbaas/internal/faults"
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/tuner/bo"
 	"autodbaas/internal/workload"
@@ -30,12 +31,17 @@ type fleetFingerprint struct {
 // runFleet builds the same mixed fleet at the given parallelism, steps
 // it for two simulated hours and fingerprints the result.
 func runFleet(t *testing.T, parallelism int) fleetFingerprint {
+	return runFleetWith(t, parallelism, nil)
+}
+
+// runFleetWith is runFleet with an optional fault injector.
+func runFleetWith(t *testing.T, parallelism int, in *faults.Injector) fleetFingerprint {
 	t.Helper()
 	tn, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 60, MaxSamplesPerFit: 60, UCBBeta: 0.5, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewSystemWithOptions(Options{Parallelism: parallelism}, tn)
+	s, err := NewSystemWithOptions(Options{Parallelism: parallelism, Faults: in}, tn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,6 +99,53 @@ func TestStepDeterminismAcrossParallelism(t *testing.T) {
 		if !reflect.DeepEqual(base, got) {
 			t.Errorf("parallelism=%d diverged from sequential run:\n  seq: %+v\n  par: %+v", par, base, got)
 		}
+	}
+}
+
+// TestStepDeterminismAcrossParallelismUnderFaults extends the
+// determinism guarantee to chaos runs: the injector draws from per-site
+// PRNG streams, so a fixed (fault seed, profile) yields identical fleet
+// fingerprints AND identical per-kind injected-fault counts at every
+// parallelism level.
+func TestStepDeterminismAcrossParallelismUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet determinism sweep")
+	}
+	run := func(par int) (fleetFingerprint, map[string]int64) {
+		in := faults.New(99, faults.Medium())
+		fp := runFleetWith(t, par, in)
+		return fp, in.Counts()
+	}
+	base, baseCounts := run(1)
+	if len(baseCounts) == 0 {
+		t.Fatal("medium profile injected nothing over two fleet hours")
+	}
+	for _, par := range []int{4, 16} {
+		got, counts := run(par)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("parallelism=%d chaos run diverged:\n  seq: %+v\n  par: %+v", par, base, got)
+		}
+		if !reflect.DeepEqual(baseCounts, counts) {
+			t.Errorf("parallelism=%d injected different faults:\n  seq: %v\n  par: %v", par, baseCounts, counts)
+		}
+	}
+}
+
+// TestZeroProfileInjectorIsTransparent pins the acceptance criterion
+// that wiring an injector with the zero profile changes nothing: the
+// fingerprint matches a run with no injector at all.
+func TestZeroProfileInjectorIsTransparent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet sweep")
+	}
+	clean := runFleet(t, 4)
+	in := faults.New(12345, faults.Zero())
+	zero := runFleetWith(t, 4, in)
+	if !reflect.DeepEqual(clean, zero) {
+		t.Errorf("zero-profile injector perturbed the run:\n  clean: %+v\n  zero:  %+v", clean, zero)
+	}
+	if in.InjectedTotal() != 0 {
+		t.Errorf("zero profile injected %d faults", in.InjectedTotal())
 	}
 }
 

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"autodbaas/internal/agent"
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/faults"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tuner/bo"
+	"autodbaas/internal/workload"
+)
+
+// soakFleet builds the 20-instance soak fleet (mixed workloads, every
+// other instance with a replica) and returns the system.
+func soakFleet(t *testing.T, in *faults.Injector) *System {
+	t.Helper()
+	tn, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 60, MaxSamplesPerFit: 60, UCBBeta: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystemWithOptions(Options{Faults: in}, tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []string{"t2.medium", "m4.large", "t2.large", "m4.xlarge"}
+	const fleet = 20
+	for i := 0; i < fleet; i++ {
+		var gen workload.Generator
+		switch i % 5 {
+		case 3:
+			gen = workload.NewTPCC(12*cluster.GiB, 1500)
+		case 4:
+			gen = workload.NewYCSB(10*cluster.GiB, 2000)
+		default:
+			gen = workload.NewProduction()
+		}
+		if _, err := s.AddInstance(InstanceSpec{
+			Provision: cluster.ProvisionSpec{
+				ID: fmt.Sprintf("db-%02d", i), Plan: plans[i%len(plans)],
+				Engine: knobs.Postgres, DBSizeBytes: gen.DBSizeBytes(),
+				Slaves: i % 2, Seed: 100 + int64(i),
+			},
+			Workload: gen,
+			Agent:    agent.Options{TickEvery: 5 * time.Minute, GateSamples: true},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// soakRun steps the system for the given number of simulated hours with
+// 10-minute windows, verifying every step's snapshot consistency, and
+// returns the total throttles.
+func soakRun(t *testing.T, s *System, hours int) int {
+	t.Helper()
+	fleet := len(s.Agents())
+	throttles := 0
+	steps := hours * 6
+	for i := 0; i < steps; i++ {
+		res := s.Step(10 * time.Minute)
+		throttles += res.Throttles
+		// Snapshot consistency: every step reports a window and an event
+		// slice for every instance — a crash-looping instance may error,
+		// but it must never vanish from the snapshot.
+		if len(res.Windows) != fleet {
+			t.Fatalf("step %d: %d windows for %d instances", i, len(res.Windows), fleet)
+		}
+		for _, a := range s.Agents() {
+			if _, ok := res.Windows[a.Instance().ID]; !ok {
+				t.Fatalf("step %d: instance %s missing from snapshot", i, a.Instance().ID)
+			}
+		}
+	}
+	return throttles
+}
+
+// TestFleetSurvivesFaultSoak is the chaos soak: a 20-instance fleet, two
+// simulated days under the medium fault profile, then a quiesce phase.
+// The fleet must come out whole — zero lost instances, bounded throttle
+// inflation versus a clean run, and every Step snapshot consistent.
+func TestFleetSurvivesFaultSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	const hours = 48
+
+	clean := soakRun(t, soakFleet(t, nil), hours)
+
+	in := faults.New(1, faults.Medium())
+	s := soakFleet(t, in)
+	chaos := soakRun(t, s, hours)
+	if in.InjectedTotal() == 0 {
+		t.Fatal("soak injected no faults")
+	}
+	t.Logf("soak: clean throttles=%d chaos throttles=%d injected=%d (%s)", clean, chaos, in.InjectedTotal(), in)
+
+	// Quiesce: injection stops, already-down nodes recover on their
+	// schedule and the reconciler repairs what chaos left behind.
+	in.Disable()
+	soakRun(t, s, 2)
+
+	for _, a := range s.Agents() {
+		for ni, node := range a.Instance().Replica.Nodes() {
+			if node.Down() {
+				t.Errorf("instance %s node %d still down after quiesce", a.Instance().ID, ni)
+			}
+		}
+	}
+	// Bounded degradation: chaos may cost throttles (crashed windows,
+	// skipped tuning rounds) but not unbounded ones.
+	if limit := clean*4 + 100; chaos > limit {
+		t.Errorf("throttle inflation unbounded: clean=%d chaos=%d limit=%d", clean, chaos, limit)
+	}
+}

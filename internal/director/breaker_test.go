@@ -1,0 +1,114 @@
+package director
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tuner"
+	"autodbaas/internal/workload"
+)
+
+var errRound = errors.New("tuner exploded")
+
+// advance moves the instance's virtual clock forward by running one
+// observation window (the breaker cooldown is virtual time).
+func advance(t *testing.T, inst *cluster.Instance, d time.Duration) {
+	t.Helper()
+	gen := workload.NewTPCC(10*cluster.GiB, 200)
+	if _, err := inst.Replica.Master().RunWindow(gen, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	ft := &fakeTuner{name: "flaky", err: errRound}
+	dir, _, inst := setup(t, ft)
+	req := tuner.Request{Engine: knobs.Postgres}
+
+	for i := 0; i < BreakerThreshold; i++ {
+		if err := dir.RequestTuning("db-1", req); !errors.Is(err, errRound) {
+			t.Fatalf("round %d: err = %v", i, err)
+		}
+	}
+	if dir.CircuitTrips() != 1 || dir.OpenCircuits() != 1 {
+		t.Fatalf("trips=%d open=%d after threshold failures", dir.CircuitTrips(), dir.OpenCircuits())
+	}
+	// Open circuit: rounds are skipped without touching the tuner pool,
+	// and the skip is not an error (the merge phase must not stall).
+	callsBefore := ft.calls
+	for i := 0; i < 5; i++ {
+		if err := dir.RequestTuning("db-1", req); err != nil {
+			t.Fatalf("skipped round errored: %v", err)
+		}
+	}
+	if ft.calls != callsBefore {
+		t.Fatalf("open circuit still dispatched: calls %d -> %d", callsBefore, ft.calls)
+	}
+	if dir.CircuitSkips() != 5 {
+		t.Fatalf("skips = %d, want 5", dir.CircuitSkips())
+	}
+
+	// After the cooldown a half-open probe goes through; a healthy round
+	// closes the circuit again.
+	advance(t, inst, BreakerCooldown+time.Minute)
+	ft.err = nil
+	ft.rec = goodRec()
+	if err := dir.RequestTuning("db-1", req); err != nil {
+		t.Fatalf("probe round: %v", err)
+	}
+	if dir.OpenCircuits() != 0 {
+		t.Fatal("circuit still open after successful probe")
+	}
+	calls := ft.calls
+	if err := dir.RequestTuning("db-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if ft.calls != calls+1 {
+		t.Fatal("closed circuit not dispatching")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	ft := &fakeTuner{name: "flaky", err: errRound}
+	dir, _, inst := setup(t, ft)
+	req := tuner.Request{Engine: knobs.Postgres}
+	for i := 0; i < BreakerThreshold; i++ {
+		_ = dir.RequestTuning("db-1", req)
+	}
+	advance(t, inst, BreakerCooldown+time.Minute)
+	// The probe fails: circuit reopens immediately, next rounds skip.
+	if err := dir.RequestTuning("db-1", req); !errors.Is(err, errRound) {
+		t.Fatalf("probe err = %v", err)
+	}
+	if dir.CircuitTrips() != 2 || dir.OpenCircuits() != 1 {
+		t.Fatalf("trips=%d open=%d after failed probe", dir.CircuitTrips(), dir.OpenCircuits())
+	}
+	calls := ft.calls
+	if err := dir.RequestTuning("db-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if ft.calls != calls {
+		t.Fatal("reopened circuit dispatched")
+	}
+}
+
+func TestNotTrainedDoesNotTripBreaker(t *testing.T) {
+	ft := &fakeTuner{name: "cold", err: tuner.ErrNotTrained}
+	dir, _, _ := setup(t, ft)
+	req := tuner.Request{Engine: knobs.Postgres}
+	for i := 0; i < 3*BreakerThreshold; i++ {
+		if err := dir.RequestTuning("db-1", req); !errors.Is(err, tuner.ErrNotTrained) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if dir.CircuitTrips() != 0 || dir.OpenCircuits() != 0 || dir.CircuitSkips() != 0 {
+		t.Fatalf("bootstrap tripped the breaker: trips=%d open=%d skips=%d",
+			dir.CircuitTrips(), dir.OpenCircuits(), dir.CircuitSkips())
+	}
+	if ft.calls != 3*BreakerThreshold {
+		t.Fatalf("calls = %d, want %d", ft.calls, 3*BreakerThreshold)
+	}
+}

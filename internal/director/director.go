@@ -50,9 +50,23 @@ type Director struct {
 	planUpgrades    atomic.Int64
 	recommendations atomic.Int64
 	applyFailures   atomic.Int64
+	circuitSkips    atomic.Int64
+	circuitTrips    atomic.Int64
 
 	m directorMetrics
 }
+
+// Circuit-breaker tuning: BreakerThreshold consecutive failed
+// recommendation rounds for one instance open its circuit, and rounds
+// for it are skipped until BreakerCooldown of the instance's own
+// virtual time has elapsed. The first round after the cooldown is a
+// half-open probe; its failure reopens the circuit immediately, its
+// success closes it. ErrNotTrained is neutral — a cold tuner during
+// bootstrap is not a failing instance.
+const (
+	BreakerThreshold = 3
+	BreakerCooldown  = 30 * time.Minute
+)
 
 // directorMetrics are the director's registry handles, resolved once at
 // construction so the intake hot path only touches atomics.
@@ -67,6 +81,9 @@ type directorMetrics struct {
 	inflight        *obs.Gauge
 	roundSeconds    *obs.Histogram
 	maintWindows    *obs.Counter
+	circuitOpen     *obs.Gauge
+	circuitSkips    *obs.Counter
+	circuitTrips    *obs.Counter
 }
 
 func newDirectorMetrics(r *obs.Registry) directorMetrics {
@@ -82,6 +99,9 @@ func newDirectorMetrics(r *obs.Registry) directorMetrics {
 		inflight:        r.Gauge("autodbaas_director_inflight_recommendations", "Recommendation rounds currently in flight (tuner fan-out depth)."),
 		roundSeconds:    r.Histogram("autodbaas_director_tuning_round_seconds", "Wall-clock latency of one tuning round (recommend + apply).", nil),
 		maintWindows:    r.Counter("autodbaas_director_maintenance_windows_total", "Maintenance windows executed."),
+		circuitOpen:     r.Gauge("autodbaas_director_circuit_open", "Instances whose recommendation circuit is currently open."),
+		circuitSkips:    r.Counter("autodbaas_director_circuit_skips_total", "Recommendation rounds skipped because the instance circuit was open."),
+		circuitTrips:    r.Counter("autodbaas_director_circuit_trips_total", "Circuit-breaker trips (including reopened half-open probes)."),
 	}
 }
 
@@ -97,6 +117,14 @@ type instShard struct {
 	// upgradeRequests counts plan-upgrade signals for this instance —
 	// the "ask the customer to upgrade" queue.
 	upgradeRequests int
+
+	// Circuit breaker (chaos hardening): consecutive failed rounds open
+	// the circuit so a crash-looping instance cannot monopolise the
+	// tuner pool or stall the fleet scheduler's ordered merge phase.
+	failStreak int
+	open       bool
+	openUntil  time.Time // instance virtual time
+	probing    bool      // half-open probe in flight
 }
 
 // New returns a Director over the given tuner pool.
@@ -148,6 +176,87 @@ func (d *Director) shard(id string) *instShard {
 		d.shards[id] = st
 	}
 	return st
+}
+
+// breakerAllow reports whether a recommendation round may run for the
+// shard at virtual time now, letting exactly one half-open probe
+// through once the cooldown has expired.
+func (d *Director) breakerAllow(st *instShard, now time.Time) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.open {
+		return true
+	}
+	if now.Before(st.openUntil) || st.probing {
+		return false
+	}
+	st.probing = true
+	return true
+}
+
+// breakerSuccess closes the shard's circuit after a clean round.
+func (d *Director) breakerSuccess(st *instShard) {
+	st.mu.Lock()
+	wasOpen := st.open
+	st.failStreak = 0
+	st.open = false
+	st.probing = false
+	st.mu.Unlock()
+	if wasOpen {
+		d.m.circuitOpen.Add(-1)
+	}
+}
+
+// breakerFailure records a failed round: a failed half-open probe
+// reopens the circuit for another cooldown, and BreakerThreshold
+// consecutive failures open a closed one.
+func (d *Director) breakerFailure(st *instShard, now time.Time) {
+	st.mu.Lock()
+	st.failStreak++
+	wasOpen := st.open
+	trip := false
+	switch {
+	case st.probing:
+		st.probing = false
+		st.openUntil = now.Add(BreakerCooldown)
+		trip = true
+	case !st.open && st.failStreak >= BreakerThreshold:
+		st.open = true
+		st.openUntil = now.Add(BreakerCooldown)
+		trip = true
+	}
+	st.mu.Unlock()
+	if trip {
+		d.circuitTrips.Add(1)
+		d.m.circuitTrips.Inc()
+		if !wasOpen {
+			d.m.circuitOpen.Add(1)
+		}
+	}
+}
+
+// CircuitSkips returns how many recommendation rounds were skipped on
+// an open circuit; CircuitTrips how many times a circuit opened
+// (including reopened probes); OpenCircuits how many instances are
+// currently broken.
+func (d *Director) CircuitSkips() int { return int(d.circuitSkips.Load()) }
+
+// CircuitTrips returns the number of circuit-breaker trips so far.
+func (d *Director) CircuitTrips() int { return int(d.circuitTrips.Load()) }
+
+// OpenCircuits counts instances whose circuit is currently open.
+func (d *Director) OpenCircuits() int {
+	d.shardMu.RLock()
+	defer d.shardMu.RUnlock()
+	n := 0
+	for _, st := range d.shards {
+		st.mu.Lock()
+		if st.open {
+			n++
+		}
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // ErrUnknownInstance is returned when an event references an instance
@@ -218,6 +327,16 @@ func (d *Director) RequestTuning(instanceID string, req tuner.Request) error {
 }
 
 func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
+	st := d.shard(inst.ID)
+	vnow := inst.Replica.Master().Now()
+	if !d.breakerAllow(st, vnow) {
+		// Open circuit: skip the round entirely rather than burn a tuner
+		// on an instance that keeps failing. Not an error — the agent's
+		// throttle event was handled, by deliberately doing nothing.
+		d.circuitSkips.Add(1)
+		d.m.circuitSkips.Inc()
+		return nil
+	}
 	start := time.Now()
 	d.m.inflight.Add(1)
 	defer func() {
@@ -226,7 +345,6 @@ func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
 	}()
 	// Span instants are the instance's virtual timeline; wall cost rides
 	// along as an attribute when the span ends.
-	vnow := inst.Replica.Master().Now()
 	span := obs.DefaultTracer().StartAt("director", "recommend", vnow)
 	span.SetAttr("instance", inst.ID)
 	defer func() {
@@ -241,10 +359,12 @@ func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
 	tspan.EndAt(vnow)
 	if err != nil {
 		span.SetAttr("error", err.Error())
+		if !errors.Is(err, tuner.ErrNotTrained) {
+			d.breakerFailure(st, vnow)
+		}
 		return fmt.Errorf("director: %s: %w", t.Name(), err)
 	}
 	d.recommendations.Add(1)
-	st := d.shard(inst.ID)
 	bp := inst.Replica.Master().KnobCatalog().BufferPoolKnob()
 	if v, ok := rec.Config[bp]; ok {
 		st.mu.Lock()
@@ -261,9 +381,11 @@ func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
 		aspan.EndAt(vnow)
 		d.applyFailures.Add(1)
 		d.m.applyFailures.Inc()
+		d.breakerFailure(st, vnow)
 		return err
 	}
 	aspan.EndAt(vnow)
+	d.breakerSuccess(st)
 	return nil
 }
 

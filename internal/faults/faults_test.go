@@ -1,0 +1,190 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"autodbaas/internal/obs"
+)
+
+func TestParseProfile(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"", "zero", false},
+		{"zero", "zero", false},
+		{"none", "zero", false},
+		{"off", "zero", false},
+		{"light", "light", false},
+		{"Medium", "medium", false},
+		{" heavy ", "heavy", false},
+		{"catastrophic", "", true},
+	}
+	for _, c := range cases {
+		p, err := ParseProfile(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseProfile(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseProfile(%q): %v", c.in, err)
+			continue
+		}
+		if p.Name != c.want {
+			t.Errorf("ParseProfile(%q) = %q, want %q", c.in, p.Name, c.want)
+		}
+	}
+}
+
+// drainSite records the site's first n decisions for one fault kind.
+func drainSite(in *Injector, site string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = in.hit(site, KindApplyError, in.prof.ApplyError)
+	}
+	return out
+}
+
+func TestPerSiteStreamsAreInterleavingIndependent(t *testing.T) {
+	// Consulting site A alone must yield the same decision sequence as
+	// consulting A interleaved with B and C in any order: each site owns
+	// its stream, so cross-site consultation order is irrelevant.
+	const n = 200
+	alone := drainSite(New(7, Medium()), "inst-0/node0/apply", n)
+
+	mixed := New(7, Medium())
+	got := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			mixed.hit("inst-1/node0/apply", KindApplyError, 0.5)
+		}
+		got = append(got, mixed.hit("inst-0/node0/apply", KindApplyError, mixed.prof.ApplyError))
+		if i%2 == 0 {
+			mixed.hit("tuner/bo-0/timeout", KindTunerTimeout, 0.5)
+		}
+	}
+	for i := range alone {
+		if alone[i] != got[i] {
+			t.Fatalf("decision %d diverged under interleaving: alone=%v mixed=%v", i, alone[i], got[i])
+		}
+	}
+
+	// And the same (seed, profile) replays bit-for-bit.
+	replay := drainSite(New(7, Medium()), "inst-0/node0/apply", n)
+	for i := range alone {
+		if alone[i] != replay[i] {
+			t.Fatalf("decision %d not reproducible from (seed, profile)", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := drainSite(New(1, Heavy()), "site", 64)
+	b := drainSite(New(2, Heavy()), "site", 64)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical decision sequences")
+	}
+}
+
+func TestZeroProfileDrawsNothing(t *testing.T) {
+	in := New(1, Zero())
+	for i := 0; i < 100; i++ {
+		if in.hit("site", KindApplyError, in.prof.ApplyError) {
+			t.Fatal("zero profile injected a fault")
+		}
+		if d, dup, delay := in.SampleFault(); d || dup || delay != 0 {
+			t.Fatal("zero profile perturbed the fan-out")
+		}
+		if in.DropMonitorSample("db-0") {
+			t.Fatal("zero profile dropped a monitor sample")
+		}
+	}
+	if in.InjectedTotal() != 0 {
+		t.Fatalf("InjectedTotal = %d, want 0", in.InjectedTotal())
+	}
+	// Zero-probability kinds must consume no randomness at all, so the
+	// stream map stays empty and adding a zero-prob consultation between
+	// two live ones cannot shift the latter.
+	if len(in.streams) != 0 {
+		t.Fatalf("zero profile created %d PRNG streams, want 0", len(in.streams))
+	}
+}
+
+func TestDisableQuiesces(t *testing.T) {
+	in := New(3, Heavy())
+	fired := false
+	for i := 0; i < 100; i++ {
+		fired = fired || in.hit("site", KindApplyError, in.prof.ApplyError)
+	}
+	if !fired {
+		t.Fatal("heavy profile never fired in 100 draws")
+	}
+	before := in.InjectedTotal()
+	in.Disable()
+	for i := 0; i < 100; i++ {
+		if in.hit("site", KindApplyError, in.prof.ApplyError) {
+			t.Fatal("disabled injector fired")
+		}
+	}
+	if in.InjectedTotal() != before {
+		t.Fatal("disabled injector kept counting")
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var in *Injector
+	if in.Seed() != 0 || in.Profile().Name != "zero" {
+		t.Fatal("nil injector identity")
+	}
+	in.Disable()
+	if in.InjectedTotal() != 0 || len(in.Counts()) != 0 {
+		t.Fatal("nil injector counts")
+	}
+	if in.DropMonitorSample("x") {
+		t.Fatal("nil injector dropped a sample")
+	}
+	if d, dup, delay := in.SampleFault(); d || dup || delay != 0 {
+		t.Fatal("nil injector faulted a sample")
+	}
+	if in.EngineHooks("x", 0) != nil {
+		t.Fatal("nil injector built hooks")
+	}
+	if got := in.WrapTuners(nil); got != nil {
+		t.Fatal("nil injector wrapped tuners")
+	}
+}
+
+func TestInjectedFaultsSurfaceInMetrics(t *testing.T) {
+	reg := obs.Default()
+	reg.Reset()
+	defer reg.Reset()
+	in := New(11, Heavy())
+	for i := 0; i < 200; i++ {
+		in.hit("db-0/node0/apply", KindApplyError, in.prof.ApplyError)
+	}
+	if in.Counts()[KindApplyError] == 0 {
+		t.Fatal("no apply faults fired in 200 heavy draws")
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "autodbaas_faults_injected_total") {
+		t.Fatalf("faults_injected_total missing from exposition:\n%s", text)
+	}
+	if !strings.Contains(text, `kind="apply_error"`) {
+		t.Fatalf("apply_error label missing from exposition:\n%s", text)
+	}
+}

@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"fmt"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/metrics"
+	"autodbaas/internal/simdb"
+	"autodbaas/internal/tde"
+	"autodbaas/internal/tuner"
+)
+
+// EngineHooks builds the simdb fault hooks for one node of an instance.
+// The site names are stable ("<instance>/node<i>/<seam>"), so the same
+// (seed, profile) perturbs the same windows regardless of how the fleet
+// scheduler interleaves instances.
+func (in *Injector) EngineHooks(instanceID string, node int) *simdb.FaultHooks {
+	if in == nil {
+		return nil
+	}
+	site := fmt.Sprintf("%s/node%d", instanceID, node)
+	return &simdb.FaultHooks{
+		BeforeApply: func(method simdb.ApplyMethod) error {
+			if in.hit(site+"/apply", KindApplyError, in.prof.ApplyError) {
+				return fmt.Errorf("%w: %s on %s", ErrInjected, method, site)
+			}
+			return nil
+		},
+		BeforeRestart: func() error {
+			if in.hit(site+"/restart", KindStuckRestart, in.prof.StuckRestart) {
+				return fmt.Errorf("%w: restart stuck on %s", ErrInjected, site)
+			}
+			return nil
+		},
+		WindowStart: func() simdb.WindowFault {
+			return in.windowFault(site)
+		},
+	}
+}
+
+// windowFault decides crash/recover/disk-spike for one node window.
+// A node this injector crashed recovers after CrashDownWindows windows;
+// while it is down no other faults are drawn for it.
+func (in *Injector) windowFault(site string) simdb.WindowFault {
+	wf := simdb.WindowFault{DiskFactor: 1}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if left, down := in.nodeDown[site]; down {
+		left--
+		if left <= 0 {
+			delete(in.nodeDown, site)
+			wf.Recover = true
+		} else {
+			in.nodeDown[site] = left
+		}
+		return wf
+	}
+	if in.hitLocked(site+"/crash", KindNodeCrash, in.prof.NodeCrash) {
+		windows := in.prof.CrashDownWindows
+		if windows <= 0 {
+			windows = 2
+		}
+		in.nodeDown[site] = windows
+		wf.Crash = true
+		return wf
+	}
+	if in.hitLocked(site+"/disk", KindDiskSpike, in.prof.DiskSpike) {
+		factor := in.prof.DiskSpikeFactor
+		if factor < 1 {
+			factor = 1
+		}
+		wf.DiskFactor = factor
+	}
+	return wf
+}
+
+// WrapTuners decorates each tuner with injected Recommend timeouts and
+// garbage recommendations. A nil injector returns the input unchanged.
+// Tuners that double as tde.Baseline keep that capability through the
+// wrapper, so the bgwriter detector's workload mapping is unaffected.
+func (in *Injector) WrapTuners(tuners []tuner.Tuner) []tuner.Tuner {
+	if in == nil {
+		return tuners
+	}
+	out := make([]tuner.Tuner, len(tuners))
+	for i, t := range tuners {
+		ft := &flakyTuner{in: in, inner: t}
+		if b, ok := t.(tde.Baseline); ok {
+			out[i] = &flakyBaselineTuner{flakyTuner: ft, baseline: b}
+		} else {
+			out[i] = ft
+		}
+	}
+	return out
+}
+
+// flakyTuner injects Recommend failures in front of a real tuner.
+type flakyTuner struct {
+	in    *Injector
+	inner tuner.Tuner
+}
+
+func (f *flakyTuner) Name() string                 { return f.inner.Name() }
+func (f *flakyTuner) Observe(s tuner.Sample) error { return f.inner.Observe(s) }
+
+func (f *flakyTuner) Recommend(req tuner.Request) (tuner.Recommendation, error) {
+	site := "tuner/" + f.inner.Name()
+	if f.in.hit(site+"/timeout", KindTunerTimeout, f.in.prof.TunerTimeout) {
+		return tuner.Recommendation{}, fmt.Errorf("%w: %s recommend timed out", ErrInjected, f.inner.Name())
+	}
+	if f.in.hit(site+"/garbage", KindTunerGarbage, f.in.prof.TunerGarbage) {
+		return garbageRecommendation(req)
+	}
+	return f.inner.Recommend(req)
+}
+
+// flakyBaselineTuner additionally forwards the tde.Baseline capability.
+type flakyBaselineTuner struct {
+	*flakyTuner
+	baseline tde.Baseline
+}
+
+func (f *flakyBaselineTuner) BgWriterBaseline(sample metrics.Snapshot) (float64, float64, bool) {
+	return f.baseline.BgWriterBaseline(sample)
+}
+
+// garbageRecommendation answers with every tunable knob pinned to its
+// catalogue maximum — a budget-busting configuration the DFA's memory
+// dry-run is expected to reject before any node is touched.
+func garbageRecommendation(req tuner.Request) (tuner.Recommendation, error) {
+	cat, err := knobs.CatalogFor(req.Engine)
+	if err != nil {
+		return tuner.Recommendation{}, err
+	}
+	cfg := knobs.Config{}
+	for _, n := range cat.TunableNames() {
+		cfg[n] = cat.Def(n).Max
+	}
+	return tuner.Recommendation{Config: cfg, Source: "faults:garbage"}, nil
+}

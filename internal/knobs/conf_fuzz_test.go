@@ -1,0 +1,56 @@
+package knobs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzKnobsConfigParse fuzzes the engine-config-file parser: arbitrary
+// input must never panic, and any parse that yields a config the
+// catalogue validates must round-trip through RenderConf/ParseConf
+// bit-for-bit (the property the orchestrator's persistence relies on).
+func FuzzKnobsConfigParse(f *testing.F) {
+	pg, err := CatalogFor(Postgres)
+	if err != nil {
+		f.Fatal(err)
+	}
+	my, err := CatalogFor(MySQL)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pg.RenderConf(pg.DefaultConfig()))
+	f.Add(my.RenderConf(my.DefaultConfig()))
+	f.Add("work_mem = 4MB\nshared_buffers = 1GB\n")
+	f.Add("# comment only\n\n[mysqld]\n")
+	f.Add("work_mem = 4MB # inline comment\n")
+	f.Add("checkpoint_timeout = 5min\n")
+	f.Add("work_mem 4MB\n")            // no '='
+	f.Add("nonsense_knob = 12\n")      // unknown knob
+	f.Add("work_mem = banana\n")       // bad value
+	f.Add("work_mem = 5min\n")         // time suffix on byte knob
+	f.Add("work_mem = nan\n")          // NaN (Validate must reject)
+	f.Add("work_mem = inf\n")          // out of bounds
+	f.Add("work_mem = '64MB'\n")       // quoted value
+	f.Add("random_page_cost = 1.1s\n") // unit on plain knob
+	f.Add(strings.Repeat("work_mem = 4MB\n", 100))
+
+	f.Fuzz(func(t *testing.T, data string) {
+		for _, cat := range []*Catalog{pg, my} {
+			cfg, err := cat.ParseConf(strings.NewReader(data))
+			if err != nil {
+				continue // rejected input is fine; panics are not
+			}
+			if cat.Validate(cfg) != nil {
+				continue // parseable but out-of-catalogue-bounds
+			}
+			rendered := cat.RenderConf(cfg)
+			back, err := cat.ParseConf(strings.NewReader(rendered))
+			if err != nil {
+				t.Fatalf("render of valid config does not re-parse: %v\nrendered:\n%s", err, rendered)
+			}
+			if !back.Equal(cfg) {
+				t.Fatalf("config did not round-trip:\n in:  %v\n out: %v\nrendered:\n%s", cfg, back, rendered)
+			}
+		}
+	})
+}

@@ -37,13 +37,29 @@ type Orchestrator struct {
 	creds     map[string]Credentials
 	persisted map[string]knobs.Config
 	// driftSince records when a divergence between the persisted config
-	// and the master's live config was first observed.
+	// and the master's live config was first observed. A down node counts
+	// as drift: a stuck restart leaves live == persisted but the service
+	// degraded, and only the reconciler will ever bring it back.
 	driftSince map[string]time.Time
+	// repairFails counts consecutive failed repairs per instance;
+	// retryAt is the backoff deadline before the next repair attempt.
+	repairFails map[string]int
+	retryAt     map[string]time.Time
+
 	// WatcherTimeout is how long drift must persist before the
 	// reconciler forces the persisted config back onto all nodes.
 	WatcherTimeout time.Duration
+	// ReloadRetries bounds per-node apply attempts within one repair;
+	// RetryBackoff is the base virtual-time backoff after a failed
+	// repair, doubling per consecutive failure; after EscalateAfter
+	// failed repairs the reconciler escalates from reload to restart.
+	ReloadRetries int
+	RetryBackoff  time.Duration
+	EscalateAfter int
 
 	reconciliations int
+	retries         int
+	escalations     int
 
 	m orchestratorMetrics
 }
@@ -56,6 +72,8 @@ type orchestratorMetrics struct {
 	drifting        *obs.Gauge
 	redeploys       *obs.Counter
 	redeploySeconds *obs.Histogram
+	retriesTotal    *obs.Counter
+	escalations     *obs.Counter
 }
 
 func newOrchestratorMetrics(r *obs.Registry) orchestratorMetrics {
@@ -66,6 +84,8 @@ func newOrchestratorMetrics(r *obs.Registry) orchestratorMetrics {
 		drifting:        r.Gauge("autodbaas_orchestrator_drifting_instances", "Instances currently observed in config drift."),
 		redeploys:       r.Counter("autodbaas_orchestrator_redeploys_total", "Re-deployments executed."),
 		redeploySeconds: r.Histogram("autodbaas_orchestrator_redeploy_seconds", "Wall-clock latency of one re-deployment.", nil),
+		retriesTotal:    r.Counter("autodbaas_orchestrator_retries_total", "Repeated per-node apply attempts during drift repair."),
+		escalations:     r.Counter("autodbaas_orchestrator_restart_escalations_total", "Drift repairs escalated from reload to full restart."),
 	}
 }
 
@@ -76,7 +96,12 @@ func New() *Orchestrator {
 		creds:          make(map[string]Credentials),
 		persisted:      make(map[string]knobs.Config),
 		driftSince:     make(map[string]time.Time),
+		repairFails:    make(map[string]int),
+		retryAt:        make(map[string]time.Time),
 		WatcherTimeout: 2 * time.Minute,
+		ReloadRetries:  3,
+		RetryBackoff:   time.Minute,
+		EscalateAfter:  2,
 		m:              newOrchestratorMetrics(obs.Default()),
 	}
 }
@@ -185,11 +210,28 @@ func (o *Orchestrator) Reconciliations() int {
 	return o.reconciliations
 }
 
+// Retries reports repeated per-node apply attempts during drift repair.
+func (o *Orchestrator) Retries() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.retries
+}
+
+// Escalations reports repairs escalated from reload to full restart.
+func (o *Orchestrator) Escalations() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.escalations
+}
+
 // ReconcileTick is the reconciler's watch loop body: for every instance,
 // compare the master's live tunable config with the persisted one; if
-// they diverge for longer than WatcherTimeout, force the persisted
-// config onto all nodes (rejecting whatever half-applied recommendation
-// caused the drift). Returns the IDs reconciled this tick.
+// they diverge — or any node is down — for longer than WatcherTimeout,
+// force the persisted config back onto all nodes with bounded per-node
+// retries. Repairs that keep failing back off exponentially (virtual
+// time) and, after EscalateAfter failures, escalate from reload to a
+// full restart with the persisted config. Returns the IDs repaired this
+// tick.
 func (o *Orchestrator) ReconcileTick(now time.Time) []string {
 	o.m.reconcileTicks.Inc()
 	var reconciled []string
@@ -201,9 +243,11 @@ func (o *Orchestrator) ReconcileTick(now time.Time) []string {
 			continue
 		}
 		live := inst.Replica.Master().Config()
-		if tunableEqual(inst.Replica.Master().KnobCatalog(), live, want) {
+		if tunableEqual(inst.Replica.Master().KnobCatalog(), live, want) && !anyNodeDown(inst) {
 			o.mu.Lock()
 			delete(o.driftSince, inst.ID)
+			delete(o.repairFails, inst.ID)
+			delete(o.retryAt, inst.ID)
 			o.mu.Unlock()
 			continue
 		}
@@ -215,16 +259,41 @@ func (o *Orchestrator) ReconcileTick(now time.Time) []string {
 			continue
 		}
 		timeout := o.WatcherTimeout
+		retryAt, backingOff := o.retryAt[inst.ID]
+		fails := o.repairFails[inst.ID]
 		o.mu.Unlock()
 		if now.Sub(since) < timeout {
 			continue
 		}
-		// Force the persisted config back onto every node.
-		for _, node := range inst.Replica.Nodes() {
-			_ = node.ApplyConfig(want, simdb.ApplyReload)
+		if backingOff && now.Before(retryAt) {
+			continue
+		}
+		method := simdb.ApplyReload
+		if fails >= o.EscalateAfter {
+			// Reloads keep failing: restart every node onto the persisted
+			// config instead — the heavyweight repair of last resort.
+			method = simdb.ApplyRestart
+			o.mu.Lock()
+			o.escalations++
+			o.mu.Unlock()
+			o.m.escalations.Inc()
+		}
+		if err := o.repairDrift(inst, want, method); err != nil {
+			// Repair failed; back off exponentially before trying again.
+			o.mu.Lock()
+			o.repairFails[inst.ID]++
+			backoff := o.RetryBackoff << (o.repairFails[inst.ID] - 1)
+			if max := 16 * o.RetryBackoff; backoff > max {
+				backoff = max
+			}
+			o.retryAt[inst.ID] = now.Add(backoff)
+			o.mu.Unlock()
+			continue
 		}
 		o.mu.Lock()
 		delete(o.driftSince, inst.ID)
+		delete(o.repairFails, inst.ID)
+		delete(o.retryAt, inst.ID)
 		o.reconciliations++
 		o.mu.Unlock()
 		o.m.reconciliations.Inc()
@@ -234,6 +303,57 @@ func (o *Orchestrator) ReconcileTick(now time.Time) []string {
 	o.m.drifting.Set(float64(len(o.driftSince)))
 	o.mu.Unlock()
 	return reconciled
+}
+
+// repairDrift forces want onto every node of inst, restarting down nodes
+// first, with up to ReloadRetries attempts per node. Retries beyond the
+// first attempt are counted as orchestrator retries.
+func (o *Orchestrator) repairDrift(inst *cluster.Instance, want knobs.Config, method simdb.ApplyMethod) error {
+	attempts := o.ReloadRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var errs []error
+	for i, node := range inst.Replica.Nodes() {
+		var last error
+		for a := 0; a < attempts; a++ {
+			if a > 0 {
+				o.mu.Lock()
+				o.retries++
+				o.mu.Unlock()
+				o.m.retriesTotal.Inc()
+			}
+			last = o.repairNode(node, want, method)
+			if last == nil {
+				break
+			}
+		}
+		if last != nil {
+			errs = append(errs, fmt.Errorf("orchestrator: reconcile node %d of %s: %w", i, inst.ID, last))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// repairNode is one repair attempt: revive the process if it is down,
+// then apply the persisted config.
+func (o *Orchestrator) repairNode(node *simdb.Engine, want knobs.Config, method simdb.ApplyMethod) error {
+	if node.Down() {
+		if err := node.Restart(); err != nil {
+			return err
+		}
+	}
+	return node.ApplyConfig(want, method)
+}
+
+// anyNodeDown reports whether any node of the instance is down.
+func anyNodeDown(inst *cluster.Instance) bool {
+	for _, node := range inst.Replica.Nodes() {
+		if node.Down() {
+			return true
+		}
+	}
+	return false
 }
 
 // tunableEqual compares only knobs applicable without restart: restart

@@ -1,0 +1,171 @@
+package repository
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tuner"
+)
+
+// scriptedFaults replays a fixed fate per uploaded sample.
+type scriptedFaults struct {
+	fates []struct {
+		drop, dup bool
+		delay     int
+	}
+	i int
+}
+
+func (s *scriptedFaults) SampleFault() (bool, bool, int) {
+	if s.i >= len(s.fates) {
+		return false, false, 0
+	}
+	f := s.fates[s.i]
+	s.i++
+	return f.drop, f.dup, f.delay
+}
+
+func TestFanOutExactlyOnceUnderInjectedFaults(t *testing.T) {
+	src := &scriptedFaults{}
+	const n = 12
+	for i := 0; i < n; i++ {
+		f := struct {
+			drop, dup bool
+			delay     int
+		}{}
+		switch i % 4 {
+		case 1:
+			f.drop = true
+		case 2:
+			f.dup = true
+		case 3:
+			f.delay = 2
+		}
+		src.fates = append(src.fates, f)
+	}
+	r := New()
+	r.InjectFaults(src)
+	a, b := &recordingTuner{}, &recordingTuner{}
+	r.Subscribe(a)
+	r.Subscribe(b)
+	want := make([]string, n)
+	for i := 0; i < n; i++ {
+		want[i] = fmt.Sprintf("w-%03d", i)
+		if err := r.Observe(tuner.Sample{WorkloadID: want[i], Engine: knobs.Postgres}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Flush()
+	for name, rec := range map[string]*recordingTuner{"a": a, "b": b} {
+		got := rec.snapshot()
+		if len(got) != n {
+			t.Fatalf("tuner %s saw %d samples, want %d (drops lost or dups leaked): %v", name, len(got), n, got)
+		}
+		// Delivery is exactly-once but possibly reordered: the sorted
+		// sets must match.
+		sorted := append([]string(nil), got...)
+		sort.Strings(sorted)
+		for i := range want {
+			if sorted[i] != want[i] {
+				t.Fatalf("tuner %s delivery set diverged at %d: %v", name, i, sorted)
+			}
+		}
+	}
+	redelivered, deduped, reordered := r.FaultStats()
+	// 3 drops and 3 dups per subscriber pair: drops are counted per
+	// delivery attempt (2 subscribers), dups per suppressed copy.
+	if redelivered != 6 {
+		t.Errorf("redelivered = %d, want 6", redelivered)
+	}
+	if deduped != 6 {
+		t.Errorf("deduped = %d, want 6", deduped)
+	}
+	if reordered != 3 {
+		t.Errorf("reordered = %d, want 3", reordered)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d after Flush", r.Pending())
+	}
+}
+
+func TestDelayedSampleIsReorderedDeterministically(t *testing.T) {
+	// Sample 0 is held past the next two uploads; delivery order must be
+	// 1, 2, 0 — decided at enqueue time, not by drain timing.
+	src := &scriptedFaults{}
+	src.fates = append(src.fates, struct {
+		drop, dup bool
+		delay     int
+	}{delay: 2})
+	r := New()
+	r.InjectFaults(src)
+	rec := &recordingTuner{}
+	r.Subscribe(rec)
+	for i := 0; i < 3; i++ {
+		if err := r.Observe(tuner.Sample{WorkloadID: fmt.Sprintf("w-%d", i), Engine: knobs.Postgres}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Flush()
+	got := rec.snapshot()
+	want := []string{"w-1", "w-2", "w-0"}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFlushReleasesHeldSamples(t *testing.T) {
+	// A delayed sample with no later uploads must still be delivered by
+	// Flush — the fleet scheduler's merge barrier cannot lose samples.
+	src := &scriptedFaults{}
+	src.fates = append(src.fates, struct {
+		drop, dup bool
+		delay     int
+	}{delay: 3})
+	r := New()
+	r.InjectFaults(src)
+	rec := &recordingTuner{}
+	r.Subscribe(rec)
+	if err := r.Observe(tuner.Sample{WorkloadID: "only", Engine: knobs.Postgres}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Pending(); got != 1 {
+		t.Fatalf("pending = %d before Flush, want 1 (held)", got)
+	}
+	r.Flush()
+	if got := rec.snapshot(); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("held sample lost: %v", got)
+	}
+}
+
+func TestLateSubscriberStartsPastDeliveredSeqs(t *testing.T) {
+	// A tuner subscribing after traffic must not treat earlier seqs as
+	// fresh if a duplicate of an old sample were ever replayed; its dedup
+	// window starts at the current sequence.
+	r := New()
+	early := &recordingTuner{}
+	r.Subscribe(early)
+	for i := 0; i < 5; i++ {
+		if err := r.Observe(tuner.Sample{WorkloadID: fmt.Sprintf("w-%d", i), Engine: knobs.Postgres}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late := &recordingTuner{}
+	r.Subscribe(late)
+	if err := r.Observe(tuner.Sample{WorkloadID: "after", Engine: knobs.Postgres}); err != nil {
+		t.Fatal(err)
+	}
+	r.Flush()
+	if got := late.snapshot(); len(got) != 1 || got[0] != "after" {
+		t.Fatalf("late subscriber saw %v, want [after]", got)
+	}
+	if got := early.snapshot(); len(got) != 6 {
+		t.Fatalf("early subscriber saw %d samples, want 6", len(got))
+	}
+}

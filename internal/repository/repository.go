@@ -12,6 +12,13 @@
 // agent therefore never stalls behind a slow tuner (a BO refit is
 // O(n³)); callers that need delivery to have happened — tests, and the
 // fleet scheduler's deterministic merge — drain the queue with Flush.
+//
+// The fan-out path is hardened against an unreliable transport (modelled
+// by an injected FaultSource): every sample carries a sequence number,
+// lost delivery attempts are redelivered, duplicates are dropped by a
+// per-subscriber dedup window, and delayed (reordered) samples are
+// released deterministically — so every subscriber observes every sample
+// exactly once no matter what the transport does.
 package repository
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"autodbaas/internal/obs"
 	"autodbaas/internal/tuner"
@@ -34,6 +42,60 @@ const (
 	batchSize  = 64
 )
 
+// FaultSource injects delivery faults into the fan-out (implemented by
+// internal/faults). SampleFault is consulted once per uploaded sample,
+// in upload order: dropFirst loses the first delivery attempt to every
+// subscriber (the repository redelivers), dup delivers the sample twice
+// (the dedup window suppresses the copy), and delay > 0 holds the
+// sample back until delay more samples have been uploaded (a
+// deterministic reordering independent of drain timing).
+type FaultSource interface {
+	SampleFault() (dropFirst, dup bool, delay int)
+}
+
+// queued is one sample in the fan-out queue with its injected fate.
+type queued struct {
+	s         tuner.Sample
+	seq       int64
+	dropFirst bool
+	dup       bool
+}
+
+// delayedSample is a reordered sample awaiting release.
+type delayedSample struct {
+	q     queued
+	after int // released once this many more samples are uploaded
+}
+
+// subscriber pairs a tuner with its exactly-once delivery state.
+type subscriber struct {
+	t tuner.Tuner
+
+	mu sync.Mutex
+	// contig: every seq <= contig has been delivered; sparse holds
+	// delivered seqs above contig (reordering keeps this tiny).
+	contig int64
+	sparse map[int64]bool
+}
+
+// markDelivered records seq and reports whether it was fresh.
+func (s *subscriber) markDelivered(seq int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.contig || s.sparse[seq] {
+		return false
+	}
+	if s.sparse == nil {
+		s.sparse = make(map[int64]bool)
+	}
+	s.sparse[seq] = true
+	for s.sparse[s.contig+1] {
+		s.contig++
+		delete(s.sparse, s.contig)
+	}
+	return true
+}
+
 // Repository stores samples and fans them out to subscribed tuners.
 type Repository struct {
 	store *tuner.Store
@@ -41,30 +103,43 @@ type Repository struct {
 	mu          sync.Mutex
 	notFull     sync.Cond // producers blocked on a full queue
 	drained     sync.Cond // Flush waiters
-	subscribers []tuner.Tuner
-	pending     []tuner.Sample
+	subscribers []*subscriber
+	pending     []queued
+	delayed     []delayedSample
+	faults      FaultSource
+	nextSeq     int64
 	running     bool // fan-out worker alive
 	closed      bool
 	enqueued    int64
 	delivered   int64
+
+	redelivered atomic.Int64
+	deduped     atomic.Int64
+	reordered   atomic.Int64
 
 	m repoMetrics
 }
 
 // repoMetrics are the repository's registry handles.
 type repoMetrics struct {
-	queueDepth *obs.Gauge
-	delivered  *obs.Counter
-	batches    *obs.Counter
-	blocked    *obs.Counter
+	queueDepth   *obs.Gauge
+	delivered    *obs.Counter
+	batches      *obs.Counter
+	blocked      *obs.Counter
+	redeliveries *obs.Counter
+	dedupDrops   *obs.Counter
+	reorders     *obs.Counter
 }
 
 func newRepoMetrics(r *obs.Registry) repoMetrics {
 	return repoMetrics{
-		queueDepth: r.Gauge("autodbaas_repository_fanout_queue_depth", "Samples waiting in the async tuner fan-out queue."),
-		delivered:  r.Counter("autodbaas_repository_fanout_delivered_total", "Samples delivered to subscribed tuners (queue pops, not per-tuner)."),
-		batches:    r.Counter("autodbaas_repository_fanout_batches_total", "Fan-out delivery batches executed."),
-		blocked:    r.Counter("autodbaas_repository_fanout_blocked_total", "Observe calls that blocked on a full fan-out queue."),
+		queueDepth:   r.Gauge("autodbaas_repository_fanout_queue_depth", "Samples waiting in the async tuner fan-out queue."),
+		delivered:    r.Counter("autodbaas_repository_fanout_delivered_total", "Samples delivered to subscribed tuners (queue pops, not per-tuner)."),
+		batches:      r.Counter("autodbaas_repository_fanout_batches_total", "Fan-out delivery batches executed."),
+		blocked:      r.Counter("autodbaas_repository_fanout_blocked_total", "Observe calls that blocked on a full fan-out queue."),
+		redeliveries: r.Counter("autodbaas_repository_fanout_redeliveries_total", "Delivery attempts repeated after an injected drop."),
+		dedupDrops:   r.Counter("autodbaas_repository_fanout_dedup_dropped_total", "Duplicate deliveries suppressed by the per-subscriber dedup window."),
+		reorders:     r.Counter("autodbaas_repository_fanout_reorders_total", "Samples delivered out of upload order after an injected delay."),
 	}
 }
 
@@ -76,6 +151,20 @@ func New() *Repository {
 	return r
 }
 
+// InjectFaults installs a fault source on the fan-out path (nil clears
+// it). Install before the first Observe: fates are drawn per upload.
+func (r *Repository) InjectFaults(src FaultSource) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = src
+}
+
+// FaultStats reports the fan-out hardening counters: redelivered
+// attempts, dedup-suppressed duplicates and reordered deliveries.
+func (r *Repository) FaultStats() (redelivered, deduped, reordered int64) {
+	return r.redelivered.Load(), r.deduped.Load(), r.reordered.Load()
+}
+
 // Subscribe registers a tuner to receive every future sample (the
 // "tuner instances fetch the new workloads" pull loop, push-modelled).
 // The fan-out queue is drained first so a late subscriber never
@@ -84,7 +173,7 @@ func (r *Repository) Subscribe(t tuner.Tuner) {
 	r.Flush()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.subscribers = append(r.subscribers, t)
+	r.subscribers = append(r.subscribers, &subscriber{t: t, contig: r.nextSeq})
 }
 
 // Observe implements agent.SampleSink: store the sample synchronously
@@ -100,21 +189,75 @@ func (r *Repository) Observe(s tuner.Sample) error {
 		r.m.blocked.Inc()
 		r.notFull.Wait()
 	}
+	r.nextSeq++
+	q := queued{s: s, seq: r.nextSeq}
+	var delay int
+	if r.faults != nil {
+		q.dropFirst, q.dup, delay = r.faults.SampleFault()
+	}
 	if r.closed {
-		subs := append([]tuner.Tuner(nil), r.subscribers...)
+		subs := append([]*subscriber(nil), r.subscribers...)
 		r.mu.Unlock()
-		deliver(subs, []tuner.Sample{s})
+		r.deliverBatch(subs, []queued{q})
 		return nil
 	}
-	r.pending = append(r.pending, s)
-	r.enqueued++
+	if delay <= 0 {
+		r.enqueueLocked(q)
+	}
+	// Every upload ages the already-held samples; due ones join the
+	// queue behind this upload, realising the injected reordering. The
+	// current sample's own hold is appended after aging so it waits the
+	// full `delay` later uploads.
+	r.ageDelayedLocked()
+	if delay > 0 {
+		r.reordered.Add(1)
+		r.m.reorders.Inc()
+		r.delayed = append(r.delayed, delayedSample{q: q, after: delay})
+	}
 	r.m.queueDepth.Set(float64(len(r.pending)))
-	if !r.running {
+	r.startWorkerLocked()
+	r.mu.Unlock()
+	return nil
+}
+
+// enqueueLocked appends to the fan-out queue and accounts the sample.
+func (r *Repository) enqueueLocked(q queued) {
+	r.pending = append(r.pending, q)
+	r.enqueued++
+}
+
+// ageDelayedLocked decrements every held sample's countdown and
+// releases the due ones in hold order.
+func (r *Repository) ageDelayedLocked() {
+	if len(r.delayed) == 0 {
+		return
+	}
+	kept := r.delayed[:0]
+	for _, d := range r.delayed {
+		d.after--
+		if d.after <= 0 {
+			r.enqueueLocked(d.q)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	r.delayed = kept
+}
+
+// releaseDelayedLocked force-releases every held sample (Flush/Close).
+func (r *Repository) releaseDelayedLocked() {
+	for _, d := range r.delayed {
+		r.enqueueLocked(d.q)
+	}
+	r.delayed = r.delayed[:0]
+}
+
+// startWorkerLocked spawns the fan-out worker if there is work.
+func (r *Repository) startWorkerLocked() {
+	if !r.running && len(r.pending) > 0 {
 		r.running = true
 		go r.fanoutLoop()
 	}
-	r.mu.Unlock()
-	return nil
 }
 
 // fanoutLoop drains the pending queue in batches, delivering each
@@ -135,16 +278,16 @@ func (r *Repository) fanoutLoop() {
 		if n > batchSize {
 			n = batchSize
 		}
-		batch := make([]tuner.Sample, n)
+		batch := make([]queued, n)
 		copy(batch, r.pending)
 		rest := copy(r.pending, r.pending[n:])
 		r.pending = r.pending[:rest]
-		subs := append([]tuner.Tuner(nil), r.subscribers...)
+		subs := append([]*subscriber(nil), r.subscribers...)
 		r.m.queueDepth.Set(float64(rest))
 		r.notFull.Broadcast()
 		r.mu.Unlock()
 
-		deliver(subs, batch)
+		r.deliverBatch(subs, batch)
 
 		r.mu.Lock()
 		r.delivered += int64(n)
@@ -154,22 +297,44 @@ func (r *Repository) fanoutLoop() {
 	}
 }
 
-// deliver pushes a batch to every subscriber; per-tuner errors are the
-// tuner's concern (engine mismatch and similar).
-func deliver(subs []tuner.Tuner, batch []tuner.Sample) {
-	for _, s := range batch {
-		for _, t := range subs {
-			_ = t.Observe(s)
+// deliverBatch pushes a batch to every subscriber with exactly-once
+// semantics: injected drops are redelivered, injected duplicates are
+// suppressed by the per-subscriber dedup window. Per-tuner Observe
+// errors are the tuner's concern (engine mismatch and similar).
+func (r *Repository) deliverBatch(subs []*subscriber, batch []queued) {
+	for _, q := range batch {
+		for _, sub := range subs {
+			if q.dropFirst {
+				// The first attempt was lost in transit; the sample is
+				// still in hand, so redeliver immediately.
+				r.redelivered.Add(1)
+				r.m.redeliveries.Inc()
+			}
+			copies := 1
+			if q.dup {
+				copies = 2
+			}
+			for c := 0; c < copies; c++ {
+				if !sub.markDelivered(q.seq) {
+					r.deduped.Add(1)
+					r.m.dedupDrops.Inc()
+					continue
+				}
+				_ = sub.t.Observe(q.s)
+			}
 		}
 	}
 }
 
-// Flush blocks until every sample enqueued before the call has been
-// delivered to all subscribers. The fleet scheduler calls it before
-// each ordered dispatch so recommendations always see the tuner state
-// the sequential schedule would; tests call it to drain.
+// Flush blocks until every sample enqueued before the call — including
+// samples held back by injected reordering — has been delivered to all
+// subscribers. The fleet scheduler calls it before each ordered dispatch
+// so recommendations always see the tuner state the sequential schedule
+// would; tests call it to drain.
 func (r *Repository) Flush() {
 	r.mu.Lock()
+	r.releaseDelayedLocked()
+	r.startWorkerLocked()
 	for r.delivered < r.enqueued {
 		r.drained.Wait()
 	}
@@ -186,11 +351,12 @@ func (r *Repository) Close() {
 	r.Flush()
 }
 
-// Pending returns how many samples are waiting in the fan-out queue.
+// Pending returns how many samples are waiting in the fan-out queue
+// (including delayed holds).
 func (r *Repository) Pending() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.pending)
+	return len(r.pending) + len(r.delayed)
 }
 
 // Store returns the underlying sample store.

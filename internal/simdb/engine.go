@@ -125,6 +125,10 @@ type Engine struct {
 	queryLog *ringLog
 	// profiles caches per-template execution statistics for ExplainSQL.
 	profiles map[string]workload.Query
+
+	// hooks, when set, inject deterministic faults at the apply/restart/
+	// window seams (see SetFaultHooks).
+	hooks *FaultHooks
 }
 
 // Options configures NewEngine.
@@ -269,6 +273,11 @@ func (e *Engine) ApplyConfig(cfg knobs.Config, method ApplyMethod) error {
 	if e.down && method != ApplyRestart {
 		return ErrDown
 	}
+	if e.hooks != nil && e.hooks.BeforeApply != nil {
+		if err := e.hooks.BeforeApply(method); err != nil {
+			return fmt.Errorf("simdb: apply (%s): %w", method, err)
+		}
+	}
 	if err := e.kcat.Validate(cfg); err != nil {
 		return err
 	}
@@ -320,6 +329,13 @@ func (e *Engine) ApplyConfig(cfg knobs.Config, method ApplyMethod) error {
 func (e *Engine) Restart() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.hooks != nil && e.hooks.BeforeRestart != nil {
+		if err := e.hooks.BeforeRestart(); err != nil {
+			// A stuck restart: the process neither boots nor serves.
+			e.down = true
+			return fmt.Errorf("simdb: restart: %w", err)
+		}
+	}
 	next := e.cfg.Clone()
 	for k, v := range e.pendingRestart {
 		next[k] = v
@@ -334,6 +350,24 @@ func (e *Engine) Restart() error {
 	e.down = false
 	e.restartLocked()
 	return nil
+}
+
+// recoverLocked is the supervisor-style restart behind injected
+// crash-recovery: staged restart knobs apply and caches go cold, as in
+// Restart. The node stays down only if the boot configuration would
+// bust the memory budget (the OOM-loop refusal of Restart).
+func (e *Engine) recoverLocked() {
+	next := e.cfg.Clone()
+	for k, v := range e.pendingRestart {
+		next[k] = v
+	}
+	if err := e.kcat.CheckMemoryBudget(next, e.memoryBudget()); err != nil {
+		e.down = true
+		return
+	}
+	e.cfg = next
+	e.pendingRestart = knobs.Config{}
+	e.restartLocked()
 }
 
 func (e *Engine) restartLocked() {

@@ -1,0 +1,35 @@
+package simdb
+
+// FaultHooks lets a fault injector (internal/faults) perturb one engine
+// deterministically. All hooks are optional; the engine consults them
+// under its own lock, so implementations must not call back into the
+// engine. A nil *FaultHooks disables injection entirely.
+type FaultHooks struct {
+	// BeforeApply may fail a config application (any method) before it
+	// mutates engine state — a transient process/connection error.
+	BeforeApply func(method ApplyMethod) error
+	// BeforeRestart may report a restart as stuck: the error is returned
+	// and the process stays down until a later restart succeeds.
+	BeforeRestart func() error
+	// WindowStart is consulted once at the top of every RunWindow.
+	WindowStart func() WindowFault
+}
+
+// WindowFault is one window's injected perturbation.
+type WindowFault struct {
+	// Crash takes the node down at the window boundary (the window then
+	// reports ErrDown while virtual time still advances).
+	Crash bool
+	// Recover restarts a down node, supervisor-style.
+	Recover bool
+	// DiskFactor >= 1 multiplies the window's data-disk latency — an
+	// injected latency spike on the node's device.
+	DiskFactor float64
+}
+
+// SetFaultHooks installs (or clears, with nil) the engine's fault hooks.
+func (e *Engine) SetFaultHooks(h *FaultHooks) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hooks = h
+}

@@ -1,0 +1,179 @@
+package simdb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/workload"
+)
+
+var errScripted = errors.New("scripted fault")
+
+func TestBeforeApplyFaultRejectsConfigUntouched(t *testing.T) {
+	e := newPG(t, m4Large(), 4*workload.GiB)
+	before := e.Config()
+	e.SetFaultHooks(&FaultHooks{BeforeApply: func(ApplyMethod) error { return errScripted }})
+	err := e.ApplyConfig(knobs.Config{"work_mem": workload.GiB}, ApplyReload)
+	if !errors.Is(err, errScripted) {
+		t.Fatalf("ApplyConfig error = %v, want scripted fault", err)
+	}
+	if got := e.Config()["work_mem"]; got != before["work_mem"] {
+		t.Fatalf("work_mem mutated to %v despite injected apply failure", got)
+	}
+	// Clearing the hooks restores normal operation.
+	e.SetFaultHooks(nil)
+	if err := e.ApplyConfig(knobs.Config{"work_mem": workload.GiB}, ApplyReload); err != nil {
+		t.Fatalf("apply after clearing hooks: %v", err)
+	}
+}
+
+func TestStuckRestartLeavesProcessDownUntilRetry(t *testing.T) {
+	e := newPG(t, m4Large(), 4*workload.GiB)
+	stuck := true
+	e.SetFaultHooks(&FaultHooks{BeforeRestart: func() error {
+		if stuck {
+			return errScripted
+		}
+		return nil
+	}})
+	if err := e.Restart(); !errors.Is(err, errScripted) {
+		t.Fatalf("Restart error = %v, want scripted fault", err)
+	}
+	if !e.Down() {
+		t.Fatal("engine not down after stuck restart")
+	}
+	if _, err := e.RunWindow(workload.NewTPCC(4*workload.GiB, 500), time.Minute); !errors.Is(err, ErrDown) {
+		t.Fatalf("RunWindow on stuck engine = %v, want ErrDown", err)
+	}
+	stuck = false
+	if err := e.Restart(); err != nil {
+		t.Fatalf("retried restart: %v", err)
+	}
+	if e.Down() {
+		t.Fatal("engine still down after successful retry")
+	}
+}
+
+func TestWindowCrashAndSupervisorRecover(t *testing.T) {
+	e := newPG(t, m4Large(), 4*workload.GiB)
+	gen := workload.NewTPCC(4*workload.GiB, 500)
+	script := []WindowFault{{Crash: true}, {}, {Recover: true}, {}}
+	i := 0
+	e.SetFaultHooks(&FaultHooks{WindowStart: func() WindowFault {
+		wf := script[i%len(script)]
+		i++
+		return wf
+	}})
+	if _, err := e.RunWindow(gen, time.Minute); !errors.Is(err, ErrDown) {
+		t.Fatalf("crashed window error = %v, want ErrDown", err)
+	}
+	if !e.Down() {
+		t.Fatal("engine not down after injected crash")
+	}
+	// Second window: still down, but virtual time keeps advancing.
+	before := e.Now()
+	if _, err := e.RunWindow(gen, time.Minute); !errors.Is(err, ErrDown) {
+		t.Fatalf("down window error = %v, want ErrDown", err)
+	}
+	if !e.Now().After(before) {
+		t.Fatal("virtual time frozen while down")
+	}
+	// Third window: supervisor recovery, window runs normally.
+	if _, err := e.RunWindow(gen, time.Minute); err != nil {
+		t.Fatalf("window after recovery: %v", err)
+	}
+	if e.Down() {
+		t.Fatal("engine down after supervisor recovery")
+	}
+}
+
+func TestDiskSpikeFactorInflatesLatency(t *testing.T) {
+	run := func(factor float64) float64 {
+		e := newPG(t, m4Large(), 24*workload.GiB)
+		e.SetFaultHooks(&FaultHooks{WindowStart: func() WindowFault {
+			return WindowFault{DiskFactor: factor}
+		}})
+		gen := workload.NewTPCC(24*workload.GiB, 2000)
+		var last float64
+		for w := 0; w < 6; w++ {
+			st, err := e.RunWindow(gen, 5*time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = st.DiskLatencyMs
+		}
+		return last
+	}
+	clean, spiked := run(1), run(8)
+	if spiked <= 2*clean {
+		t.Fatalf("disk spike x8 raised latency only %0.3f -> %0.3f ms", clean, spiked)
+	}
+}
+
+// TestApplyAllSurfacesRollbackFailures is the regression test for the
+// silent-rollback bug: a failed rollback used to be discarded, reporting
+// a diverged replica set as a clean rejection.
+func TestApplyAllSurfacesRollbackFailures(t *testing.T) {
+	rs, err := NewReplicaSet(Options{
+		Engine: knobs.Postgres, Resources: m4Large(), DBSizeBytes: 4 * workload.GiB, Seed: 1,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slave 0 accepts the new config but then fails every further apply
+	// (so the rollback to the previous config fails too); slave 1
+	// rejects the config outright.
+	applies := 0
+	rs.Slaves()[0].SetFaultHooks(&FaultHooks{BeforeApply: func(ApplyMethod) error {
+		applies++
+		if applies > 1 {
+			return errScripted
+		}
+		return nil
+	}})
+	rs.Slaves()[1].SetFaultHooks(&FaultHooks{BeforeApply: func(ApplyMethod) error { return errScripted }})
+
+	err = rs.ApplyAll(knobs.Config{"work_mem": workload.GiB}, ApplyReload)
+	if err == nil {
+		t.Fatal("ApplyAll succeeded despite scripted rejection")
+	}
+	if !strings.Contains(err.Error(), "slave 1 rejected config") {
+		t.Fatalf("rejection missing from error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "configs diverged") {
+		t.Fatalf("rollback failure silently discarded: %v", err)
+	}
+	// The divergence the error reports is real: slave 0 still runs the
+	// rejected value while the master was never touched.
+	if rs.Slaves()[0].Config()["work_mem"] == rs.Master().Config()["work_mem"] {
+		t.Fatal("expected slave 0 to be diverged from master")
+	}
+}
+
+// TestApplyAllRollbackSucceedsQuietly pins the happy rollback path: a
+// clean rollback reports only the rejection.
+func TestApplyAllRollbackSucceedsQuietly(t *testing.T) {
+	rs, err := NewReplicaSet(Options{
+		Engine: knobs.Postgres, Resources: m4Large(), DBSizeBytes: 4 * workload.GiB, Seed: 1,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Slaves()[1].SetFaultHooks(&FaultHooks{BeforeApply: func(ApplyMethod) error { return errScripted }})
+	err = rs.ApplyAll(knobs.Config{"work_mem": workload.GiB}, ApplyReload)
+	if err == nil {
+		t.Fatal("ApplyAll succeeded despite scripted rejection")
+	}
+	if strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("clean rollback reported divergence: %v", err)
+	}
+	want := rs.Master().Config()["work_mem"]
+	for i, s := range rs.Slaves() {
+		if got := s.Config()["work_mem"]; got != want {
+			t.Fatalf("slave %d work_mem = %v after rollback, want %v", i, got, want)
+		}
+	}
+}

@@ -54,29 +54,43 @@ func (rs *ReplicaSet) Nodes() []*Engine {
 // rejected: crashed slaves are restarted with their previous config and
 // the master is left untouched. Only after every slave has accepted the
 // config is it applied to the master.
+//
+// Rollback failures are part of the returned error: a failed rollback
+// leaves master and slaves on divergent configurations, and the caller
+// (ultimately the reconciler) must know the replica set is inconsistent
+// rather than merely "the recommendation was rejected".
 func (rs *ReplicaSet) ApplyAll(cfg knobs.Config, method ApplyMethod) error {
 	applied := make([]*Engine, 0, len(rs.slaves))
 	for i, s := range rs.slaves {
 		if err := s.ApplyConfig(cfg, method); err != nil {
 			// Roll back: restart the crashed slave and re-apply the old
 			// config to slaves that already accepted the new one.
+			var rbErrs []error
 			if s.Down() {
-				_ = s.Restart()
+				if rerr := s.Restart(); rerr != nil {
+					rbErrs = append(rbErrs, fmt.Errorf("simdb: rollback restart of slave %d: %w", i, rerr))
+				}
 			}
-			prev := rs.master.Config()
-			for _, a := range applied {
-				_ = a.ApplyConfig(prev, method)
-			}
-			return fmt.Errorf("simdb: slave %d rejected config: %w", i, err)
+			rbErrs = append(rbErrs, rs.rollback(applied, method))
+			return errors.Join(fmt.Errorf("simdb: slave %d rejected config: %w", i, err), errors.Join(rbErrs...))
 		}
 		applied = append(applied, s)
 	}
 	if err := rs.master.ApplyConfig(cfg, method); err != nil {
-		prev := rs.master.Config()
-		for _, a := range applied {
-			_ = a.ApplyConfig(prev, method)
-		}
-		return fmt.Errorf("simdb: master rejected config: %w", err)
+		return errors.Join(fmt.Errorf("simdb: master rejected config: %w", err), rs.rollback(applied, method))
 	}
 	return nil
+}
+
+// rollback re-applies the master's (pre-apply) config to slaves that
+// already accepted a rejected recommendation, surfacing every failure.
+func (rs *ReplicaSet) rollback(applied []*Engine, method ApplyMethod) error {
+	prev := rs.master.Config()
+	var errs []error
+	for i, a := range applied {
+		if err := a.ApplyConfig(prev, method); err != nil {
+			errs = append(errs, fmt.Errorf("simdb: rollback of slave %d failed, replica configs diverged: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
 }

@@ -51,6 +51,19 @@ const windowSampleCap = 192
 func (e *Engine) RunWindow(gen workload.Generator, dur time.Duration) (WindowStats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	diskFactor := 1.0
+	if e.hooks != nil && e.hooks.WindowStart != nil {
+		wf := e.hooks.WindowStart()
+		switch {
+		case wf.Crash && !e.down:
+			e.down = true
+		case wf.Recover && e.down:
+			e.recoverLocked()
+		}
+		if wf.DiskFactor > 1 {
+			diskFactor = wf.DiskFactor
+		}
+	}
 	if e.down {
 		// Time still passes while the process is down.
 		e.now = e.now.Add(dur)
@@ -196,8 +209,8 @@ func (e *Engine) RunWindow(gen workload.Generator, dur time.Duration) (WindowSta
 	// latency (checkpointer/bgwriter/WAL pressure), the paper's
 	// "disk-write latency". Smooth both as a monitoring agent would.
 	writePages := dataPages - readPages
-	e.diskLatency = 0.4*e.diskLatency + 0.6*latOf(dataPages)
-	e.diskWriteLatency = 0.4*e.diskWriteLatency + 0.6*latOf(writePages)
+	e.diskLatency = 0.4*e.diskLatency + 0.6*latOf(dataPages)*diskFactor
+	e.diskWriteLatency = 0.4*e.diskWriteLatency + 0.6*latOf(writePages)*diskFactor
 	e.iops = dataPages / seconds
 	st.DiskLatencyMs = e.diskLatency
 	st.DiskWriteLatencyMs = e.diskWriteLatency
