@@ -95,6 +95,7 @@ func main() {
 		{"chaos", "chaos_soak.txt", func() string {
 			return experiments.ChaosSoak(scale(20, 6), scale(24, 4), *parallelism, *seed, *faultsProfile).Render()
 		}},
+		{"hotpath", "BENCH_hotpath.json", func() string { return runHotpath(q, *seed, *parallelism) }},
 		{"ablations", "ablations.txt", func() string {
 			out := experiments.AblationEntropyFilter([]int{2, 4, 8, 16, 64}, scale(30, 10), *seed).Render()
 			out += "\n" + experiments.AblationWorkloadMapping(*seed).Render()

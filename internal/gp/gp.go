@@ -62,14 +62,36 @@ func (k *SEARD) Eval(a, b []float64) float64 {
 }
 
 // Regressor is a Gaussian-process regression model.
+//
+// A Regressor is not safe for concurrent use: Predict reuses internal
+// scratch buffers so the acquisition search (hundreds of candidate
+// evaluations per recommendation) does not allocate per call.
 type Regressor struct {
 	Kernel Kernel
 	Noise  float64 // observation noise variance added to the diagonal
 
+	// FullRefitEvery, when positive, forces Add to run a full Fit after
+	// that many consecutive incremental updates — a drift backstop so
+	// accumulated rounding from long Add chains cannot survive forever.
+	// Zero means incremental updates are never force-refitted (they are
+	// bit-identical to a full Fit anyway; see CholeskyAppendRow).
+	FullRefitEvery int
+
 	x     [][]float64
+	ys    []float64 // stored targets (owned copy), enabling incremental refits
 	mean  float64
 	chol  *linalg.Matrix
 	alpha []float64 // K⁻¹(y−mean)
+
+	// jittered records that the last full Fit needed the enlarged-jitter
+	// retry; the factor then includes extra diagonal mass that an
+	// incremental border would not, so Add falls back to a full refit.
+	jittered bool
+	// addsSinceFit counts incremental updates since the last full Fit.
+	addsSinceFit int
+
+	// Predict scratch (kernel row and triangular-solve vector).
+	kbuf, vbuf []float64
 }
 
 // NewRegressor returns a GP with the given kernel and noise variance.
@@ -104,6 +126,7 @@ func (g *Regressor) Fit(x [][]float64, y []float64) error {
 	if err := linalg.AddDiag(kmat, g.Noise); err != nil {
 		return err
 	}
+	jittered := false
 	chol, err := linalg.Cholesky(kmat)
 	if err != nil {
 		// Retry with a larger jitter; kernel matrices of near-duplicate
@@ -115,6 +138,7 @@ func (g *Regressor) Fit(x [][]float64, y []float64) error {
 		if err != nil {
 			return err
 		}
+		jittered = true
 	}
 	resid := make([]float64, n)
 	for i, yi := range y {
@@ -125,7 +149,71 @@ func (g *Regressor) Fit(x [][]float64, y []float64) error {
 		return err
 	}
 	g.x, g.mean, g.chol, g.alpha = x, mean, chol, alpha
+	g.ys = append(g.ys[:0:0], y...)
+	g.jittered = jittered
+	g.addsSinceFit = 0
 	return nil
+}
+
+// Add extends the fit with one more training sample in O(n²) instead of
+// the O(n³) a full refit costs: the Cholesky factor grows by one
+// bordered row (linalg.CholeskyAppendRow), the constant mean is
+// recomputed over the stored targets and alpha is re-solved against the
+// extended factor. Because the append reproduces Cholesky's arithmetic
+// exactly, the resulting model is bit-for-bit identical to calling Fit
+// on the full extended training set — the property the control plane's
+// determinism fingerprints rely on.
+//
+// Add falls back to a full Fit when the model is unfitted, when the
+// last Fit needed the enlarged-jitter retry (the factor then carries
+// diagonal mass a border would not reproduce), when FullRefitEvery
+// consecutive updates have accumulated, or when the bordered matrix is
+// numerically singular — in every case with Fit's own jitter-retry
+// semantics, so the result again matches a from-scratch fit.
+func (g *Regressor) Add(x []float64, y float64) error {
+	if !g.Fitted() {
+		return g.Fit([][]float64{x}, []float64{y})
+	}
+	if g.jittered || (g.FullRefitEvery > 0 && g.addsSinceFit >= g.FullRefitEvery) {
+		return g.refitPlus(x, y)
+	}
+	n := len(g.x)
+	k := make([]float64, n)
+	for i := range g.x {
+		k[i] = g.Kernel.Eval(g.x[i], x)
+	}
+	chol, err := linalg.CholeskyAppendRow(g.chol, k, g.Kernel.Eval(x, x)+g.Noise)
+	if err != nil {
+		// Near-singular border (e.g. duplicate config): full refit with
+		// the jitter retry.
+		return g.refitPlus(x, y)
+	}
+	xs := append(g.x, x)
+	ys := append(g.ys, y)
+	mean := linalg.Mean(ys)
+	resid := make([]float64, n+1)
+	for i, yi := range ys {
+		resid[i] = yi - mean
+	}
+	alpha, err := linalg.CholSolve(chol, resid)
+	if err != nil {
+		return g.refitPlus(x, y)
+	}
+	g.x, g.ys, g.mean, g.chol, g.alpha = xs, ys, mean, chol, alpha
+	g.addsSinceFit++
+	return nil
+}
+
+// refitPlus runs a full Fit over the stored training set extended by
+// (x, y). The stored set is copied first so a failed Fit leaves the
+// current model intact.
+func (g *Regressor) refitPlus(x []float64, y float64) error {
+	xs := make([][]float64, len(g.x), len(g.x)+1)
+	copy(xs, g.x)
+	xs = append(xs, x)
+	ys := append(g.ys[:0:0], g.ys...)
+	ys = append(ys, y)
+	return g.Fit(xs, ys)
 }
 
 // Fitted reports whether the model has been trained.
@@ -135,18 +223,26 @@ func (g *Regressor) Fitted() bool { return g.chol != nil }
 func (g *Regressor) NumSamples() int { return len(g.x) }
 
 // Predict returns the posterior mean and variance at query point q.
+// The kernel row k* and the triangular-solve vector live in scratch
+// buffers owned by the Regressor, so the candidate-search loop of the
+// BO tuner (600 Predicts per recommendation) performs no per-call
+// allocations. Predict is therefore NOT safe for concurrent use.
 func (g *Regressor) Predict(q []float64) (mean, variance float64, err error) {
 	if !g.Fitted() {
 		return 0, 0, ErrNotFitted
 	}
 	n := len(g.x)
-	kstar := make([]float64, n)
+	if cap(g.kbuf) < n {
+		g.kbuf = make([]float64, n)
+		g.vbuf = make([]float64, n)
+	}
+	kstar := g.kbuf[:n]
 	for i := range g.x {
 		kstar[i] = g.Kernel.Eval(g.x[i], q)
 	}
 	mean = g.mean + linalg.Dot(kstar, g.alpha)
-	v, err := linalg.SolveLower(g.chol, kstar)
-	if err != nil {
+	v := g.vbuf[:n]
+	if err := linalg.SolveLowerInto(g.chol, kstar, v); err != nil {
 		return 0, 0, err
 	}
 	variance = g.Kernel.Eval(q, q) + g.Noise - linalg.Dot(v, v)

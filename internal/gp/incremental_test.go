@@ -1,0 +1,186 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func synthPoint(rng *rand.Rand, dim int) ([]float64, float64) {
+	x := make([]float64, dim)
+	var y float64
+	for d := range x {
+		x[d] = rng.Float64()
+		y += math.Sin(3*x[d]) * float64(d+1)
+	}
+	return x, y + 0.01*rng.NormFloat64()
+}
+
+// TestAddMatchesFullFitBitwise is the incremental-refit guarantee: a
+// model grown sample-by-sample with Add predicts bit-identically to a
+// model fitted from scratch on the same data. Exact float64 equality,
+// across several sizes and dimensions.
+func TestAddMatchesFullFitBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ n, dim int }{{5, 2}, {24, 4}, {60, 10}} {
+		xs := make([][]float64, tc.n)
+		ys := make([]float64, tc.n)
+		for i := range xs {
+			xs[i], ys[i] = synthPoint(rng, tc.dim)
+		}
+		inc := NewRegressor(NewSEARD(tc.dim, 0.35, 1.0), 1e-3)
+		for i := range xs {
+			if err := inc.Add(xs[i], ys[i]); err != nil {
+				t.Fatalf("n=%d dim=%d: Add %d: %v", tc.n, tc.dim, i, err)
+			}
+		}
+		full := NewRegressor(NewSEARD(tc.dim, 0.35, 1.0), 1e-3)
+		if err := full.Fit(xs, ys); err != nil {
+			t.Fatalf("n=%d dim=%d: full Fit: %v", tc.n, tc.dim, err)
+		}
+		if inc.NumSamples() != full.NumSamples() {
+			t.Fatalf("sample counts differ: %d vs %d", inc.NumSamples(), full.NumSamples())
+		}
+		for trial := 0; trial < 50; trial++ {
+			q := make([]float64, tc.dim)
+			for d := range q {
+				q[d] = rng.Float64()*1.4 - 0.2
+			}
+			m1, v1, err1 := inc.Predict(q)
+			m2, v2, err2 := full.Predict(q)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("predict errs: %v %v", err1, err2)
+			}
+			if math.Float64bits(m1) != math.Float64bits(m2) || math.Float64bits(v1) != math.Float64bits(v2) {
+				t.Fatalf("n=%d dim=%d q#%d: incremental (%g, %g) != full (%g, %g)",
+					tc.n, tc.dim, trial, m1, v1, m2, v2)
+			}
+		}
+	}
+}
+
+// TestAddAfterFitMatchesRefit: the BO tuner's actual pattern — Fit on a
+// prefix, Add the tail — must equal one Fit over everything.
+func TestAddAfterFitMatchesRefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n, dim, tail = 40, 6, 7
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = synthPoint(rng, dim)
+	}
+	inc := NewRegressor(NewSEARD(dim, 0.35, 1.0), 1e-3)
+	if err := inc.Fit(xs[:n-tail], ys[:n-tail]); err != nil {
+		t.Fatal(err)
+	}
+	for i := n - tail; i < n; i++ {
+		if err := inc.Add(xs[i], ys[i]); err != nil {
+			t.Fatalf("Add %d: %v", i, err)
+		}
+	}
+	full := NewRegressor(NewSEARD(dim, 0.35, 1.0), 1e-3)
+	if err := full.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, dim)
+	for trial := 0; trial < 50; trial++ {
+		for d := range q {
+			q[d] = rng.Float64()
+		}
+		m1, v1, _ := inc.Predict(q)
+		m2, v2, _ := full.Predict(q)
+		if math.Float64bits(m1) != math.Float64bits(m2) || math.Float64bits(v1) != math.Float64bits(v2) {
+			t.Fatalf("q#%d: incremental (%g, %g) != full (%g, %g)", trial, m1, v1, m2, v2)
+		}
+	}
+}
+
+// TestAddHandlesDuplicateSample: appending an exact duplicate config
+// makes the bordered matrix singular; Add must fall back to the full
+// jittered refit and keep predicting sanely.
+func TestAddHandlesDuplicateSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const dim = 3
+	g := NewRegressor(NewSEARD(dim, 0.35, 1.0), 1e-3)
+	g.Noise = 0 // zero noise: duplicate rows make the bordered matrix exactly singular
+	x0, y0 := synthPoint(rng, dim)
+	if err := g.Add(x0, y0); err != nil {
+		t.Fatal(err)
+	}
+	dup := append([]float64(nil), x0...)
+	if err := g.Add(dup, y0); err != nil {
+		t.Fatalf("duplicate Add should fall back to jittered refit, got %v", err)
+	}
+	if g.NumSamples() != 2 {
+		t.Fatalf("NumSamples = %d, want 2", g.NumSamples())
+	}
+	if _, _, err := g.Predict(x0); err != nil {
+		t.Fatalf("Predict after fallback: %v", err)
+	}
+	// The fallback took the jitter path; subsequent Adds must keep
+	// refitting fully (the factor carries jitter a border cannot match).
+	if !g.jittered {
+		t.Fatal("expected jittered flag after duplicate fallback")
+	}
+	x1, y1 := synthPoint(rng, dim)
+	if err := g.Add(x1, y1); err != nil {
+		t.Fatalf("Add after jittered fit: %v", err)
+	}
+	if g.NumSamples() != 3 {
+		t.Fatalf("NumSamples = %d, want 3", g.NumSamples())
+	}
+}
+
+// TestFullRefitBackstop pins the drift backstop counter.
+func TestFullRefitBackstop(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := NewRegressor(NewSEARD(2, 0.35, 1.0), 1e-3)
+	g.FullRefitEvery = 4
+	for i := 0; i < 10; i++ {
+		x, y := synthPoint(rng, 2)
+		if err := g.Add(x, y); err != nil {
+			t.Fatalf("Add %d: %v", i, err)
+		}
+		if g.addsSinceFit > g.FullRefitEvery {
+			t.Fatalf("addsSinceFit %d exceeded backstop %d", g.addsSinceFit, g.FullRefitEvery)
+		}
+	}
+	full := NewRegressor(NewSEARD(2, 0.35, 1.0), 1e-3)
+	if err := full.Fit(g.x, g.ys); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.3, 0.7}
+	m1, v1, _ := g.Predict(q)
+	m2, v2, _ := full.Predict(q)
+	if math.Float64bits(m1) != math.Float64bits(m2) || math.Float64bits(v1) != math.Float64bits(v2) {
+		t.Fatalf("backstopped model diverged: (%g, %g) vs (%g, %g)", m1, v1, m2, v2)
+	}
+}
+
+// TestPredictScratchNoAllocs gates the zero-alloc acquisition loop.
+func TestPredictScratchNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const n, dim = 50, 8
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = synthPoint(rng, dim)
+	}
+	g := NewRegressor(NewSEARD(dim, 0.35, 1.0), 1e-3)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, dim)
+	for d := range q {
+		q[d] = rng.Float64()
+	}
+	g.Predict(q) // warm scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := g.Predict(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Predict allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSPD builds a random symmetric positive-definite n×n matrix
+// (Gram matrix of random vectors plus a diagonal shift).
+func randSPD(rng *rand.Rand, n int, shift float64) *Matrix {
+	g := NewMatrix(n, n+3)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := Dot(g.Row(i), g.Row(j))
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] += shift
+	}
+	return m
+}
+
+// TestCholeskyAppendRowBitwise is the load-bearing property of the
+// incremental GP refit: growing the factor one row at a time yields the
+// EXACT same bits as factorizing the full matrix from scratch. No
+// tolerance — float64 equality.
+func TestCholeskyAppendRowBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		full := randSPD(rng, n, 1e-3)
+		want, err := Cholesky(full)
+		if err != nil {
+			t.Fatalf("trial %d: full Cholesky: %v", trial, err)
+		}
+		// Start from the leading 1×1 block and append rows one by one.
+		got, err := Cholesky(&Matrix{Rows: 1, Cols: 1, Data: []float64{full.At(0, 0)}})
+		if err != nil {
+			t.Fatalf("trial %d: seed Cholesky: %v", trial, err)
+		}
+		for m := 1; m < n; m++ {
+			k := make([]float64, m)
+			for j := 0; j < m; j++ {
+				k[j] = full.At(m, j)
+			}
+			got, err = CholeskyAppendRow(got, k, full.At(m, m))
+			if err != nil {
+				t.Fatalf("trial %d: append row %d: %v", trial, m, err)
+			}
+		}
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("trial %d: shape %dx%d vs %dx%d", trial, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i, v := range got.Data {
+			if math.Float64bits(v) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("trial %d: element %d differs: %x vs %x (%g vs %g)",
+					trial, i, math.Float64bits(v), math.Float64bits(want.Data[i]), v, want.Data[i])
+			}
+		}
+	}
+}
+
+// TestCholeskyAppendRowRejectsSingular: bordering with a duplicate row
+// makes the matrix singular; the append must refuse, matching what a
+// full factorization would do.
+func TestCholeskyAppendRowRejectsSingular(t *testing.T) {
+	m, err := FromRows([][]float64{{4, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New row identical to row 0 with the matching diagonal: rank
+	// deficient, pivot becomes 0.
+	if _, err := CholeskyAppendRow(l, []float64{4, 2}, 4); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("append of duplicate row: err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+// TestCholeskyAppendRowShape pins the shape validation.
+func TestCholeskyAppendRowShape(t *testing.T) {
+	l := NewMatrix(3, 3)
+	if _, err := CholeskyAppendRow(l, []float64{1, 2}, 1); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad k length: err = %v, want ErrShape", err)
+	}
+}
+
+// TestCholeskyAppendRowDoesNotMutateInput: the old factor must stay
+// usable (the GP keeps it on the fallback path).
+func TestCholeskyAppendRowDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	full := randSPD(rng, 6, 1e-3)
+	lead := NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			lead.Set(i, j, full.At(i, j))
+		}
+	}
+	l, err := Cholesky(lead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), l.Data...)
+	k := make([]float64, 5)
+	for j := range k {
+		k[j] = full.At(5, j)
+	}
+	if _, err := CholeskyAppendRow(l, k, full.At(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range l.Data {
+		if v != before[i] {
+			t.Fatalf("input factor mutated at %d", i)
+		}
+	}
+}
+
+// TestSolveLowerIntoMatchesSolveLower pins the zero-alloc variant.
+func TestSolveLowerIntoMatchesSolveLower(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randSPD(rng, 12, 1e-2)
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 12)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want, err := SolveLower(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 12)
+	if err := SolveLowerInto(l, b, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(dst[i]) {
+			t.Fatalf("element %d: %g vs %g", i, want[i], dst[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := SolveLowerInto(l, b, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("SolveLowerInto allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -171,6 +171,60 @@ func Cholesky(m *Matrix) (*Matrix, error) {
 	return l, nil
 }
 
+// CholeskyAppendRow extends the Cholesky factor L of an n×n matrix K to
+// the factor of the (n+1)×(n+1) matrix formed by bordering K with the
+// kernel column k and diagonal d:
+//
+//	K' = | K   k |        L' = | L   0 |
+//	     | kᵀ  d |             | ℓᵀ  λ |
+//
+// where L·ℓ = k (forward substitution) and λ² = d − ℓᵀℓ. The arithmetic
+// — loop order and accumulation order — deliberately mirrors Cholesky's
+// column-j recurrence, so the returned factor is bit-for-bit identical
+// to Cholesky(K') recomputed from scratch. That equality is what lets
+// gp.Regressor.Add replace a full O(n³) refit with this O(n²) update
+// without perturbing any downstream fingerprint.
+//
+// The input factor is not modified. ErrNotPositiveDefinite is returned
+// when the new pivot is non-positive (the bordered matrix is numerically
+// singular); callers should fall back to a full, jittered factorization.
+func CholeskyAppendRow(l *Matrix, k []float64, d float64) (*Matrix, error) {
+	n := l.Rows
+	if l.Cols != n || len(k) != n {
+		return nil, fmt.Errorf("%w: CholeskyAppendRow %d×%d with k %d", ErrShape, l.Rows, l.Cols, len(k))
+	}
+	out := NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i)[:n], l.Row(i))
+	}
+	row := out.Row(n)
+	for j := 0; j < n; j++ {
+		// Identical to Cholesky's off-diagonal step for element (n, j):
+		// s = K'(n,j) − Σ_{t<j} L(n,t)·L(j,t), then divide by L(j,j).
+		s := k[j]
+		lj := l.Row(j)
+		for t := 0; t < j; t++ {
+			s -= row[t] * lj[t]
+		}
+		if lj[j] == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrNotPositiveDefinite, j)
+		}
+		row[j] = s / lj[j]
+	}
+	// Identical to Cholesky's diagonal step for column n: sequential
+	// subtraction, not a dot product, to preserve rounding order.
+	dd := d
+	for t := 0; t < n; t++ {
+		ljk := row[t]
+		dd -= ljk * ljk
+	}
+	if dd <= 0 || math.IsNaN(dd) {
+		return nil, fmt.Errorf("%w: pivot %d = %g", ErrNotPositiveDefinite, n, dd)
+	}
+	row[n] = math.Sqrt(dd)
+	return out, nil
+}
+
 // SolveLower solves L·y = b for lower-triangular L (forward substitution).
 func SolveLower(l *Matrix, b []float64) ([]float64, error) {
 	n := l.Rows
@@ -178,18 +232,31 @@ func SolveLower(l *Matrix, b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("%w: SolveLower %d×%d with b %d", ErrShape, l.Rows, l.Cols, len(b))
 	}
 	y := make([]float64, n)
+	if err := SolveLowerInto(l, b, y); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// SolveLowerInto is SolveLower writing the solution into dst (len n)
+// without allocating. b and dst may alias only if identical.
+func SolveLowerInto(l *Matrix, b, dst []float64) error {
+	n := l.Rows
+	if l.Cols != n || len(b) != n || len(dst) != n {
+		return fmt.Errorf("%w: SolveLowerInto %d×%d with b %d dst %d", ErrShape, l.Rows, l.Cols, len(b), len(dst))
+	}
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := l.Row(i)
 		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
+			s -= row[k] * dst[k]
 		}
 		if row[i] == 0 {
-			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrNotPositiveDefinite, i)
+			return fmt.Errorf("%w: zero diagonal at %d", ErrNotPositiveDefinite, i)
 		}
-		y[i] = s / row[i]
+		dst[i] = s / row[i]
 	}
-	return y, nil
+	return nil
 }
 
 // SolveUpperFromLower solves Lᵀ·x = y given lower-triangular L

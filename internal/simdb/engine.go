@@ -126,6 +126,18 @@ type Engine struct {
 	// profiles caches per-template execution statistics for ExplainSQL.
 	profiles map[string]workload.Query
 
+	// Hot-path caches (see hotpath.go). cfgEpoch advances whenever cfg
+	// changes; fk is the flattened knob view valid for fkEpoch, and
+	// planCache memoises planWith per (template, epoch, profile).
+	cfgEpoch  uint64
+	fk        flatKnobs
+	fkEpoch   uint64
+	fkValid   bool
+	planCache map[string]planEntry
+	// Reused window scratch (guarded by mu).
+	sampleBuf []workload.Query
+	timesBuf  []float64
+
 	// hooks, when set, inject deterministic faults at the apply/restart/
 	// window seams (see SetFaultHooks).
 	hooks *FaultHooks
@@ -308,6 +320,7 @@ func (e *Engine) ApplyConfig(cfg knobs.Config, method ApplyMethod) error {
 	}
 	e.cfg = next
 	e.pendingRestart = staged
+	e.bumpEpochLocked()
 	switch method {
 	case ApplyReload:
 		// Minimal jitter: a short window of slightly elevated latency.
@@ -347,6 +360,7 @@ func (e *Engine) Restart() error {
 	}
 	e.cfg = next
 	e.pendingRestart = knobs.Config{}
+	e.bumpEpochLocked()
 	e.down = false
 	e.restartLocked()
 	return nil
@@ -367,6 +381,7 @@ func (e *Engine) recoverLocked() {
 	}
 	e.cfg = next
 	e.pendingRestart = knobs.Config{}
+	e.bumpEpochLocked()
 	e.restartLocked()
 }
 

@@ -19,7 +19,12 @@ func (e *Engine) rememberProfileLocked(q workload.Query) {
 	if e.profiles == nil {
 		e.profiles = make(map[string]workload.Query, 256)
 	}
-	id := sqlparse.TemplateOf(q.SQL).ID
+	id := q.Template.ID
+	if id == "" {
+		// Hand-built queries (tests, ad-hoc probes) without a carried
+		// template: derive it once here.
+		id = sqlparse.TemplateOf(q.SQL).ID
+	}
 	old, ok := e.profiles[id]
 	if !ok {
 		if len(e.profiles) >= maxProfiles {
@@ -64,7 +69,7 @@ func (e *Engine) ExplainSQL(sql string) (Plan, bool) {
 		e.mu.Unlock()
 		return Plan{}, false
 	}
-	p := e.planWith(e.cfg, q)
+	p := e.planCachedLocked(e.flatLocked(), q)
 	e.mu.Unlock()
 	return p, true
 }
@@ -78,11 +83,8 @@ func (e *Engine) ExplainSQLWith(override knobs.Config, sql string) (Plan, bool) 
 		e.mu.Unlock()
 		return Plan{}, false
 	}
-	cfg := e.cfg.Clone()
-	for k, v := range override {
-		cfg[k] = v
-	}
-	p := e.planWith(cfg, q)
+	fk, _ := e.overlayLocked(override)
+	p := e.planWith(&fk, q)
 	e.mu.Unlock()
 	return p, true
 }
@@ -92,10 +94,7 @@ func (e *Engine) ExplainSQLWith(override knobs.Config, sql string) (Plan, bool) 
 // total estimated execution time and how many statements were priced.
 func (e *Engine) HypotheticalRunSQLMs(override knobs.Config, sqls []string) (float64, int) {
 	e.mu.Lock()
-	cfg := e.cfg.Clone()
-	for k, v := range override {
-		cfg[k] = v
-	}
+	fk, cfg := e.overlayLocked(override)
 	hit := e.hitRatioLocked(cfg)
 	var total float64
 	var n int
@@ -104,7 +103,7 @@ func (e *Engine) HypotheticalRunSQLMs(override knobs.Config, sqls []string) (flo
 		if !ok {
 			continue
 		}
-		ms, _, _ := e.serviceTimeMs(cfg, q, hit)
+		ms, _ := e.serviceTimeMs(&fk, q, hit, e.planWith(&fk, q))
 		total += ms
 		n++
 	}

@@ -45,23 +45,18 @@ type Plan struct {
 	UsesDisk bool
 }
 
-// grants returns the working-area grants of cfg for this engine flavour.
-func (e *Engine) grants(cfg knobs.Config, q workload.Query) (work, maint, temp float64) {
+// grants returns the working-area grants of fk for this engine flavour.
+func (e *Engine) grants(fk *flatKnobs, q workload.Query) (work, maint, temp float64) {
 	if e.engineName == string(knobs.MySQL) {
 		switch q.Class {
 		case sqlparse.ClassJoin:
-			work = cfg["join_buffer_size"]
+			work = fk.joinBuf
 		default:
-			work = cfg["sort_buffer_size"]
+			work = fk.sortBuf
 		}
-		maint = cfg["key_buffer_size"]
-		temp = cfg["tmp_table_size"]
-		return work, maint, temp
+		return work, fk.keyBuf, fk.tmpTable
 	}
-	work = cfg["work_mem"]
-	maint = cfg["maintenance_work_mem"]
-	temp = cfg["temp_buffers"]
-	return work, maint, temp
+	return fk.workMem, fk.maintMem, fk.tempBuf
 }
 
 // selectivity estimates the fraction of pages an index path would touch.
@@ -77,9 +72,11 @@ func selectivity(q workload.Query) float64 {
 	}
 }
 
-// planWith computes the plan for q under cfg without touching state.
-func (e *Engine) planWith(cfg knobs.Config, q workload.Query) Plan {
-	work, maint, temp := e.grants(cfg, q)
+// planWith computes the plan for q under the flattened knob view
+// without touching state. It is a pure function of (fk, resources,
+// dbSize, q.Class, q.Profile) — the property the plan cache relies on.
+func (e *Engine) planWith(fk *flatKnobs, q workload.Query) Plan {
+	work, maint, temp := e.grants(fk, q)
 	p := Plan{
 		MemRequired:   q.Profile.MemDemand,
 		MemGranted:    work,
@@ -99,7 +96,7 @@ func (e *Engine) planWith(cfg knobs.Config, q workload.Query) Plan {
 		// MySQL 5.6 has no parallel query; planner choice reduces to
 		// index-vs-scan driven by optimizer knobs (approximated via
 		// eq_range_index_dive_limit as an index-preference proxy).
-		dive := cfg["eq_range_index_dive_limit"]
+		dive := fk.eqRangeDiveLimit
 		indexCost := sel * pages * 1.4 * (1 + 10/math.Max(1, dive))
 		seqCost := pages
 		if q.Profile.IndexFriendly && indexCost < seqCost {
@@ -112,10 +109,10 @@ func (e *Engine) planWith(cfg knobs.Config, q workload.Query) Plan {
 		return p
 	}
 
-	rpc := cfg["random_page_cost"]
-	spc := cfg["seq_page_cost"]
-	ctc := cfg["cpu_tuple_cost"]
-	ecs := cfg["effective_cache_size"]
+	rpc := fk.randomPageCost
+	spc := fk.seqPageCost
+	ctc := fk.cpuTupleCost
+	ecs := fk.effectiveCacheSiz
 	// A larger assumed cache makes random access cheaper in the
 	// planner's eyes (PostgreSQL discounts random_page_cost when it
 	// believes pages are cached).
@@ -133,7 +130,7 @@ func (e *Engine) planWith(cfg knobs.Config, q workload.Query) Plan {
 	// Parallel plan: only for parallelizable queries whose serial cost
 	// clears the threshold; the planner requests workers proportional
 	// to the scan size, capped by the per-gather knob.
-	maxPar := cfg["max_parallel_workers_per_gather"]
+	maxPar := fk.maxParPerGather
 	if q.Profile.Parallelizable && maxPar >= 1 && p.EstimatedCost > 5000 {
 		want := int(math.Min(maxPar, math.Max(1, math.Log2(pages/1000))))
 		if want > 0 {
@@ -144,11 +141,13 @@ func (e *Engine) planWith(cfg knobs.Config, q workload.Query) Plan {
 	return p
 }
 
-// Explain returns the plan for q under the active configuration.
+// Explain returns the plan for q under the active configuration. It
+// shares the plan cache with RunWindow: both go through
+// planCachedLocked, so EXPLAIN output and execution pricing can never
+// disagree.
 func (e *Engine) Explain(q workload.Query) Plan {
 	e.mu.Lock()
-	cfg := e.cfg
-	p := e.planWith(cfg, q)
+	p := e.planCachedLocked(e.flatLocked(), q)
 	e.mu.Unlock()
 	return p
 }
@@ -157,20 +156,18 @@ func (e *Engine) Explain(q workload.Query) Plan {
 // overlay (unknown/absent knobs fall back to the active values). The
 // TDE's MDP probe uses this to run cost/benefit analysis for candidate
 // async/planner knob values without perturbing the live process.
+// Overlay plans are not cached — the overlay is not an epoch.
 func (e *Engine) ExplainWith(override knobs.Config, q workload.Query) Plan {
 	e.mu.Lock()
-	cfg := e.cfg.Clone()
-	for k, v := range override {
-		cfg[k] = v
-	}
-	p := e.planWith(cfg, q)
+	fk, _ := e.overlayLocked(override)
+	p := e.planWith(&fk, q)
 	e.mu.Unlock()
 	return p
 }
 
 // ioOverlapFactor models asynchronous-IO overlap: deeper prefetch hides
 // miss latency up to the device's parallelism, then costs coordination.
-func (e *Engine) ioOverlapFactor(cfg knobs.Config) float64 {
+func (e *Engine) ioOverlapFactor(fk *flatKnobs) float64 {
 	devPar := 1.0
 	if e.res.DiskSSD {
 		devPar = 8.0
@@ -179,14 +176,14 @@ func (e *Engine) ioOverlapFactor(cfg knobs.Config) float64 {
 	if e.engineName == string(knobs.MySQL) {
 		// innodb_thread_concurrency: 0 = unlimited (treated as device
 		// parallelism); otherwise optimal near the device parallelism.
-		c := cfg["innodb_thread_concurrency"]
+		c := fk.innodbThreadConcurr
 		if c == 0 {
 			depth = devPar
 		} else {
 			depth = c
 		}
 	} else {
-		depth = cfg["effective_io_concurrency"]
+		depth = fk.effectiveIOConc
 	}
 	// Overlap grows to the device parallelism, then oversubscription
 	// decays it smoothly (queueing/coordination overhead) — the gradient
@@ -209,11 +206,11 @@ func (e *Engine) trueScanFactor() float64 {
 	return 5.0
 }
 
-// serviceTimeMs prices one query's execution under cfg given the current
-// cache hit ratio. It is the single source of truth for both live
-// execution (RunWindow) and hypothetical probes (HypotheticalRunMs).
-func (e *Engine) serviceTimeMs(cfg knobs.Config, q workload.Query, hitRatio float64) (ms float64, spillBytes float64, plan Plan) {
-	plan = e.planWith(cfg, q)
+// serviceTimeMs prices one query's execution given the current cache
+// hit ratio and a pre-computed plan (from planCachedLocked or planWith).
+// It is the single source of truth for both live execution (RunWindow)
+// and hypothetical probes (HypotheticalRunMs).
+func (e *Engine) serviceTimeMs(fk *flatKnobs, q workload.Query, hitRatio float64, plan Plan) (ms float64, spillBytes float64) {
 	readBytes := clampNonNeg(q.Profile.ReadBytes)
 	if plan.Scan == IndexScan {
 		// Index path reads less data but with random access.
@@ -240,7 +237,7 @@ func (e *Engine) serviceTimeMs(cfg knobs.Config, q workload.Query, hitRatio floa
 	// queueing overhead — an interior optimum the MDP probe can find.
 	missBytes := readBytes * (1 - hitRatio)
 	missPages := missBytes / PageSize
-	ioMs := missPages / math.Max(1, e.res.DiskIOPS) * 1000 / e.ioOverlapFactor(cfg)
+	ioMs := missPages / math.Max(1, e.res.DiskIOPS) * 1000 / e.ioOverlapFactor(fk)
 
 	// Spills: working areas that do not fit are written out and read back.
 	if plan.UsesDisk {
@@ -263,7 +260,7 @@ func (e *Engine) serviceTimeMs(cfg knobs.Config, q workload.Query, hitRatio floa
 	writePages := clampNonNeg(q.Profile.WriteBytes) / PageSize
 	ioMs += writePages / math.Max(1, e.res.DiskIOPS) * 200 // mostly buffered
 
-	return cpuMs + ioMs, spillBytes, plan
+	return cpuMs + ioMs, spillBytes
 }
 
 // HypotheticalRunMs prices a batch of queries under a config overlay
@@ -271,14 +268,11 @@ func (e *Engine) serviceTimeMs(cfg knobs.Config, q workload.Query, hitRatio floa
 // against the live config to compute profit/loss for a knob step.
 func (e *Engine) HypotheticalRunMs(override knobs.Config, qs []workload.Query) float64 {
 	e.mu.Lock()
-	cfg := e.cfg.Clone()
-	for k, v := range override {
-		cfg[k] = v
-	}
+	fk, cfg := e.overlayLocked(override)
 	hit := e.hitRatioLocked(cfg)
 	var total float64
 	for _, q := range qs {
-		ms, _, _ := e.serviceTimeMs(cfg, q, hit)
+		ms, _ := e.serviceTimeMs(&fk, q, hit, e.planWith(&fk, q))
 		total += ms
 	}
 	e.mu.Unlock()

@@ -2,7 +2,6 @@ package simdb
 
 import (
 	"math"
-	"sort"
 	"time"
 
 	"autodbaas/internal/knobs"
@@ -76,12 +75,17 @@ func (e *Engine) RunWindow(gen workload.Generator, dur time.Duration) (WindowSta
 	st := WindowStats{Start: start, Duration: dur, Offered: offered}
 
 	n := int(math.Min(windowSampleCap, math.Max(1, total)))
-	sample := make([]workload.Query, n)
+	if cap(e.sampleBuf) < n {
+		e.sampleBuf = make([]workload.Query, n)
+		e.timesBuf = make([]float64, n)
+	}
+	sample := e.sampleBuf[:n]
 	for i := range sample {
 		sample[i] = gen.Sample(e.rng)
 	}
 	scale := total / float64(n)
 
+	fk := e.flatLocked()
 	hit := e.hitRatioLocked(e.cfg)
 	st.HitRatio = hit
 
@@ -90,15 +94,16 @@ func (e *Engine) RunWindow(gen workload.Generator, dur time.Duration) (WindowSta
 		jitter = e.jitterFactor
 	}
 
-	times := make([]float64, n)
+	times := e.timesBuf[:n]
 	var sumMs, readLogical, readMiss, writeBytes, spillBytes float64
 	var spillCount int
 	var parLaunched, parDenied float64
-	classCounts := map[sqlparse.Class]float64{}
-	workerPool := e.cfg["max_worker_processes"] // postgres only; 0 for mysql
+	var classCounts [sqlparse.NumClasses]float64
+	workerPool := fk.maxWorkerProcesses // postgres only; 0 for mysql
 
 	for i, q := range sample {
-		ms, spill, plan := e.serviceTimeMs(e.cfg, q, hit)
+		plan := e.planCachedLocked(fk, q)
+		ms, spill := e.serviceTimeMs(fk, q, hit, plan)
 		ms *= jitter * e.surgeSlowdownLocked()
 		times[i] = ms
 		sumMs += ms
@@ -126,8 +131,9 @@ func (e *Engine) RunWindow(gen workload.Generator, dur time.Duration) (WindowSta
 	}
 	avgMs := sumMs / float64(n)
 	st.AvgServiceMs = avgMs
-	sort.Float64s(times)
-	st.P99Ms = times[int(math.Min(float64(n-1), math.Ceil(0.99*float64(n))))]
+	// The k-th order statistic is the same value whether obtained by a
+	// full sort or by selection; selection is O(n).
+	st.P99Ms = selectKth(times, int(math.Min(float64(n-1), math.Ceil(0.99*float64(n)))))
 
 	// Capacity model (Little's law-ish): VCPU serving queries serially.
 	capacityQPS := float64(e.res.VCPU) / (avgMs / 1000) * 0.9
@@ -148,8 +154,11 @@ func (e *Engine) RunWindow(gen workload.Generator, dur time.Duration) (WindowSta
 	e.bump("par_denied", parDenied*achievedScale)
 	e.bump("commit", achieved*seconds)
 	for cls, c := range classCounts {
+		if c == 0 {
+			continue
+		}
 		cc := c * achieved / math.Max(1e-9, offered)
-		switch cls {
+		switch sqlparse.Class(cls) {
 		case sqlparse.ClassInsert:
 			e.bump("tup_insert", cc)
 		case sqlparse.ClassUpdate:
@@ -167,8 +176,7 @@ func (e *Engine) RunWindow(gen workload.Generator, dur time.Duration) (WindowSta
 	wal := w * 1.1
 	e.bump("wal_bytes", wal)
 	e.walSinceCkpt += wal
-	pool := e.bufferPoolLocked()
-	e.dirtyBytes = math.Min(pool, e.dirtyBytes+w*1.4*0.5)
+	e.dirtyBytes = math.Min(fk.bufferPool, e.dirtyBytes+w*1.4*0.5)
 
 	// Working-set estimate (gauging): hot data is a skewed subset of the
 	// database, bounded by the unique volume touched per minute so the
@@ -178,7 +186,7 @@ func (e *Engine) RunWindow(gen workload.Generator, dur time.Duration) (WindowSta
 	e.workingSet = 0.7*e.workingSet + 0.3*math.Max(64*1024*1024, wsTarget)
 
 	// Background processes.
-	bg := e.stepBackgroundLocked(dur, &st)
+	bg := e.stepBackgroundLocked(fk, dur, &st)
 
 	// Data-disk accounting for the window.
 	readPages := readMiss * achievedScale / PageSize
@@ -241,7 +249,7 @@ type bgResult struct {
 
 // stepBackgroundLocked advances the background writer, checkpointer and
 // vacuum by dur.
-func (e *Engine) stepBackgroundLocked(dur time.Duration, st *WindowStats) bgResult {
+func (e *Engine) stepBackgroundLocked(fk *flatKnobs, dur time.Duration, st *WindowStats) bgResult {
 	seconds := dur.Seconds()
 	var out bgResult
 
@@ -250,20 +258,19 @@ func (e *Engine) stepBackgroundLocked(dur time.Duration, st *WindowStats) bgResu
 	if e.engineName == string(knobs.MySQL) {
 		// InnoDB adaptive flushing: io_capacity budget, throttled when
 		// the dirty percentage is below the aggressive threshold.
-		pool := e.bufferPoolLocked()
-		dirtyPct := 100 * e.dirtyBytes / math.Max(1, pool)
-		aggressive := e.cfg["innodb_max_dirty_pages_pct"]
+		dirtyPct := 100 * e.dirtyBytes / math.Max(1, fk.bufferPool)
+		aggressive := fk.innodbMaxDirtyPct
 		fraction := 0.3
 		if dirtyPct >= aggressive {
 			fraction = 1.0
 		}
-		budget := e.cfg["innodb_io_capacity"] * seconds * fraction
-		scan := e.cfg["innodb_lru_scan_depth"] * seconds
+		budget := fk.innodbIOCapacity * seconds * fraction
+		scan := fk.innodbLRUScanDepth * seconds
 		bgPages = math.Min(e.dirtyBytes/PageSize, math.Min(budget, scan))
 	} else {
-		delayMs := math.Max(10, e.cfg["bgwriter_delay"])
+		delayMs := math.Max(10, fk.bgwriterDelay)
 		rounds := dur.Seconds() * 1000 / delayMs
-		maxPages := rounds * e.cfg["bgwriter_lru_maxpages"]
+		maxPages := rounds * fk.bgwriterLRUMaxpages
 		bgPages = math.Min(e.dirtyBytes/PageSize, maxPages)
 		if bgPages == maxPages && e.dirtyBytes/PageSize > maxPages {
 			e.bump("bg_maxwritten", rounds)
@@ -274,7 +281,7 @@ func (e *Engine) stepBackgroundLocked(dur time.Duration, st *WindowStats) bgResu
 	out.pages += bgPages
 
 	// --- Checkpointer ---
-	interval, walLimit := e.checkpointPolicyLocked()
+	interval, walLimit := e.checkpointPolicyLocked(fk)
 	elapsed := e.now.Add(dur).Sub(e.lastCkpt)
 	// WAL volume may trip the limit several times inside one window;
 	// every crossing is a requested checkpoint. A timed checkpoint fires
@@ -306,10 +313,10 @@ func (e *Engine) stepBackgroundLocked(dur time.Duration, st *WindowStats) bgResu
 		// The completion target spreads a fraction of the write over the
 		// coming interval; the rest lands as an immediate burst in this
 		// window (the latency spikes of Fig. 5).
-		burstFrac := e.checkpointBurstFracLocked()
+		burstFrac := e.checkpointBurstFracLocked(fk)
 		burst := ckptBytes * burstFrac
 		out.pages += burst / PageSize
-		spread := e.checkpointSpreadLocked(elapsed)
+		spread := e.checkpointSpreadLocked(fk, elapsed)
 		if spread < dur {
 			spread = dur
 		}
@@ -342,25 +349,25 @@ func (e *Engine) stepBackgroundLocked(dur time.Duration, st *WindowStats) bgResu
 
 // checkpointPolicyLocked returns (max interval, WAL volume limit) that
 // trigger a checkpoint for the engine flavour.
-func (e *Engine) checkpointPolicyLocked() (time.Duration, float64) {
+func (e *Engine) checkpointPolicyLocked(fk *flatKnobs) (time.Duration, float64) {
 	if e.engineName == string(knobs.MySQL) {
 		// Redo capacity: two log files, checkpoint near 80% full.
-		capBytes := 2 * e.cfg["innodb_log_file_size"] * 0.8
+		capBytes := 2 * fk.innodbLogFileSize * 0.8
 		return 30 * time.Minute, capBytes
 	}
-	interval := time.Duration(e.cfg["checkpoint_timeout"]) * time.Millisecond
-	return interval, e.cfg["max_wal_size"]
+	interval := time.Duration(fk.checkpointTimeout) * time.Millisecond
+	return interval, fk.maxWALSize
 }
 
 // checkpointSpreadLocked is how long a checkpoint spreads its deferred
 // writes, based on the observed spacing between checkpoints.
-func (e *Engine) checkpointSpreadLocked(elapsed time.Duration) time.Duration {
+func (e *Engine) checkpointSpreadLocked(fk *flatKnobs, elapsed time.Duration) time.Duration {
 	if e.engineName == string(knobs.MySQL) {
 		// InnoDB paces flushing by io_capacity rather than a target
 		// fraction; approximate with a fixed fraction of the spacing.
 		return elapsed / 4
 	}
-	target := e.cfg["checkpoint_completion_target"]
+	target := fk.ckptCompletionTarget
 	if target <= 0 {
 		target = 0.5
 	}
@@ -370,11 +377,11 @@ func (e *Engine) checkpointSpreadLocked(elapsed time.Duration) time.Duration {
 // checkpointBurstFracLocked is the fraction of a checkpoint's write
 // volume that lands immediately rather than being spread: PostgreSQL's
 // (1 − checkpoint_completion_target), a fixed half for InnoDB.
-func (e *Engine) checkpointBurstFracLocked() float64 {
+func (e *Engine) checkpointBurstFracLocked(fk *flatKnobs) float64 {
 	if e.engineName == string(knobs.MySQL) {
 		return 0.5
 	}
-	target := e.cfg["checkpoint_completion_target"]
+	target := fk.ckptCompletionTarget
 	if target <= 0 {
 		target = 0.5
 	}

@@ -8,13 +8,19 @@
 // This is not a full SQL parser: it is a tokenizer with the recognition
 // power the TDE needs (statement verb, clause markers, literal
 // stripping), which matches how production log-templating tools work.
+//
+// Templating is on the per-query hot path of the whole system (every
+// sampled query and every inspected log line goes through it), so
+// Normalize and Classify are written allocation-free and TemplateOf is
+// memoised behind a sharded LRU (see template_cache.go).
 package sqlparse
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"strings"
-	"unicode"
+	"sync"
 )
 
 // Class is a coarse query category used for entropy histograms and
@@ -75,19 +81,19 @@ type Template struct {
 	Class Class
 }
 
+// normBufs pools the scratch byte buffers Normalize scans into, so the
+// only allocation per call is the returned string itself.
+var normBufs = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
 // Normalize strips literals and whitespace variance from a SQL string:
 // numbers and quoted strings become '?', identifiers are lower-cased,
 // runs of whitespace collapse, and IN-lists collapse to a single '?'.
 func Normalize(sql string) string {
-	var b strings.Builder
-	b.Grow(len(sql))
+	bp := normBufs.Get().(*[]byte)
+	b := (*bp)[:0]
 	i := 0
 	n := len(sql)
 	lastSpace := true
-	writeByte := func(c byte) {
-		b.WriteByte(c)
-		lastSpace = c == ' '
-	}
 	for i < n {
 		c := sql[i]
 		switch {
@@ -122,34 +128,43 @@ func Normalize(sql string) string {
 				}
 				i++
 			}
-			writeByte('?')
+			b = append(b, '?')
+			lastSpace = false
 		case c >= '0' && c <= '9':
 			// Numeric literal (only when not part of an identifier).
 			for i < n && (sql[i] >= '0' && sql[i] <= '9' || sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
 				((sql[i] == '+' || sql[i] == '-') && i > 0 && (sql[i-1] == 'e' || sql[i-1] == 'E'))) {
 				i++
 			}
-			writeByte('?')
+			b = append(b, '?')
+			lastSpace = false
 		case isIdentByte(c):
-			start := i
 			for i < n && (isIdentByte(sql[i]) || sql[i] >= '0' && sql[i] <= '9') {
+				ch := sql[i]
+				if ch >= 'A' && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				b = append(b, ch)
 				i++
 			}
-			word := strings.ToLower(sql[start:i])
-			b.WriteString(word)
 			lastSpace = false
-		case unicode.IsSpace(rune(c)):
+		case isSpaceByte(c):
 			if !lastSpace {
-				writeByte(' ')
+				b = append(b, ' ')
+				lastSpace = true
 			}
 			i++
 		default:
-			writeByte(c)
+			b = append(b, c)
+			lastSpace = c == ' '
 			i++
 		}
 	}
-	out := strings.TrimSpace(b.String())
-	out = collapseInLists(out)
+	t := bytes.TrimSpace(b)
+	t = collapseInLists(t)
+	out := string(t)
+	*bp = b
+	normBufs.Put(bp)
 	return out
 }
 
@@ -157,43 +172,51 @@ func isIdentByte(c byte) bool {
 	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
 }
 
+// isSpaceByte mirrors unicode.IsSpace(rune(c)) for single bytes: the
+// ASCII whitespace set plus NEL (U+0085) and NBSP (U+00A0), which are
+// space runes in the Latin-1 range.
+func isSpaceByte(c byte) bool {
+	switch c {
+	case '\t', '\n', '\v', '\f', '\r', ' ', 0x85, 0xA0:
+		return true
+	}
+	return false
+}
+
+var inListPat = []byte("in (?")
+
 // collapseInLists rewrites "in (?, ?, ?)" (any arity) as "in (?)" so
-// IN-list size does not explode the template space.
-func collapseInLists(s string) string {
+// IN-list size does not explode the template space. It edits s in place
+// (the slice only ever shrinks) and returns the shortened slice.
+func collapseInLists(s []byte) []byte {
+	from := 0
 	for {
-		idx := strings.Index(s, "in (?")
+		idx := bytes.Index(s[from:], inListPat)
 		if idx < 0 {
 			return s
 		}
-		end := idx + len("in (?")
+		end := from + idx + len(inListPat)
 		j := end
 		for j < len(s) && (s[j] == ',' || s[j] == ' ' || s[j] == '?') {
 			j++
 		}
 		if j < len(s) && s[j] == ')' {
-			s = s[:end] + s[j:]
-			// Advance past this occurrence to avoid an infinite loop on
-			// the already-collapsed "in (?)".
-			next := strings.Index(s[end:], "in (?")
-			if next < 0 {
-				return s
-			}
-			s = s[:end] + collapseInLists(s[end:])
-			return s
+			s = append(s[:end], s[j:]...)
 		}
-		// Not a collapsible list; look after this occurrence.
-		rest := collapseInLists(s[end:])
-		return s[:end] + rest
+		// Continue after this occurrence (collapsed or not) to avoid
+		// re-matching the already-collapsed "in (?)".
+		from = end
 	}
 }
 
 // Classify infers the query class from normalized SQL text.
 func Classify(normalized string) Class {
 	s := normalized
-	if !strings.HasPrefix(s, " ") {
-		s = " " + s + " "
-	}
-	has := func(kw string) bool { return strings.Contains(s, " "+kw+" ") }
+	// Historically Classify matched keywords against " "+s+" "; padding
+	// is virtual now (word-boundary checks at the string ends) so the
+	// call is allocation-free.
+	padded := !strings.HasPrefix(s, " ")
+	has := func(kw string) bool { return hasWord(s, kw, padded) }
 	switch {
 	case strings.Contains(s, "create index") || strings.Contains(s, "drop index"):
 		return ClassIndexDDL
@@ -223,8 +246,31 @@ func Classify(normalized string) Class {
 	}
 }
 
+// hasWord reports whether kw occurs in s delimited by spaces; when
+// padded is true the string ends count as boundaries (equivalent to
+// strings.Contains(" "+s+" ", " "+kw+" ") without building the strings).
+func hasWord(s, kw string, padded bool) bool {
+	from := 0
+	for {
+		i := strings.Index(s[from:], kw)
+		if i < 0 {
+			return false
+		}
+		i += from
+		e := i + len(kw)
+		leftOK := i == 0 && padded || i > 0 && s[i-1] == ' '
+		rightOK := e == len(s) && padded || e < len(s) && s[e] == ' '
+		if leftOK && rightOK {
+			return true
+		}
+		from = i + 1
+	}
+}
+
+var aggregateFns = []string{"count(", "count (", "sum(", "sum (", "avg(", "avg (", "min(", "min (", "max(", "max ("}
+
 func containsAggregate(s string) bool {
-	for _, fn := range []string{"count(", "count (", "sum(", "sum (", "avg(", "avg (", "min(", "min (", "max(", "max ("} {
+	for _, fn := range aggregateFns {
 		if strings.Contains(s, fn) {
 			return true
 		}
@@ -233,7 +279,20 @@ func containsAggregate(s string) bool {
 }
 
 // TemplateOf normalizes, classifies and fingerprints a raw SQL string.
+// Results are memoised in a process-wide LRU keyed by the raw text, so
+// re-templating repeated log lines (the TDE tick, trace replay) costs a
+// map lookup. The cache is an exact memo of a pure function: enabling or
+// disabling it never changes the returned Template.
 func TemplateOf(sql string) Template {
+	if tpl, ok := templateCacheGet(sql); ok {
+		return tpl
+	}
+	tpl := computeTemplate(sql)
+	templateCachePut(sql, tpl)
+	return tpl
+}
+
+func computeTemplate(sql string) Template {
 	norm := Normalize(sql)
 	sum := sha256.Sum256([]byte(norm))
 	return Template{

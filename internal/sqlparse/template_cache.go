@@ -1,0 +1,120 @@
+package sqlparse
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"autodbaas/internal/obs"
+)
+
+// The template cache memoises TemplateOf by raw SQL text. It exists for
+// the streams that repeat strings verbatim: the TDE tick re-templating
+// the engine's query log, trace replay, and EXPLAIN probes against
+// remembered statements. Freshly generated SQL with random literals
+// mostly misses — that is fine, the miss cost is one extra map probe.
+//
+// Determinism: values are a pure function of the key, so cache state
+// (including evictions, which may differ run to run under parallel
+// window phases) can never change what TemplateOf returns — only how
+// fast it returns it. The equivalence tests in internal/core pin this.
+const (
+	templateCacheShards   = 16
+	templateCacheShardCap = 2048 // 32768 entries total
+)
+
+type tplShard struct {
+	mu   sync.Mutex
+	m    map[string]Template
+	ring []string // FIFO eviction ring; holds exactly the map's keys
+	next int
+}
+
+var (
+	tplShards   [templateCacheShards]tplShard
+	tplSeed     = maphash.MakeSeed()
+	tplCacheOn  atomic.Bool
+	tplMetrics  obs.CacheMetrics
+	tplInitOnce sync.Once
+)
+
+func tplInit() {
+	tplInitOnce.Do(func() {
+		for i := range tplShards {
+			tplShards[i].m = make(map[string]Template, templateCacheShardCap)
+			tplShards[i].ring = make([]string, 0, templateCacheShardCap)
+		}
+		tplMetrics = obs.Cache("sqlparse_template")
+	})
+}
+
+func init() {
+	tplCacheOn.Store(true)
+	tplInit()
+}
+
+// SetTemplateCacheEnabled toggles the TemplateOf memo (for equivalence
+// tests and benchmarks) and returns the previous setting.
+func SetTemplateCacheEnabled(on bool) bool { return tplCacheOn.Swap(on) }
+
+// ResetTemplateCache drops every cached template (counters are kept).
+func ResetTemplateCache() {
+	for i := range tplShards {
+		s := &tplShards[i]
+		s.mu.Lock()
+		s.m = make(map[string]Template, templateCacheShardCap)
+		s.ring = s.ring[:0]
+		s.next = 0
+		s.mu.Unlock()
+	}
+}
+
+// TemplateCacheMetrics exposes the hit/miss/evict counters (benchrunner
+// reads these to report hit rates in BENCH_hotpath.json).
+func TemplateCacheMetrics() obs.CacheMetrics { return tplMetrics }
+
+func tplShardOf(sql string) *tplShard {
+	return &tplShards[maphash.String(tplSeed, sql)%templateCacheShards]
+}
+
+func templateCacheGet(sql string) (Template, bool) {
+	if !tplCacheOn.Load() {
+		return Template{}, false
+	}
+	s := tplShardOf(sql)
+	s.mu.Lock()
+	tpl, ok := s.m[sql]
+	s.mu.Unlock()
+	if ok {
+		tplMetrics.Hits.Inc()
+	} else {
+		tplMetrics.Misses.Inc()
+	}
+	return tpl, ok
+}
+
+func templateCachePut(sql string, tpl Template) {
+	if !tplCacheOn.Load() {
+		return
+	}
+	s := tplShardOf(sql)
+	s.mu.Lock()
+	if _, ok := s.m[sql]; ok {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= templateCacheShardCap {
+		// FIFO ring: evict the oldest key and reuse its slot.
+		old := s.ring[s.next]
+		delete(s.m, old)
+		s.ring[s.next] = sql
+		s.next = (s.next + 1) % len(s.ring)
+		s.m[sql] = tpl
+		s.mu.Unlock()
+		tplMetrics.Evictions.Inc()
+		return
+	}
+	s.ring = append(s.ring, sql)
+	s.m[sql] = tpl
+	s.mu.Unlock()
+}

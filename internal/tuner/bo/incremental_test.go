@@ -1,0 +1,129 @@
+package bo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/metrics"
+	"autodbaas/internal/tuner"
+)
+
+// synthSample builds a deterministic training sample for workload wid.
+func synthSample(t *testing.T, kcat *knobs.Catalog, mcat *metrics.Catalog, rng *rand.Rand, wid string, i int) tuner.Sample {
+	t.Helper()
+	cfg := kcat.DefaultConfig()
+	for _, n := range kcat.TunableNames() {
+		d := kcat.Def(n)
+		cfg[n] = d.Min + rng.Float64()*(d.Max-d.Min)
+	}
+	snap := make(metrics.Snapshot, mcat.Len())
+	for _, name := range mcat.Names() {
+		snap[name] = rng.Float64() * 1000
+	}
+	return tuner.Sample{
+		WorkloadID: wid,
+		Engine:     knobs.Postgres,
+		Config:     cfg,
+		Metrics:    snap,
+		Objective:  500 + rng.Float64()*2000,
+		Quality:    true,
+		Window:     5 * time.Minute,
+		At:         time.Date(2021, 3, 23, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * 5 * time.Minute),
+	}
+}
+
+// driveTuner observes a growing sample stream, requesting a
+// recommendation after every few observations — the control plane's
+// actual pattern, and the case the fit cache accelerates.
+func driveTuner(t *testing.T) []tuner.Recommendation {
+	t.Helper()
+	tn, err := New(Options{Engine: knobs.Postgres, Candidates: 40, MaxSamplesPerFit: 30, UCBBeta: 0.5, TopKnobs: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	var recs []tuner.Recommendation
+	for i := 0; i < 40; i++ {
+		s := synthSample(t, tn.kcat, tn.mcat, rng, "wl-a", i)
+		if err := tn.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 4 && i%3 == 0 {
+			// Alternate between Lasso-ranked subspaces (cache rarely
+			// applies) and a pinned throttle class (cache applies almost
+			// always) so both fit paths are compared.
+			var cls *knobs.Class
+			if i%2 == 0 {
+				c := knobs.Memory
+				cls = &c
+			}
+			rec, err := tn.Recommend(tuner.Request{
+				WorkloadID:    "wl-a",
+				Metrics:       s.Metrics,
+				Current:       s.Config,
+				ThrottleClass: cls,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec.Cost = 0 // wall-clock; excluded from the equivalence check
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}
+
+// TestIncrementalFitTransparent: the fit cache must never change a
+// recommendation — only its cost. Identical sample streams with
+// incremental refits on vs off must yield identical recommendations.
+func TestIncrementalFitTransparent(t *testing.T) {
+	prev := SetIncrementalFit(true)
+	withCache := driveTuner(t)
+	SetIncrementalFit(false)
+	withoutCache := driveTuner(t)
+	SetIncrementalFit(prev)
+	if len(withCache) == 0 {
+		t.Fatal("no recommendations produced")
+	}
+	if !reflect.DeepEqual(withCache, withoutCache) {
+		t.Errorf("incremental refit changed recommendations:\n  incremental: %+v\n  full:        %+v", withCache, withoutCache)
+	}
+}
+
+// TestIncrementalFitActuallyEngages guards against the cache silently
+// never applying (which would make the transparency test vacuous).
+func TestIncrementalFitActuallyEngages(t *testing.T) {
+	prev := SetIncrementalFit(true)
+	defer SetIncrementalFit(prev)
+	tn, err := New(Options{Engine: knobs.Postgres, Candidates: 20, MaxSamplesPerFit: 100, UCBBeta: 0.5, TopKnobs: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	inc0, full0 := tn.refitIncremental.Value(), tn.refitFull.Value()
+	// A pinned throttle class fixes the knob subspace (the control
+	// plane's usual request shape), so successive training sets extend
+	// each other and the fit cache can engage.
+	cls := knobs.Memory
+	for i := 0; i < 24; i++ {
+		if err := tn.Observe(synthSample(t, tn.kcat, tn.mcat, rng, "wl-b", i)); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 6 {
+			if _, err := tn.Recommend(tuner.Request{WorkloadID: "wl-b", ThrottleClass: &cls}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	inc, full := tn.refitIncremental.Value()-inc0, tn.refitFull.Value()-full0
+	if inc < 10 {
+		t.Fatalf("incremental refits barely engaged: incremental=%v full=%v", inc, full)
+	}
+	if full == 0 {
+		t.Fatal("expected at least the initial full fit")
+	}
+	t.Logf("refits: incremental=%v full=%v", inc, full)
+}

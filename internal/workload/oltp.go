@@ -21,34 +21,48 @@ type TPCC struct {
 func NewTPCC(size, rate float64) *TPCC {
 	t := &TPCC{size: size, rate: rate}
 	row := 512.0 // average row bytes
+	const (
+		newOrderSQL    = "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_quantity) VALUES (%d, %d, %d, %d, %d, %d)"
+		paymentSQL     = "UPDATE customer SET c_balance = c_balance - %d WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d"
+		orderStatusSQL = "SELECT o_id, o_entry_d FROM oorder WHERE o_w_id = %d AND o_d_id = %d AND o_c_id = %d ORDER BY o_id"
+		deliverySQL    = "DELETE FROM new_order WHERE no_w_id = %d AND no_d_id = %d AND no_o_id = %d"
+		stockLevelSQL  = "SELECT COUNT(DISTINCT s_i_id) FROM order_line JOIN stock ON ol_i_id = s_i_id WHERE ol_w_id = %d AND s_quantity < %d"
+	)
+	var (
+		newOrderTpl    = litTpl(newOrderSQL, 0, 0, 0, 0, 0, 0)
+		paymentTpl     = litTpl(paymentSQL, 0, 0, 0, 0)
+		orderStatusTpl = litTpl(orderStatusSQL, 0, 0, 0)
+		deliveryTpl    = litTpl(deliverySQL, 0, 0, 0)
+		stockLevelTpl  = litTpl(stockLevelSQL, 0, 0)
+	)
 	t.mix = newMixSampler([]choice{
 		// New-Order (45%): reads item/stock, inserts order lines.
 		{45, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_quantity) VALUES (%d, %d, %d, %d, %d, %d)",
+			return qt(newOrderTpl, fmt.Sprintf(newOrderSQL,
 				rng.Intn(1_000_000), rng.Intn(10), rng.Intn(100), rng.Intn(15), rng.Intn(100_000), 1+rng.Intn(10)),
 				Profile{ReadBytes: jitter(rng, 24*row), WriteBytes: jitter(rng, 8*row), IndexFriendly: true})
 		}},
 		// Payment (43%): balance updates.
 		{43, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("UPDATE customer SET c_balance = c_balance - %d WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d",
+			return qt(paymentTpl, fmt.Sprintf(paymentSQL,
 				1+rng.Intn(5000), rng.Intn(100), rng.Intn(10), rng.Intn(3000)),
 				Profile{ReadBytes: jitter(rng, 6*row), WriteBytes: jitter(rng, 3*row), IndexFriendly: true})
 		}},
 		// Order-Status (4%): customer's latest order.
 		{4, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("SELECT o_id, o_entry_d FROM oorder WHERE o_w_id = %d AND o_d_id = %d AND o_c_id = %d ORDER BY o_id",
+			return qt(orderStatusTpl, fmt.Sprintf(orderStatusSQL,
 				rng.Intn(100), rng.Intn(10), rng.Intn(3000)),
 				Profile{MemDemand: jitter(rng, 384*KiB), ReadBytes: jitter(rng, 40*row), IndexFriendly: true})
 		}},
 		// Delivery (4%): batch of updates + a delete of new_order rows.
 		{4, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("DELETE FROM new_order WHERE no_w_id = %d AND no_d_id = %d AND no_o_id = %d",
+			return qt(deliveryTpl, fmt.Sprintf(deliverySQL,
 				rng.Intn(100), rng.Intn(10), rng.Intn(1_000_000)),
 				Profile{MaintMem: jitter(rng, 256*KiB), ReadBytes: jitter(rng, 10*row), WriteBytes: jitter(rng, 4*row), IndexFriendly: true})
 		}},
 		// Stock-Level (4%): join district/order_line/stock with a count.
 		{4, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("SELECT COUNT(DISTINCT s_i_id) FROM order_line JOIN stock ON ol_i_id = s_i_id WHERE ol_w_id = %d AND s_quantity < %d",
+			return qt(stockLevelTpl, fmt.Sprintf(stockLevelSQL,
 				rng.Intn(100), 10+rng.Intn(10)),
 				Profile{MemDemand: jitter(rng, 512*KiB), ReadBytes: jitter(rng, 600*row), Parallelizable: true})
 		}},
@@ -80,17 +94,27 @@ type YCSB struct {
 func NewYCSB(size, rate float64) *YCSB {
 	y := &YCSB{size: size, rate: rate}
 	row := 1100.0 // 1 KB values + key overhead
+	const (
+		readSQL   = "SELECT field0, field1 FROM usertable WHERE ycsb_key = 'user%d'"
+		insertSQL = "INSERT INTO usertable (ycsb_key, field0) VALUES ('user%d', '%x')"
+	)
+	var (
+		readTpl   = litTpl(readSQL, 0)
+		insertTpl = litTpl(insertSQL, 0, 0)
+	)
 	y.mix = newMixSampler([]choice{
 		{50, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("SELECT field0, field1 FROM usertable WHERE ycsb_key = 'user%d'", rng.Intn(10_000_000)),
+			return qt(readTpl, fmt.Sprintf(readSQL, rng.Intn(10_000_000)),
 				Profile{ReadBytes: jitter(rng, row), IndexFriendly: true})
 		}},
+		// field%d interpolates a column name — one template per field, so
+		// this site templates the concrete text.
 		{45, func(rng *rand.Rand) Query {
 			return q(fmt.Sprintf("UPDATE usertable SET field%d = '%x' WHERE ycsb_key = 'user%d'", rng.Intn(10), rng.Int63(), rng.Intn(10_000_000)),
 				Profile{ReadBytes: jitter(rng, row), WriteBytes: jitter(rng, row), IndexFriendly: true})
 		}},
 		{5, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("INSERT INTO usertable (ycsb_key, field0) VALUES ('user%d', '%x')", rng.Intn(100_000_000), rng.Int63()),
+			return qt(insertTpl, fmt.Sprintf(insertSQL, rng.Intn(100_000_000), rng.Int63()),
 				Profile{WriteBytes: jitter(rng, row), IndexFriendly: true})
 		}},
 	})
@@ -122,21 +146,33 @@ type Wikipedia struct {
 func NewWikipedia(size, rate float64) *Wikipedia {
 	w := &Wikipedia{size: size, rate: rate}
 	page := 8 * KiB
+	const (
+		pageSQL   = "SELECT page_id, page_latest FROM page WHERE page_namespace = %d AND page_title = 'T%d'"
+		revSQL    = "SELECT rev_id, rev_text_id FROM revision WHERE rev_page = %d"
+		addRevSQL = "INSERT INTO revision (rev_page, rev_text_id, rev_timestamp) VALUES (%d, %d, %d)"
+		touchSQL  = "UPDATE page SET page_latest = %d, page_touched = %d WHERE page_id = %d"
+	)
+	var (
+		pageTpl   = litTpl(pageSQL, 0, 0)
+		revTpl    = litTpl(revSQL, 0)
+		addRevTpl = litTpl(addRevSQL, 0, 0, 0)
+		touchTpl  = litTpl(touchSQL, 0, 0, 0)
+	)
 	w.mix = newMixSampler([]choice{
 		{80, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("SELECT page_id, page_latest FROM page WHERE page_namespace = %d AND page_title = 'T%d'", rng.Intn(4), rng.Intn(5_000_000)),
+			return qt(pageTpl, fmt.Sprintf(pageSQL, rng.Intn(4), rng.Intn(5_000_000)),
 				Profile{ReadBytes: jitter(rng, page), IndexFriendly: true})
 		}},
 		{12, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("SELECT rev_id, rev_text_id FROM revision WHERE rev_page = %d", rng.Intn(5_000_000)),
+			return qt(revTpl, fmt.Sprintf(revSQL, rng.Intn(5_000_000)),
 				Profile{ReadBytes: jitter(rng, 2*page), IndexFriendly: true})
 		}},
 		{5, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("INSERT INTO revision (rev_page, rev_text_id, rev_timestamp) VALUES (%d, %d, %d)", rng.Intn(5_000_000), rng.Int63n(1e9), rng.Int63n(2e9)),
+			return qt(addRevTpl, fmt.Sprintf(addRevSQL, rng.Intn(5_000_000), rng.Int63n(1e9), rng.Int63n(2e9)),
 				Profile{WriteBytes: jitter(rng, page), IndexFriendly: true})
 		}},
 		{3, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("UPDATE page SET page_latest = %d, page_touched = %d WHERE page_id = %d", rng.Int63n(1e9), rng.Int63n(2e9), rng.Intn(5_000_000)),
+			return qt(touchTpl, fmt.Sprintf(touchSQL, rng.Int63n(1e9), rng.Int63n(2e9), rng.Intn(5_000_000)),
 				Profile{ReadBytes: jitter(rng, page/4), WriteBytes: jitter(rng, page/4), IndexFriendly: true})
 		}},
 	})
@@ -168,22 +204,34 @@ type Twitter struct {
 func NewTwitter(size, rate float64) *Twitter {
 	tw := &Twitter{size: size, rate: rate}
 	tweet := 280.0 * 2
+	const (
+		timelineSQL = "SELECT t.id, t.text FROM tweets t JOIN follows f ON t.uid = f.f2 WHERE f.f1 = %d ORDER BY t.createdate LIMIT 20"
+		byUserSQL   = "SELECT id, text FROM tweets WHERE uid = %d ORDER BY createdate LIMIT 10"
+		tweetSQL    = "INSERT INTO tweets (uid, text, createdate) VALUES (%d, 'msg%x', %d)"
+		followsSQL  = "SELECT f2 FROM follows WHERE f1 = %d"
+	)
+	var (
+		timelineTpl = litTpl(timelineSQL, 0)
+		byUserTpl   = litTpl(byUserSQL, 0)
+		tweetTpl    = litTpl(tweetSQL, 0, 0, 0)
+		followsTpl  = litTpl(followsSQL, 0)
+	)
 	tw.mix = newMixSampler([]choice{
 		// Timeline: followers join + ORDER BY recency.
 		{40, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("SELECT t.id, t.text FROM tweets t JOIN follows f ON t.uid = f.f2 WHERE f.f1 = %d ORDER BY t.createdate LIMIT 20", rng.Intn(2_000_000)),
+			return qt(timelineTpl, fmt.Sprintf(timelineSQL, rng.Intn(2_000_000)),
 				Profile{MemDemand: jitter(rng, 3.5*MiB), ReadBytes: jitter(rng, 400*tweet), Parallelizable: true, IndexFriendly: true})
 		}},
 		{35, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("SELECT id, text FROM tweets WHERE uid = %d ORDER BY createdate LIMIT 10", rng.Intn(2_000_000)),
+			return qt(byUserTpl, fmt.Sprintf(byUserSQL, rng.Intn(2_000_000)),
 				Profile{MemDemand: jitter(rng, 512*KiB), ReadBytes: jitter(rng, 60*tweet), IndexFriendly: true})
 		}},
 		{15, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("INSERT INTO tweets (uid, text, createdate) VALUES (%d, 'msg%x', %d)", rng.Intn(2_000_000), rng.Int63(), rng.Int63n(2e9)),
+			return qt(tweetTpl, fmt.Sprintf(tweetSQL, rng.Intn(2_000_000), rng.Int63(), rng.Int63n(2e9)),
 				Profile{WriteBytes: jitter(rng, tweet), IndexFriendly: true})
 		}},
 		{10, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("SELECT f2 FROM follows WHERE f1 = %d", rng.Intn(2_000_000)),
+			return qt(followsTpl, fmt.Sprintf(followsSQL, rng.Intn(2_000_000)),
 				Profile{ReadBytes: jitter(rng, 100*16), IndexFriendly: true})
 		}},
 	})

@@ -37,6 +37,8 @@ func NewProduction() *Production {
 	p := &Production{}
 	row := 700.0
 	table := func(rng *rand.Rand) int { return rng.Intn(ProductionTables) }
+	const devUpdateSQL = "UPDATE devices SET last_seen = %d WHERE id = %d"
+	devUpdateTpl := litTpl(devUpdateSQL, 0, 0)
 	p.mix = newMixSampler([]choice{
 		// Telemetry ingest: the overwhelming majority (41M/day).
 		{41_000_000, func(rng *rand.Rand) Query {
@@ -58,9 +60,12 @@ func NewProduction() *Production {
 			return q(fmt.Sprintf("SELECT a.device_id FROM events_%d a JOIN devices d ON a.device_id = d.id WHERE d.region = 'R%d'", table(rng), rng.Intn(20)),
 				Profile{MemDemand: jitter(rng, 24*MiB), ReadBytes: jitter(rng, 80*MiB), Parallelizable: true})
 		}},
-		// Updates (34K/day).
+		// Updates (34K/day). The events_%d sites above interpolate table
+		// names (one template per table — the point of the 132-table
+		// schema) and so keep templating the concrete text; this one is
+		// literal-only.
 		{34_000, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("UPDATE devices SET last_seen = %d WHERE id = %d", rng.Int63n(2e9), rng.Intn(500_000)),
+			return qt(devUpdateTpl, fmt.Sprintf(devUpdateSQL, rng.Int63n(2e9), rng.Intn(500_000)),
 				Profile{ReadBytes: jitter(rng, 2*row), WriteBytes: jitter(rng, row), IndexFriendly: true})
 		}},
 		// Deletes (0.8K/day, retention cleanup).
@@ -126,16 +131,26 @@ func NewAdulteratedTPCC(size, rate, p float64) *AdulteratedTPCC {
 		p = 1
 	}
 	a := &AdulteratedTPCC{base: NewTPCC(size, rate), P: p}
+	const (
+		aggSQL     = "SELECT ol_i_id, SUM(ol_amount), COUNT(*) FROM order_line JOIN stock ON ol_i_id = s_i_id GROUP BY ol_i_id ORDER BY SUM(ol_amount) DESC LIMIT %d"
+		sortSQL    = "SELECT c_id, c_balance FROM customer WHERE c_w_id < %d ORDER BY c_balance DESC"
+		cleanupSQL = "DELETE FROM history WHERE h_date < %d"
+	)
+	var (
+		aggTpl     = litTpl(aggSQL, 50)
+		sortTpl    = litTpl(sortSQL, 20)
+		cleanupTpl = litTpl(cleanupSQL, 0)
+	)
 	a.adulterant = newMixSampler([]choice{
 		// Complex sorts/aggregations: ~350 MB of working memory (Fig. 2's
 		// "TPCC + aggregation" row).
 		{30, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("SELECT ol_i_id, SUM(ol_amount), COUNT(*) FROM order_line JOIN stock ON ol_i_id = s_i_id GROUP BY ol_i_id ORDER BY SUM(ol_amount) DESC LIMIT %d", 50+rng.Intn(100)),
+			return qt(aggTpl, fmt.Sprintf(aggSQL, 50+rng.Intn(100)),
 				Profile{MemDemand: jitter(rng, 350*MiB), ReadBytes: jitter(rng, 400*MiB), Parallelizable: true})
 		}},
 		// Heavy standalone sorts.
 		{20, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("SELECT c_id, c_balance FROM customer WHERE c_w_id < %d ORDER BY c_balance DESC", 20+rng.Intn(50)),
+			return qt(sortTpl, fmt.Sprintf(sortSQL, 20+rng.Intn(50)),
 				Profile{MemDemand: jitter(rng, 200*MiB), ReadBytes: jitter(rng, 300*MiB), Parallelizable: true})
 		}},
 		// Index create/drop: maintenance_work_mem pressure.
@@ -149,7 +164,7 @@ func NewAdulteratedTPCC(size, rate, p float64) *AdulteratedTPCC {
 		}},
 		// Bulk deletes: maintenance pressure via cleanup.
 		{10, func(rng *rand.Rand) Query {
-			return q(fmt.Sprintf("DELETE FROM history WHERE h_date < %d", rng.Int63n(1e9)),
+			return qt(cleanupTpl, fmt.Sprintf(cleanupSQL, rng.Int63n(1e9)),
 				Profile{MaintMem: jitter(rng, 128*MiB), ReadBytes: jitter(rng, 150*MiB), WriteBytes: jitter(rng, 80*MiB)})
 		}},
 		// Temp tables + aggregation over them: temp_buffers pressure.

@@ -45,9 +45,11 @@ func toRecord(q Query) TraceRecord {
 }
 
 func (r TraceRecord) toQuery() Query {
+	tpl := sqlparse.TemplateOf(r.SQL)
 	return Query{
-		SQL:   r.SQL,
-		Class: sqlparse.Classify(sqlparse.Normalize(r.SQL)),
+		SQL:      r.SQL,
+		Class:    tpl.Class,
+		Template: tpl,
 		Profile: Profile{
 			MemDemand:      r.MemMB * mbF,
 			MaintMem:       r.MaintMB * mbF,

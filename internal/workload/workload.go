@@ -51,10 +51,16 @@ type Profile struct {
 }
 
 // Query is one SQL statement with its execution profile.
+//
+// Template is the pre-computed normalized form of SQL: generators fill
+// it once at construction so the engine's per-query hot path (plan
+// cache lookup, profile memoisation) never re-normalizes the text.
+// Class always equals Template.Class when Template is set.
 type Query struct {
-	SQL     string
-	Class   sqlparse.Class
-	Profile Profile
+	SQL      string
+	Class    sqlparse.Class
+	Template sqlparse.Template
+	Profile  Profile
 }
 
 // Generator produces a stream of queries plus offered load over time.
@@ -109,11 +115,32 @@ func (m *mixSampler) sample(rng *rand.Rand) Query {
 	return m.choices[len(m.choices)-1].make(rng)
 }
 
-// q builds a Query, classifying the SQL text through sqlparse so that
+// q builds a Query, templating the SQL text through sqlparse so that
 // generator classes always agree with what the TDE's log pipeline will
-// infer from the same text.
+// infer from the same text. The full Template rides along so downstream
+// consumers (plan cache, profile memoisation) skip re-normalizing.
 func q(sql string, p Profile) Query {
-	return Query{SQL: sql, Class: sqlparse.Classify(sqlparse.Normalize(sql)), Profile: p}
+	tpl := sqlparse.TemplateOf(sql)
+	return Query{SQL: sql, Class: tpl.Class, Template: tpl, Profile: p}
+}
+
+// litTpl derives the template of a printf-style SQL format whose verbs
+// all expand to literal values (bare numbers, or text inside quotes).
+// Normalization replaces literals with placeholders, so every
+// instantiation of such a format shares one template; deriving it once
+// at generator construction — from a canonical instantiation with the
+// given args — takes the normalize/hash work off the per-query path.
+// Formats that interpolate identifiers (table or column names) yield a
+// different template per instantiation and must keep using q.
+// TestGeneratorTemplatesMatchSQL enforces the literal-only contract.
+func litTpl(format string, canon ...any) sqlparse.Template {
+	return sqlparse.TemplateOf(fmt.Sprintf(format, canon...))
+}
+
+// qt builds a Query from SQL whose template is already known (a litTpl
+// constant for its call site).
+func qt(tpl sqlparse.Template, sql string, p Profile) Query {
+	return Query{SQL: sql, Class: tpl.Class, Template: tpl, Profile: p}
 }
 
 // jitter returns v scaled by a lognormal-ish factor in roughly [0.5, 2].

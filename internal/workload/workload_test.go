@@ -266,3 +266,33 @@ func TestSampleDeterministicForSeed(t *testing.T) {
 		}
 	}
 }
+
+// TestGeneratorTemplatesMatchSQL enforces the litTpl contract: for every
+// generator, a sampled query's precomputed Template must equal what the
+// TDE's log pipeline would derive from its SQL text. A mismatch means a
+// call site used litTpl on a format that interpolates identifiers.
+func TestGeneratorTemplatesMatchSQL(t *testing.T) {
+	gens := []Generator{
+		NewTPCC(4*GiB, 500),
+		NewYCSB(4*GiB, 500),
+		NewWikipedia(4*GiB, 500),
+		NewTwitter(4*GiB, 500),
+		NewTPCH(4*GiB, 10),
+		NewCHBench(4*GiB, 500),
+		NewProduction(),
+		NewAdulteratedTPCC(4*GiB, 500, 0.8),
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, g := range gens {
+		for i := 0; i < 2000; i++ {
+			qq := g.Sample(rng)
+			want := sqlparse.TemplateOf(qq.SQL)
+			if qq.Template != want {
+				t.Fatalf("%s: precomputed template diverges for %q:\n  have %+v\n  want %+v", g.Name(), qq.SQL, qq.Template, want)
+			}
+			if qq.Class != want.Class {
+				t.Fatalf("%s: class %v != template class %v for %q", g.Name(), qq.Class, want.Class, qq.SQL)
+			}
+		}
+	}
+}
