@@ -44,15 +44,18 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "fleet-step parallelism (0: GOMAXPROCS); results are identical at every level")
 	faultsProfile := flag.String("faults", "", "fault-injection profile: zero, light, medium or heavy (empty: no injection)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault-injection seed (0: derive from -seed); chaos runs are reproducible from (seed, profile)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for fleet snapshots (empty: checkpointing disabled)")
+	ckptEvery := flag.Int("checkpoint-every", 12, "auto-checkpoint every N windows (needs -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "restore -checkpoint-dir/latest.ckpt before simulating; all other flags must match the run that wrote it")
 	flag.Parse()
 
-	if err := run(*fleet, *hours, *listen, *tuners, *periodic, *seed, *parallelism, *faultsProfile, *faultSeed); err != nil {
+	if err := run(*fleet, *hours, *listen, *tuners, *periodic, *seed, *parallelism, *faultsProfile, *faultSeed, *ckptDir, *ckptEvery, *resume); err != nil {
 		fmt.Fprintf(os.Stderr, "autodbaas: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed int64, parallelism int, faultsProfile string, faultSeed int64) error {
+func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed int64, parallelism int, faultsProfile string, faultSeed int64, ckptDir string, ckptEvery int, resume bool) error {
 	tuners := make([]tuner.Tuner, 0, tunerCount)
 	for i := 0; i < tunerCount; i++ {
 		t, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 200, MaxSamplesPerFit: 150, UCBBeta: 0.5, Seed: seed + int64(i)})
@@ -106,11 +109,32 @@ func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed in
 		}
 	}
 
+	// Snapshot & resume: restore must happen before the first Step, with
+	// the system rebuilt above from the same flags that wrote the
+	// snapshot (the codec rejects a mismatched topology).
+	if resume {
+		if ckptDir == "" {
+			return fmt.Errorf("-resume needs -checkpoint-dir")
+		}
+		if err := sys.RestoreLatest(ckptDir); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		fmt.Printf("resumed from %s at window %d\n", ckptDir, sys.Windows())
+	}
+	if ckptDir != "" {
+		sys.SetAutoCheckpoint(ckptDir, ckptEvery)
+	}
+
 	// Serve the director and repository over HTTP while simulating, plus
 	// the control plane's own observability surfaces.
 	mux := http.NewServeMux()
 	mux.Handle("/director/", http.StripPrefix("/director", httpapi.NewDirectorServer(sys.Director)))
 	mux.Handle("/repository/", http.StripPrefix("/repository", httpapi.NewRepositoryServer(sys.Repository)))
+	if ckptDir != "" {
+		ckptSrv := httpapi.NewCheckpointServer(sys, ckptDir)
+		mux.Handle("/v1/checkpoint", ckptSrv)
+		mux.Handle("/v1/checkpoint/latest", ckptSrv)
+	}
 	obsHandler := httpapi.NewObsHandler(nil, nil)
 	mux.Handle("/metrics", obsHandler)
 	mux.Handle("/metrics.json", obsHandler)
@@ -133,21 +157,24 @@ func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed in
 	if injector != nil {
 		fmt.Printf("fault injection: profile=%s seed=%d\n", injector.Profile().Name, injector.Seed())
 	}
-	for h := 0; h < hours; h++ {
+	// Window-based so a resumed run continues where the snapshot left
+	// off instead of replaying completed hours.
+	throttles := 0
+	for w := sys.Windows(); w < hours*12; w++ {
 		select {
 		case <-ctx.Done():
 			fmt.Println("interrupted")
 			return nil
 		default:
 		}
-		var throttles int
-		for w := 0; w < 12; w++ {
-			res := sys.Step(5 * time.Minute)
-			throttles += res.Throttles
+		res := sys.Step(5 * time.Minute)
+		throttles += res.Throttles
+		if (w+1)%12 == 0 {
+			reqs, recs, fails, upgrades := sys.Director.Counters()
+			fmt.Printf("hour %02d: throttles=%d tuning-requests=%d recommendations=%d apply-failures=%d plan-upgrades=%d samples=%d\n",
+				(w+1)/12-1, throttles, reqs, recs, fails, upgrades, sys.Repository.Len())
+			throttles = 0
 		}
-		reqs, recs, fails, upgrades := sys.Director.Counters()
-		fmt.Printf("hour %02d: throttles=%d tuning-requests=%d recommendations=%d apply-failures=%d plan-upgrades=%d samples=%d\n",
-			h, throttles, reqs, recs, fails, upgrades, sys.Repository.Len())
 	}
 	if injector != nil {
 		fmt.Printf("faults injected: %d total (%s)\n", injector.InjectedTotal(), injector)

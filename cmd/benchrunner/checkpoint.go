@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"autodbaas/internal/agent"
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/core"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tuner/bo"
+	"autodbaas/internal/workload"
+)
+
+// checkpointPoint is one fleet size's snapshot cost measurements.
+type checkpointPoint struct {
+	Fleet         int   `json:"fleet"`
+	Windows       int   `json:"windows"`
+	SnapshotBytes int   `json:"snapshot_bytes"`
+	EncodeNs      int64 `json:"encode_ns"`
+	DecodeNs      int64 `json:"decode_ns"`
+}
+
+// checkpointReport is the machine-readable artifact
+// (BENCH_checkpoint.json) for the snapshot subsystem: container size
+// and encode/decode cost at two fleet scales.
+type checkpointReport struct {
+	Quick  bool              `json:"quick"`
+	Fleets []checkpointPoint `json:"fleets"`
+}
+
+// ckptFleet builds a mixed Postgres fleet of the given size with the
+// same shape the checkpoint tests use.
+func ckptFleet(size int, seed int64, parallelism int) (*core.System, error) {
+	tn, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 60, MaxSamplesPerFit: 60, UCBBeta: 0.5, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: parallelism}, tn)
+	if err != nil {
+		return nil, err
+	}
+	plans := []string{"t2.medium", "m4.large", "t2.large", "m4.xlarge"}
+	for i := 0; i < size; i++ {
+		var gen workload.Generator
+		switch i % 5 {
+		case 3:
+			gen = workload.NewTPCC(12*cluster.GiB, 1500)
+		case 4:
+			gen = workload.NewYCSB(10*cluster.GiB, 2000)
+		default:
+			gen = workload.NewProduction()
+		}
+		if _, err := sys.AddInstance(core.InstanceSpec{
+			Provision: cluster.ProvisionSpec{
+				ID: fmt.Sprintf("db-%02d", i), Plan: plans[i%len(plans)],
+				Engine: knobs.Postgres, DBSizeBytes: gen.DBSizeBytes(),
+				Slaves: i % 2, Seed: seed + 100 + int64(i),
+			},
+			Workload: gen,
+			Agent:    agent.Options{TickEvery: 5 * time.Minute, GateSamples: true},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// runCheckpointBench measures snapshot size and encode/decode cost for
+// 6- and 20-instance fleets and returns the JSON artifact. With a
+// checkpoint dir the warmed fleets' snapshots land in
+// <dir>/fleet-<size>.ckpt; with -resume a later invocation (same seed
+// and parallelism) restores them instead of re-running the warm-up.
+func runCheckpointBench(quick bool, seed int64, parallelism int, ckptDir string, ckptEvery int, resume bool) string {
+	rep := checkpointReport{Quick: quick}
+	windows, reps := 12, 5
+	if quick {
+		windows, reps = 6, 3
+	}
+	for _, size := range []int{6, 20} {
+		sys, err := ckptFleet(size, seed, parallelism)
+		if err != nil {
+			panic(fmt.Sprintf("checkpoint bench: %v", err))
+		}
+		warmed := false
+		if resume && ckptDir != "" {
+			if f, err := os.Open(filepath.Join(ckptDir, fmt.Sprintf("fleet-%02d.ckpt", size))); err == nil {
+				if err := sys.Restore(f); err != nil {
+					f.Close()
+					panic(fmt.Sprintf("checkpoint bench: resume fleet %d: %v", size, err))
+				}
+				f.Close()
+				warmed = true
+			}
+		}
+		if !warmed {
+			if ckptDir != "" && ckptEvery > 0 {
+				sys.SetAutoCheckpoint(filepath.Join(ckptDir, fmt.Sprintf("auto-%02d", size)), ckptEvery)
+			}
+			for w := 0; w < windows; w++ {
+				sys.Step(5 * time.Minute)
+			}
+			sys.SetAutoCheckpoint("", 0)
+		}
+		var snap bytes.Buffer
+		encode := int64(1<<62 - 1)
+		for r := 0; r < reps; r++ {
+			snap.Reset()
+			start := time.Now()
+			if err := sys.Checkpoint(&snap); err != nil {
+				panic(fmt.Sprintf("checkpoint bench: encode: %v", err))
+			}
+			if d := time.Since(start).Nanoseconds(); d < encode {
+				encode = d
+			}
+		}
+		decode := int64(1<<62 - 1)
+		for r := 0; r < reps; r++ {
+			// Restore refuses a warm repository, so decode needs a fresh
+			// identically-built system per rep; only Restore is timed.
+			fresh, err := ckptFleet(size, seed, parallelism)
+			if err != nil {
+				panic(fmt.Sprintf("checkpoint bench: rebuild: %v", err))
+			}
+			start := time.Now()
+			if err := fresh.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+				panic(fmt.Sprintf("checkpoint bench: decode: %v", err))
+			}
+			if d := time.Since(start).Nanoseconds(); d < decode {
+				decode = d
+			}
+		}
+		if ckptDir != "" {
+			if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+				panic(fmt.Sprintf("checkpoint bench: %v", err))
+			}
+			path := filepath.Join(ckptDir, fmt.Sprintf("fleet-%02d.ckpt", size))
+			if err := os.WriteFile(path, snap.Bytes(), 0o644); err != nil {
+				panic(fmt.Sprintf("checkpoint bench: %v", err))
+			}
+		}
+		rep.Fleets = append(rep.Fleets, checkpointPoint{
+			Fleet: size, Windows: windows,
+			SnapshotBytes: snap.Len(), EncodeNs: encode, DecodeNs: decode,
+		})
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("checkpoint bench: marshal report: %v", err))
+	}
+	return string(out) + "\n"
+}

@@ -32,6 +32,9 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "fleet-step parallelism for fleet experiments (0: GOMAXPROCS); results are identical at every level")
 	metricsOut := flag.String("metrics-out", "", "if set, dump the metrics registry per experiment (<dir>/<key>.prom)")
 	faultsProfile := flag.String("faults", "medium", "fault profile for the chaos job (zero|light|medium|heavy)")
+	ckptDir := flag.String("checkpoint-dir", "", "keep the checkpoint job's warmed-fleet snapshots in this directory")
+	ckptEvery := flag.Int("checkpoint-every", 0, "if >0, auto-checkpoint the checkpoint job's warm-up every N windows (needs -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "restore the checkpoint job's fleets from -checkpoint-dir instead of re-running the warm-up")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -96,6 +99,9 @@ func main() {
 			return experiments.ChaosSoak(scale(20, 6), scale(24, 4), *parallelism, *seed, *faultsProfile).Render()
 		}},
 		{"hotpath", "BENCH_hotpath.json", func() string { return runHotpath(q, *seed, *parallelism) }},
+		{"checkpoint", "BENCH_checkpoint.json", func() string {
+			return runCheckpointBench(q, *seed, *parallelism, *ckptDir, *ckptEvery, *resume)
+		}},
 		{"ablations", "ablations.txt", func() string {
 			out := experiments.AblationEntropyFilter([]int{2, 4, 8, 16, 64}, scale(30, 10), *seed).Render()
 			out += "\n" + experiments.AblationWorkloadMapping(*seed).Render()

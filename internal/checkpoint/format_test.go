@@ -1,0 +1,76 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleContainer(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	man := Manifest{Window: 42, Parallelism: 4, Tuners: []string{"ottertune-bo"}}
+	sections := []section{
+		{name: "alpha", payload: []byte("alpha-payload")},
+		{name: "beta", payload: bytes.Repeat([]byte{0xAB}, 300)},
+		{name: "empty", payload: nil},
+	}
+	n, err := writeContainer(&buf, man, sections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("writeContainer reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	data := sampleContainer(t)
+	man, sections, err := readContainer(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Window != 42 || man.Parallelism != 4 || len(man.Tuners) != 1 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	if string(sections["alpha"]) != "alpha-payload" || len(sections["beta"]) != 300 {
+		t.Fatalf("sections = %v", sections)
+	}
+	if got, ok := sections["empty"]; !ok || len(got) != 0 {
+		t.Fatalf("empty section = %v, %v", got, ok)
+	}
+}
+
+func TestContainerRejectsCorruption(t *testing.T) {
+	data := sampleContainer(t)
+
+	if _, _, err := readContainer(bytes.NewReader(data[:len(data)-3])); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated tail: %v", err)
+	}
+	if _, _, err := readContainer(bytes.NewReader(data[:2])); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated header: %v", err)
+	}
+
+	flip := append([]byte(nil), data...)
+	flip[len(flip)-310] ^= 0x01 // inside beta's payload
+	if _, _, err := readContainer(bytes.NewReader(flip)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("flipped byte: %v", err)
+	} else if !strings.Contains(err.Error(), "beta") {
+		t.Errorf("error does not name the section: %v", err)
+	}
+
+	skew := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint16(skew[4:6], FormatVersion+9)
+	if _, _, err := readContainer(bytes.NewReader(skew)); !errors.Is(err, ErrVersion) {
+		t.Errorf("version skew: %v", err)
+	}
+
+	garbled := append([]byte(nil), data...)
+	garbled[1] = '!'
+	if _, _, err := readContainer(bytes.NewReader(garbled)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+}

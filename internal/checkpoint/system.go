@@ -1,0 +1,404 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"autodbaas/internal/agent"
+	"autodbaas/internal/dfa"
+	"autodbaas/internal/director"
+	"autodbaas/internal/faults"
+	"autodbaas/internal/monitor"
+	"autodbaas/internal/obs"
+	"autodbaas/internal/orchestrator"
+	"autodbaas/internal/repository"
+	"autodbaas/internal/simdb"
+	"autodbaas/internal/tuner"
+	"autodbaas/internal/tuner/bo"
+	"autodbaas/internal/tuner/rl"
+)
+
+// FleetMember is one instance's slice of the System handed to the codec:
+// the tuning agent (which reaches the cluster instance, replica set and
+// TDE) and its external monitoring agent.
+type FleetMember struct {
+	ID      string
+	Agent   *agent.Agent
+	Monitor *monitor.Agent
+}
+
+// System is the full set of subsystem handles the codec serializes. The
+// core package assembles it from a *core.System; keeping the codec on
+// explicit handles avoids an import cycle and makes the snapshot
+// surface auditable in one place.
+type System struct {
+	Window      int
+	Parallelism int
+
+	Orchestrator *orchestrator.Orchestrator
+	DFA          *dfa.DFA
+	Director     *director.Director
+	Repository   *repository.Repository
+	Tuners       []tuner.Tuner
+	Faults       *faults.Injector
+	Fleet        []FleetMember
+}
+
+// Section names. Per-instance sections are "instance/<id>".
+const (
+	secRepoStore    = "repository/store"
+	secRepoFanout   = "repository/fanout"
+	secOrchestrator = "orchestrator"
+	secDFA          = "dfa"
+	secDirector     = "director"
+	secFaults       = "faults"
+	secTuners       = "tuners"
+	secInstPrefix   = "instance/"
+)
+
+// tunerBlob is one tuner's snapshot inside the "tuners" section.
+type tunerBlob struct {
+	Name  string          `json:"name"`
+	Kind  string          `json:"kind"`
+	State json.RawMessage `json:"state"`
+}
+
+// instancePayload is one "instance/<id>" section: the agent state
+// (embedding the TDE), every node engine (master first, then slaves in
+// replica order) and the monitor series.
+type instancePayload struct {
+	Agent   agent.State                `json:"agent"`
+	Nodes   []simdb.EngineState        `json:"nodes"`
+	Monitor map[string][]monitor.Point `json:"monitor,omitempty"`
+}
+
+// metrics are the subsystem's registry handles, resolved once.
+var (
+	metricsOnce sync.Once
+	mBytes      *obs.Gauge
+	mDuration   *obs.Histogram
+	mTotal      *obs.Counter
+	mRestores   *obs.Counter
+	mCorrupt    *obs.Counter
+)
+
+func ckptMetrics() {
+	metricsOnce.Do(func() {
+		r := obs.Default()
+		mBytes = r.Gauge("autodbaas_checkpoint_bytes", "Size of the most recent snapshot written.")
+		mDuration = r.Histogram("autodbaas_checkpoint_duration_seconds", "Wall-clock time to encode and write one snapshot.", nil)
+		mTotal = r.Counter("autodbaas_checkpoint_total", "Snapshots written.")
+		mRestores = r.Counter("autodbaas_checkpoint_restore_total", "Snapshots restored.")
+		mCorrupt = r.Counter("autodbaas_checkpoint_corrupt_total", "Snapshot restores rejected as corrupt or mismatched.")
+	})
+}
+
+// unwrapTuner strips fault-injection wrappers until the concrete tuner
+// surfaces.
+func unwrapTuner(t tuner.Tuner) tuner.Tuner {
+	for {
+		u, ok := t.(interface{ Unwrap() tuner.Tuner })
+		if !ok {
+			return t
+		}
+		t = u.Unwrap()
+	}
+}
+
+// marshalTuner snapshots one (possibly fault-wrapped) tuner.
+func marshalTuner(t tuner.Tuner) (tunerBlob, error) {
+	switch tt := unwrapTuner(t).(type) {
+	case *bo.Tuner:
+		st, err := tt.CheckpointState()
+		if err != nil {
+			return tunerBlob{}, err
+		}
+		raw, err := json.Marshal(st)
+		if err != nil {
+			return tunerBlob{}, err
+		}
+		return tunerBlob{Name: t.Name(), Kind: "ottertune-bo", State: raw}, nil
+	case *rl.Tuner:
+		raw, err := json.Marshal(tt.CheckpointState())
+		if err != nil {
+			return tunerBlob{}, err
+		}
+		return tunerBlob{Name: t.Name(), Kind: "cdbtune-rl", State: raw}, nil
+	default:
+		return tunerBlob{}, fmt.Errorf("checkpoint: tuner %q has no snapshot support", t.Name())
+	}
+}
+
+// restoreTuner applies one blob onto the matching rebuilt tuner.
+func restoreTuner(t tuner.Tuner, blob tunerBlob) error {
+	switch tt := unwrapTuner(t).(type) {
+	case *bo.Tuner:
+		if blob.Kind != "ottertune-bo" {
+			return fmt.Errorf("%w: tuner %q is ottertune-bo, snapshot holds %q", ErrManifest, t.Name(), blob.Kind)
+		}
+		var st bo.State
+		if err := json.Unmarshal(blob.State, &st); err != nil {
+			return fmt.Errorf("checkpoint: tuner %q state: %w", t.Name(), err)
+		}
+		return tt.RestoreCheckpointState(st)
+	case *rl.Tuner:
+		if blob.Kind != "cdbtune-rl" {
+			return fmt.Errorf("%w: tuner %q is cdbtune-rl, snapshot holds %q", ErrManifest, t.Name(), blob.Kind)
+		}
+		var st rl.State
+		if err := json.Unmarshal(blob.State, &st); err != nil {
+			return fmt.Errorf("checkpoint: tuner %q state: %w", t.Name(), err)
+		}
+		return tt.RestoreCheckpointState(st)
+	default:
+		return fmt.Errorf("checkpoint: tuner %q has no snapshot support", t.Name())
+	}
+}
+
+// instanceMeta derives the topology pin for one fleet member.
+func instanceMeta(fm FleetMember) InstanceMeta {
+	inst := fm.Agent.Instance()
+	return InstanceMeta{
+		ID:     fm.ID,
+		Engine: string(inst.Engine),
+		Plan:   inst.Plan.Name,
+		Slaves: len(inst.Replica.Slaves()),
+	}
+}
+
+// Write serializes the System into w. The repository fan-out queue must
+// be drained first (core.System.Checkpoint flushes before calling).
+func Write(w io.Writer, sys System) error {
+	ckptMetrics()
+	start := time.Now()
+
+	var sections []section
+	add := func(name string, payload []byte) { sections = append(sections, section{name: name, payload: payload}) }
+	addJSON := func(name string, v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("checkpoint: encode section %q: %w", name, err)
+		}
+		add(name, raw)
+		return nil
+	}
+
+	var storeBuf bytes.Buffer
+	if err := sys.Repository.Save(&storeBuf); err != nil {
+		return err
+	}
+	add(secRepoStore, storeBuf.Bytes())
+
+	fanout, err := sys.Repository.CheckpointState()
+	if err != nil {
+		return err
+	}
+	if err := addJSON(secRepoFanout, fanout); err != nil {
+		return err
+	}
+	if err := addJSON(secOrchestrator, sys.Orchestrator.CheckpointState()); err != nil {
+		return err
+	}
+	if err := addJSON(secDFA, sys.DFA.CheckpointState()); err != nil {
+		return err
+	}
+	if err := addJSON(secDirector, sys.Director.CheckpointState()); err != nil {
+		return err
+	}
+	if err := addJSON(secFaults, sys.Faults.CheckpointState()); err != nil {
+		return err
+	}
+
+	blobs := make([]tunerBlob, 0, len(sys.Tuners))
+	for _, t := range sys.Tuners {
+		b, err := marshalTuner(t)
+		if err != nil {
+			return err
+		}
+		blobs = append(blobs, b)
+	}
+	if err := addJSON(secTuners, blobs); err != nil {
+		return err
+	}
+
+	man := Manifest{
+		Window:      sys.Window,
+		Parallelism: sys.Parallelism,
+		HasFaults:   sys.Faults != nil,
+	}
+	for _, t := range sys.Tuners {
+		man.Tuners = append(man.Tuners, t.Name())
+	}
+	for _, fm := range sys.Fleet {
+		man.Instances = append(man.Instances, instanceMeta(fm))
+		inst := fm.Agent.Instance()
+		payload := instancePayload{Agent: fm.Agent.CheckpointState()}
+		payload.Nodes = append(payload.Nodes, inst.Replica.Master().CheckpointState())
+		for _, sl := range inst.Replica.Slaves() {
+			payload.Nodes = append(payload.Nodes, sl.CheckpointState())
+		}
+		if fm.Monitor != nil {
+			payload.Monitor = fm.Monitor.CheckpointState()
+		}
+		if err := addJSON(secInstPrefix+fm.ID, payload); err != nil {
+			return err
+		}
+	}
+
+	n, err := writeContainer(w, man, sections)
+	if err != nil {
+		return err
+	}
+	mBytes.Set(float64(n))
+	mDuration.Observe(time.Since(start).Seconds())
+	mTotal.Inc()
+	return nil
+}
+
+// Read restores a snapshot into sys, which must be a freshly rebuilt
+// System with the same construction parameters (specs, seeds, tuner
+// fleet, fault profile) as the one that wrote it. It returns the window
+// index the snapshot was taken at. Any validation or decoding failure
+// leaves an error naming the offending section; partial application is
+// avoided by validating topology before mutating anything.
+func Read(r io.Reader, sys System) (window int, err error) {
+	ckptMetrics()
+	defer func() {
+		if err != nil {
+			mCorrupt.Inc()
+		} else {
+			mRestores.Inc()
+		}
+	}()
+
+	man, sections, err := readContainer(r)
+	if err != nil {
+		return 0, err
+	}
+
+	// Validate the rebuild against the manifest before touching state.
+	if len(man.Tuners) != len(sys.Tuners) {
+		return 0, fmt.Errorf("%w: snapshot has %d tuners, system has %d", ErrManifest, len(man.Tuners), len(sys.Tuners))
+	}
+	for i, name := range man.Tuners {
+		if got := sys.Tuners[i].Name(); got != name {
+			return 0, fmt.Errorf("%w: tuner %d is %q, snapshot holds %q", ErrManifest, i, got, name)
+		}
+	}
+	if len(man.Instances) != len(sys.Fleet) {
+		return 0, fmt.Errorf("%w: snapshot has %d instances, system has %d", ErrManifest, len(man.Instances), len(sys.Fleet))
+	}
+	for i, im := range man.Instances {
+		got := instanceMeta(sys.Fleet[i])
+		if got != im {
+			return 0, fmt.Errorf("%w: instance %d is %+v, snapshot holds %+v", ErrManifest, i, got, im)
+		}
+	}
+	if man.HasFaults != (sys.Faults != nil) {
+		return 0, fmt.Errorf("%w: snapshot fault injection = %v, system = %v", ErrManifest, man.HasFaults, sys.Faults != nil)
+	}
+	if sys.Repository.Len() != 0 {
+		return 0, fmt.Errorf("checkpoint: restore into a non-empty repository (%d samples); rebuild the system first", sys.Repository.Len())
+	}
+
+	need := func(name string) ([]byte, error) {
+		p, ok := sections[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: section %q missing", ErrManifest, name)
+		}
+		return p, nil
+	}
+	decode := func(name string, v any) error {
+		p, err := need(name)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(p, v); err != nil {
+			return fmt.Errorf("checkpoint: decode section %q: %w", name, err)
+		}
+		return nil
+	}
+
+	storeRaw, err := need(secRepoStore)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := sys.Repository.LoadQuiet(bytes.NewReader(storeRaw)); err != nil {
+		return 0, fmt.Errorf("checkpoint: section %q: %w", secRepoStore, err)
+	}
+	var fanout repository.State
+	if err := decode(secRepoFanout, &fanout); err != nil {
+		return 0, err
+	}
+	if err := sys.Repository.RestoreCheckpointState(fanout); err != nil {
+		return 0, fmt.Errorf("checkpoint: section %q: %w", secRepoFanout, err)
+	}
+	var orch orchestrator.State
+	if err := decode(secOrchestrator, &orch); err != nil {
+		return 0, err
+	}
+	if err := sys.Orchestrator.RestoreCheckpointState(orch); err != nil {
+		return 0, fmt.Errorf("checkpoint: section %q: %w", secOrchestrator, err)
+	}
+	var dfaState dfa.State
+	if err := decode(secDFA, &dfaState); err != nil {
+		return 0, err
+	}
+	sys.DFA.RestoreCheckpointState(dfaState)
+	var dirState director.State
+	if err := decode(secDirector, &dirState); err != nil {
+		return 0, err
+	}
+	if err := sys.Director.RestoreCheckpointState(dirState); err != nil {
+		return 0, fmt.Errorf("checkpoint: section %q: %w", secDirector, err)
+	}
+	var faultState faults.InjectorState
+	if err := decode(secFaults, &faultState); err != nil {
+		return 0, err
+	}
+	if err := sys.Faults.RestoreCheckpointState(faultState); err != nil {
+		return 0, fmt.Errorf("checkpoint: section %q: %w", secFaults, err)
+	}
+
+	var blobs []tunerBlob
+	if err := decode(secTuners, &blobs); err != nil {
+		return 0, err
+	}
+	if len(blobs) != len(sys.Tuners) {
+		return 0, fmt.Errorf("%w: section %q holds %d tuners, system has %d", ErrManifest, secTuners, len(blobs), len(sys.Tuners))
+	}
+	for i, t := range sys.Tuners {
+		if err := restoreTuner(t, blobs[i]); err != nil {
+			return 0, err
+		}
+	}
+
+	for _, fm := range sys.Fleet {
+		name := secInstPrefix + fm.ID
+		var payload instancePayload
+		if err := decode(name, &payload); err != nil {
+			return 0, err
+		}
+		inst := fm.Agent.Instance()
+		nodes := append([]*simdb.Engine{inst.Replica.Master()}, inst.Replica.Slaves()...)
+		if len(payload.Nodes) != len(nodes) {
+			return 0, fmt.Errorf("%w: section %q holds %d nodes, instance has %d", ErrManifest, name, len(payload.Nodes), len(nodes))
+		}
+		for i, node := range nodes {
+			if err := node.RestoreCheckpointState(payload.Nodes[i]); err != nil {
+				return 0, fmt.Errorf("checkpoint: section %q node %d: %w", name, i, err)
+			}
+		}
+		if err := fm.Agent.RestoreCheckpointState(payload.Agent); err != nil {
+			return 0, fmt.Errorf("checkpoint: section %q agent: %w", name, err)
+		}
+		if fm.Monitor != nil {
+			fm.Monitor.RestoreCheckpointState(payload.Monitor)
+		}
+	}
+	return man.Window, nil
+}

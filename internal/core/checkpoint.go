@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"autodbaas/internal/checkpoint"
+)
+
+// Windows returns how many fleet steps the system has completed. The
+// counter rides the snapshot manifest, so a restored system continues
+// the window numbering of the run that wrote the checkpoint.
+func (s *System) Windows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.windows
+}
+
+// codecView assembles the checkpoint codec's handle set from the live
+// system. The fleet is listed in onboarding order — the same order Step
+// merges in — so snapshot sections are deterministic.
+func (s *System) codecView() checkpoint.System {
+	s.mu.Lock()
+	view := checkpoint.System{
+		Window:       s.windows,
+		Parallelism:  s.parallelism,
+		Orchestrator: s.Orchestrator,
+		DFA:          s.DFA,
+		Director:     s.Director,
+		Repository:   s.Repository,
+		Tuners:       s.Tuners,
+		Faults:       s.faults,
+	}
+	for _, id := range s.order {
+		view.Fleet = append(view.Fleet, checkpoint.FleetMember{
+			ID:      id,
+			Agent:   s.agents[id],
+			Monitor: s.monitors[id],
+		})
+	}
+	s.mu.Unlock()
+	return view
+}
+
+// Checkpoint serializes the system's entire mutable state into w. The
+// fan-out queue is drained first, so the snapshot sits on a clean
+// window boundary; call it between Steps, never concurrently with one.
+func (s *System) Checkpoint(w io.Writer) error {
+	s.Repository.Flush()
+	return checkpoint.Write(w, s.codecView())
+}
+
+// Restore loads a snapshot into this system, which must be freshly
+// rebuilt with the same construction parameters (instance specs, seeds,
+// tuner fleet, options, fault profile) as the system that wrote it —
+// the rebuild-then-restore contract. On success the window counter
+// resumes from the snapshot and stepping forward reproduces the
+// uninterrupted run bit-for-bit.
+func (s *System) Restore(r io.Reader) error {
+	window, err := checkpoint.Read(r, s.codecView())
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.windows = window
+	s.mu.Unlock()
+	return nil
+}
+
+// SetAutoCheckpoint enables periodic snapshots: after every everyN-th
+// window Step writes dir/checkpoint-<window>.ckpt (atomically, via a
+// temp file rename) and refreshes dir/latest.ckpt. everyN <= 0 or an
+// empty dir disables. Write failures are reported through the returned
+// error of the next CheckpointNow; Step itself never fails a window on
+// a checkpoint error — it records it for LastCheckpointErr.
+func (s *System) SetAutoCheckpoint(dir string, everyN int) {
+	s.mu.Lock()
+	s.ckptDir = dir
+	s.ckptEvery = everyN
+	s.mu.Unlock()
+}
+
+// LastCheckpoint returns the path of the most recent auto-checkpoint
+// and the window it covered (empty until one has been written).
+func (s *System) LastCheckpoint() (string, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckptLastPath, s.ckptLastWindow
+}
+
+// LastCheckpointErr returns the most recent auto-checkpoint failure
+// (nil when the last write succeeded).
+func (s *System) LastCheckpointErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckptLastErr
+}
+
+// CheckpointNow writes a snapshot to dir/checkpoint-<window>.ckpt and
+// refreshes dir/latest.ckpt, atomically. It returns the snapshot path.
+func (s *System) CheckpointNow(dir string) (string, error) {
+	s.mu.Lock()
+	window := s.windows
+	s.mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("checkpoint-%06d.ckpt", window))
+	if err := s.writeSnapshotFile(path); err != nil {
+		return "", err
+	}
+	latest := filepath.Join(dir, "latest.ckpt")
+	tmp := latest + ".tmp"
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, latest); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ckptLastPath = path
+	s.ckptLastWindow = window
+	s.mu.Unlock()
+	return path, nil
+}
+
+// writeSnapshotFile writes one snapshot atomically (temp file + rename)
+// so a crash mid-write never leaves a half-valid checkpoint under the
+// final name — the corruption tests cover the torn-file case anyway.
+func (s *System) writeSnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// maybeAutoCheckpoint runs at the end of Step, after the window counter
+// has advanced.
+func (s *System) maybeAutoCheckpoint() {
+	s.mu.Lock()
+	dir, every, window := s.ckptDir, s.ckptEvery, s.windows
+	s.mu.Unlock()
+	if dir == "" || every <= 0 || window%every != 0 {
+		return
+	}
+	_, err := s.CheckpointNow(dir)
+	s.mu.Lock()
+	s.ckptLastErr = err
+	s.mu.Unlock()
+}
+
+// RestoreLatest restores from dir/latest.ckpt — the resume entry point
+// the -resume flag uses.
+func (s *System) RestoreLatest(dir string) error {
+	f, err := os.Open(filepath.Join(dir, "latest.ckpt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Restore(f)
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"autodbaas/internal/agent"
+	"autodbaas/internal/checkpoint"
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/faults"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/monitor"
+	"autodbaas/internal/prng"
+	"autodbaas/internal/tuner/bo"
+	"autodbaas/internal/tuner/rl"
+	"autodbaas/internal/workload"
+)
+
+// ckptFingerprint is the deep fleet fingerprint the resume guarantee is
+// stated over: everything fleetFingerprint covers, plus the full
+// monitor series (values and timestamps, not just lengths) and the
+// per-class TDE throttle counters.
+type ckptFingerprint struct {
+	Throttles       map[string]map[knobs.Class]int
+	Samples         int
+	TuningRequests  int
+	Recommendations int
+	ApplyFailures   int
+	PlanUpgrades    int
+	Monitor         map[string]map[string][]monitor.Point
+	Configs         map[string]knobs.Config
+	Clocks          map[string]time.Time
+}
+
+// fingerprintSystem derives the fingerprint from system state alone (no
+// step-result accumulation), so interrupted and uninterrupted runs are
+// compared on equal terms.
+func fingerprintSystem(s *System) ckptFingerprint {
+	fp := ckptFingerprint{
+		Throttles: make(map[string]map[knobs.Class]int),
+		Samples:   s.Repository.Len(),
+		Monitor:   make(map[string]map[string][]monitor.Point),
+		Configs:   make(map[string]knobs.Config),
+		Clocks:    make(map[string]time.Time),
+	}
+	fp.TuningRequests, fp.Recommendations, fp.ApplyFailures, fp.PlanUpgrades = s.Director.Counters()
+	for _, a := range s.Agents() {
+		id := a.Instance().ID
+		fp.Throttles[id] = a.TDE().Throttles()
+		fp.Configs[id] = a.Instance().Replica.Master().Config()
+		fp.Clocks[id] = a.Instance().Replica.Master().Now()
+		if m, ok := s.Monitor(id); ok {
+			fp.Monitor[id] = m.CheckpointState()
+		}
+	}
+	return fp
+}
+
+// buildCkptFleet constructs the mixed 6-instance checkpoint fleet with
+// a BO + RL tuner pair. Identical arguments produce identical systems —
+// the rebuild-then-restore contract's "same construction parameters".
+func buildCkptFleet(t *testing.T, parallelism int, in *faults.Injector) *System {
+	t.Helper()
+	tb, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 60, MaxSamplesPerFit: 60, UCBBeta: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rl.New(rl.Options{Engine: knobs.Postgres, Hidden: 16, ReplayCap: 256, BatchSize: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystemWithOptions(Options{Parallelism: parallelism, Faults: in}, tb, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := []func() workload.Generator{
+		func() workload.Generator { return workload.NewAdulteratedTPCC(21*cluster.GiB, 3000, 0.8) },
+		func() workload.Generator { return workload.NewProduction() },
+		func() workload.Generator { return workload.NewYCSB(10*cluster.GiB, 2000) },
+	}
+	plans := []string{"m4.large", "t2.large", "m4.xlarge"}
+	const fleet = 6
+	for i := 0; i < fleet; i++ {
+		gen := gens[i%len(gens)]()
+		if _, err := s.AddInstance(InstanceSpec{
+			Provision: cluster.ProvisionSpec{
+				ID: fmt.Sprintf("db-%02d", i), Plan: plans[i%len(plans)],
+				Engine: knobs.Postgres, DBSizeBytes: gen.DBSizeBytes(),
+				Slaves: i % 2, Seed: 100 + int64(i),
+			},
+			Workload: gen,
+			Agent:    agent.Options{TickEvery: 5 * time.Minute, GateSamples: true},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// stepN advances n five-minute windows.
+func stepN(s *System, n int) {
+	for i := 0; i < n; i++ {
+		s.Step(5 * time.Minute)
+	}
+}
+
+// TestCheckpointResumeEquivalence is the subsystem's hard guarantee:
+// run-to-N and run-to-K/snapshot/restore-into-fresh-process/continue-
+// to-N produce bit-for-bit identical fleet fingerprints, at parallelism
+// 1, 4, 8 and 16, clean and under the medium fault profile.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint equivalence sweep")
+	}
+	const total, cut = 24, 11 // windows; cut deliberately not a step multiple of anything
+	for _, par := range []int{1, 4, 8, 16} {
+		for _, chaos := range []bool{false, true} {
+			name := fmt.Sprintf("par=%d,chaos=%v", par, chaos)
+			t.Run(name, func(t *testing.T) {
+				inject := func() *faults.Injector {
+					if !chaos {
+						return nil
+					}
+					return faults.New(99, faults.Medium())
+				}
+
+				// Uninterrupted reference run.
+				ref := buildCkptFleet(t, par, inject())
+				stepN(ref, total)
+				want := fingerprintSystem(ref)
+				if want.Samples == 0 || want.TuningRequests == 0 {
+					t.Fatalf("degenerate reference run: %+v", want)
+				}
+
+				// Interrupted run: step to cut, snapshot, abandon.
+				first := buildCkptFleet(t, par, inject())
+				stepN(first, cut)
+				var snap bytes.Buffer
+				if err := first.Checkpoint(&snap); err != nil {
+					t.Fatalf("checkpoint: %v", err)
+				}
+
+				// Fresh process: rebuild, restore, continue.
+				resumed := buildCkptFleet(t, par, inject())
+				if err := resumed.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				if got := resumed.Windows(); got != cut {
+					t.Fatalf("restored window counter = %d, want %d", got, cut)
+				}
+				stepN(resumed, total-cut)
+				got := fingerprintSystem(resumed)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("resumed run diverged from uninterrupted run\n  want: %+v\n  got:  %+v", want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointCrashResumeSoak is the crown-jewel scenario: a
+// 20-instance fleet under the medium fault profile auto-checkpoints
+// every 6 windows; the process "dies" at a fault-injector-chosen window
+// and a fresh process restores the last auto-checkpoint and replays to
+// the horizon. The fingerprint must match the uninterrupted run's.
+func TestCheckpointCrashResumeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20-instance crash-resume soak")
+	}
+	const faultSeed = 4242
+	const totalWindows = 48 // 8 simulated hours at 10-minute windows
+	const every = 6
+
+	// The kill point is drawn from the fault seed itself — the injector
+	// chooses when the process dies, somewhere in the middle third.
+	killSrc := prng.NewSource(faultSeed)
+	kill := totalWindows/3 + int(killSrc.Uint64()%uint64(totalWindows/3))
+
+	run := func(s *System, n int) {
+		for i := 0; i < n; i++ {
+			s.Step(10 * time.Minute)
+		}
+	}
+
+	// Uninterrupted reference.
+	ref := soakFleet(t, faults.New(faultSeed, faults.Medium()))
+	run(ref, totalWindows)
+	want := fingerprintSystem(ref)
+
+	// Doomed run with auto-checkpointing, killed mid-flight.
+	dir := t.TempDir()
+	doomed := soakFleet(t, faults.New(faultSeed, faults.Medium()))
+	doomed.SetAutoCheckpoint(dir, every)
+	run(doomed, kill)
+	if err := doomed.LastCheckpointErr(); err != nil {
+		t.Fatalf("auto-checkpoint failed before the crash: %v", err)
+	}
+	lastPath, lastWindow := doomed.LastCheckpoint()
+	if lastPath == "" {
+		t.Fatalf("no auto-checkpoint written in %d windows", kill)
+	}
+	if lastWindow != (kill/every)*every {
+		t.Fatalf("last auto-checkpoint at window %d, want %d", lastWindow, (kill/every)*every)
+	}
+	// Process dies here; `doomed` is abandoned, only the files survive.
+
+	resumed := soakFleet(t, faults.New(faultSeed, faults.Medium()))
+	if err := resumed.RestoreLatest(dir); err != nil {
+		t.Fatalf("restore from %s: %v", dir, err)
+	}
+	if got := resumed.Windows(); got != lastWindow {
+		t.Fatalf("resumed at window %d, want %d", got, lastWindow)
+	}
+	run(resumed, totalWindows-lastWindow)
+	got := fingerprintSystem(resumed)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("crash-resumed soak diverged from uninterrupted run (killed at %d, resumed from %d)", kill, lastWindow)
+	}
+}
+
+// snapshotForCorruption produces one small valid snapshot plus the
+// builder for fresh systems to restore into.
+func snapshotForCorruption(t *testing.T) ([]byte, func() *System) {
+	t.Helper()
+	build := func() *System { return buildCkptFleet(t, 2, nil) }
+	s := build()
+	stepN(s, 6)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), build
+}
+
+// frame locates every section frame in a container: header is 6 bytes,
+// then [u16 nameLen][name][u64 len][payload][u32 crc] repeating.
+type frame struct {
+	name          string
+	payloadOffset int
+	payloadLen    int
+}
+
+func walkFrames(t *testing.T, data []byte) []frame {
+	t.Helper()
+	var out []frame
+	off := 6
+	for off < len(data) {
+		nameLen := int(binary.LittleEndian.Uint16(data[off:]))
+		name := string(data[off+2 : off+2+nameLen])
+		plOff := off + 2 + nameLen + 8
+		plLen := int(binary.LittleEndian.Uint64(data[off+2+nameLen:]))
+		out = append(out, frame{name: name, payloadOffset: plOff, payloadLen: plLen})
+		off = plOff + plLen + 4
+	}
+	return out
+}
+
+// TestRestoreRejectsTruncatedSnapshot: cutting the file anywhere must
+// fail with a section-named truncation error, never restore silently.
+func TestRestoreRejectsTruncatedSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corruption sweep builds fleets")
+	}
+	data, build := snapshotForCorruption(t)
+	for _, cut := range []int{len(data) - 7, len(data) / 2, 40, 3} {
+		s := build()
+		err := s.Restore(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d restored successfully", cut)
+		}
+		if !errors.Is(err, checkpoint.ErrTruncated) && !errors.Is(err, checkpoint.ErrBadMagic) &&
+			!errors.Is(err, checkpoint.ErrChecksum) && !errors.Is(err, checkpoint.ErrManifest) {
+			t.Errorf("truncation at %d: unexpected error class: %v", cut, err)
+		}
+	}
+}
+
+// TestRestoreRejectsFlippedByte flips one payload byte in every section
+// and asserts each restore fails with an error naming that section.
+func TestRestoreRejectsFlippedByte(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corruption sweep builds fleets")
+	}
+	data, build := snapshotForCorruption(t)
+	frames := walkFrames(t, data)
+	if len(frames) < 8 {
+		t.Fatalf("expected a manifest plus 7+ sections, got %d frames", len(frames))
+	}
+	for _, fr := range frames {
+		if fr.payloadLen == 0 {
+			continue
+		}
+		corrupt := append([]byte(nil), data...)
+		corrupt[fr.payloadOffset+fr.payloadLen/2] ^= 0x40
+		s := build()
+		err := s.Restore(bytes.NewReader(corrupt))
+		if err == nil {
+			t.Fatalf("flipped byte in section %q restored successfully", fr.name)
+		}
+		if !errors.Is(err, checkpoint.ErrChecksum) && !errors.Is(err, checkpoint.ErrManifest) {
+			t.Errorf("section %q: want checksum/manifest error, got: %v", fr.name, err)
+		}
+		if !strings.Contains(err.Error(), fr.name) && fr.name != "manifest" {
+			t.Errorf("section %q: error does not name the section: %v", fr.name, err)
+		}
+	}
+}
+
+// TestRestoreRejectsVersionSkew bumps the header version and asserts
+// the reader refuses with ErrVersion.
+func TestRestoreRejectsVersionSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corruption sweep builds fleets")
+	}
+	data, build := snapshotForCorruption(t)
+	skewed := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint16(skewed[4:6], checkpoint.FormatVersion+1)
+	s := build()
+	if err := s.Restore(bytes.NewReader(skewed)); !errors.Is(err, checkpoint.ErrVersion) {
+		t.Errorf("want ErrVersion, got: %v", err)
+	}
+	// Bad magic is its own precise failure.
+	garbled := append([]byte(nil), data...)
+	garbled[0] = 'X'
+	s2 := build()
+	if err := s2.Restore(bytes.NewReader(garbled)); !errors.Is(err, checkpoint.ErrBadMagic) {
+		t.Errorf("want ErrBadMagic, got: %v", err)
+	}
+}
+
+// TestRestoreRejectsTopologyMismatch: a snapshot must not restore into
+// a system built with different construction parameters.
+func TestRestoreRejectsTopologyMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corruption sweep builds fleets")
+	}
+	data, _ := snapshotForCorruption(t)
+	// Same tuners, one fewer instance.
+	tb, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 60, MaxSamplesPerFit: 60, UCBBeta: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rl.New(rl.Options{Engine: knobs.Postgres, Hidden: 16, ReplayCap: 256, BatchSize: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystemWithOptions(Options{Parallelism: 2}, tb, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewProduction()
+	if _, err := s.AddInstance(InstanceSpec{
+		Provision: cluster.ProvisionSpec{ID: "db-00", Plan: "m4.large", Engine: knobs.Postgres, DBSizeBytes: gen.DBSizeBytes(), Seed: 100},
+		Workload:  gen,
+		Agent:     agent.Options{TickEvery: 5 * time.Minute, GateSamples: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(bytes.NewReader(data)); !errors.Is(err, checkpoint.ErrManifest) {
+		t.Errorf("want ErrManifest for topology mismatch, got: %v", err)
+	}
+}
+
+// TestAutoCheckpointFiles: periodic snapshots land where configured and
+// latest.ckpt always mirrors the newest one.
+func TestAutoCheckpointFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet build")
+	}
+	dir := t.TempDir()
+	s := buildCkptFleet(t, 2, nil)
+	s.SetAutoCheckpoint(dir, 3)
+	stepN(s, 7)
+	if err := s.LastCheckpointErr(); err != nil {
+		t.Fatal(err)
+	}
+	path, window := s.LastCheckpoint()
+	if window != 6 {
+		t.Fatalf("last auto-checkpoint window = %d, want 6", window)
+	}
+	for _, p := range []string{path, filepath.Join(dir, "latest.ckpt"), filepath.Join(dir, "checkpoint-000003.ckpt")} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("expected snapshot file: %v", err)
+		}
+	}
+	a, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "latest.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("latest.ckpt does not mirror the newest checkpoint")
+	}
+}

@@ -62,6 +62,17 @@ type System struct {
 	parallelism int
 	faults      *faults.Injector
 	m           coreMetrics
+
+	// windows counts completed Steps; it rides the snapshot manifest so
+	// a restored system resumes the numbering.
+	windows int
+	// Auto-checkpoint: every ckptEvery-th window a snapshot lands in
+	// ckptDir (see SetAutoCheckpoint).
+	ckptDir        string
+	ckptEvery      int
+	ckptLastPath   string
+	ckptLastWindow int
+	ckptLastErr    error
 }
 
 // coreMetrics are the fleet scheduler's registry handles.
@@ -360,6 +371,10 @@ func (s *System) Step(dur time.Duration) StepResult {
 	if first != nil {
 		s.Orchestrator.ReconcileTick(first.Instance().Replica.Master().Now())
 	}
+	s.mu.Lock()
+	s.windows++
+	s.mu.Unlock()
+	s.maybeAutoCheckpoint()
 	s.m.stepSeconds.Observe(time.Since(stepStart).Seconds())
 	return res
 }

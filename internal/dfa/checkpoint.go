@@ -1,0 +1,24 @@
+package dfa
+
+// State is the DFA's serializable mutable state: the apply/reject
+// counters. Adapters and the orchestrator binding are construction
+// parameters.
+type State struct {
+	Applied  int `json:"applied"`
+	Rejected int `json:"rejected"`
+}
+
+// CheckpointState captures the DFA's counters.
+func (d *DFA) CheckpointState() State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return State{Applied: d.applied, Rejected: d.rejected}
+}
+
+// RestoreCheckpointState overwrites the DFA's counters.
+func (d *DFA) RestoreCheckpointState(st State) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.applied = st.Applied
+	d.rejected = st.Rejected
+}

@@ -1,0 +1,90 @@
+package director
+
+import "time"
+
+// ShardState is one instance's director-side state: maintenance
+// bookkeeping plus the circuit breaker.
+type ShardState struct {
+	WorkingSets     []float64 `json:"working_sets,omitempty"`
+	BufferRecs      []float64 `json:"buffer_recs,omitempty"`
+	EntropyHits     int       `json:"entropy_hits"`
+	UpgradeRequests int       `json:"upgrade_requests"`
+	FailStreak      int       `json:"fail_streak"`
+	Open            bool      `json:"open"`
+	OpenUntil       time.Time `json:"open_until"`
+	Probing         bool      `json:"probing"`
+}
+
+// State is the director's serializable mutable state: the round-robin
+// cursor (which tuner the next request goes to), the fleet-wide
+// counters, and every instance shard. The tuner pool, orchestrator and
+// DFA bindings are construction parameters.
+type State struct {
+	Next            uint64                `json:"next"`
+	TuningRequests  int64                 `json:"tuning_requests"`
+	PlanUpgrades    int64                 `json:"plan_upgrades"`
+	Recommendations int64                 `json:"recommendations"`
+	ApplyFailures   int64                 `json:"apply_failures"`
+	CircuitSkips    int64                 `json:"circuit_skips"`
+	CircuitTrips    int64                 `json:"circuit_trips"`
+	Shards          map[string]ShardState `json:"shards,omitempty"`
+}
+
+// CheckpointState captures the director's mutable state.
+func (d *Director) CheckpointState() State {
+	st := State{
+		Next:            d.next.Load(),
+		TuningRequests:  d.tuningRequests.Load(),
+		PlanUpgrades:    d.planUpgrades.Load(),
+		Recommendations: d.recommendations.Load(),
+		ApplyFailures:   d.applyFailures.Load(),
+		CircuitSkips:    d.circuitSkips.Load(),
+		CircuitTrips:    d.circuitTrips.Load(),
+	}
+	d.shardMu.RLock()
+	defer d.shardMu.RUnlock()
+	st.Shards = make(map[string]ShardState, len(d.shards))
+	for id, sh := range d.shards {
+		sh.mu.Lock()
+		st.Shards[id] = ShardState{
+			WorkingSets:     append([]float64(nil), sh.workingSets...),
+			BufferRecs:      append([]float64(nil), sh.bufferRecs...),
+			EntropyHits:     sh.entropyHits,
+			UpgradeRequests: sh.upgradeRequests,
+			FailStreak:      sh.failStreak,
+			Open:            sh.open,
+			OpenUntil:       sh.openUntil,
+			Probing:         sh.probing,
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// RestoreCheckpointState overwrites the director's mutable state,
+// rebuilding the shard map from the snapshot.
+func (d *Director) RestoreCheckpointState(st State) error {
+	d.next.Store(st.Next)
+	d.tuningRequests.Store(st.TuningRequests)
+	d.planUpgrades.Store(st.PlanUpgrades)
+	d.recommendations.Store(st.Recommendations)
+	d.applyFailures.Store(st.ApplyFailures)
+	d.circuitSkips.Store(st.CircuitSkips)
+	d.circuitTrips.Store(st.CircuitTrips)
+	d.shardMu.Lock()
+	defer d.shardMu.Unlock()
+	d.shards = make(map[string]*instShard, len(st.Shards))
+	for id, ss := range st.Shards {
+		d.shards[id] = &instShard{
+			workingSets:     append([]float64(nil), ss.WorkingSets...),
+			bufferRecs:      append([]float64(nil), ss.BufferRecs...),
+			entropyHits:     ss.EntropyHits,
+			upgradeRequests: ss.UpgradeRequests,
+			failStreak:      ss.FailStreak,
+			open:            ss.Open,
+			openUntil:       ss.OpenUntil,
+			probing:         ss.Probing,
+		}
+	}
+	return nil
+}

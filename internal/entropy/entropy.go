@@ -149,3 +149,21 @@ func (f *Filter) Evaluations() int { return f.evaluations }
 
 // Upgrades returns how many plan-upgrade signals were raised.
 func (f *Filter) Upgrades() int { return f.upgrades }
+
+// FilterState is the filter's serializable mutable state (the
+// thresholds are construction parameters and restore with the rebuild).
+type FilterState struct {
+	Consecutive int `json:"consecutive"`
+	Evaluations int `json:"evaluations"`
+	Upgrades    int `json:"upgrades"`
+}
+
+// CheckpointState captures the filter's counters.
+func (f *Filter) CheckpointState() FilterState {
+	return FilterState{Consecutive: f.consecutive, Evaluations: f.evaluations, Upgrades: f.upgrades}
+}
+
+// RestoreCheckpointState overwrites the filter's counters.
+func (f *Filter) RestoreCheckpointState(st FilterState) {
+	f.consecutive, f.evaluations, f.upgrades = st.Consecutive, st.Evaluations, st.Upgrades
+}

@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autodbaas/internal/prng"
+)
+
+// InjectorState is the serializable mutable state of an Injector: every
+// per-site stream position, the crashed-node recovery countdowns and
+// the injection counters. (seed, profile) are construction parameters
+// validated by the checkpoint manifest — a restored run must be built
+// with the same chaos configuration or the stream replay is meaningless.
+type InjectorState struct {
+	Disabled bool                  `json:"disabled"`
+	Streams  map[string]prng.State `json:"streams,omitempty"`
+	NodeDown map[string]int        `json:"node_down,omitempty"`
+	Counts   map[string]int64      `json:"counts,omitempty"`
+	Total    int64                 `json:"total"`
+}
+
+// CheckpointState captures the injector's mutable state. Safe on nil
+// (returns the zero state).
+func (in *Injector) CheckpointState() InjectorState {
+	if in == nil {
+		return InjectorState{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := InjectorState{
+		Disabled: in.disabled,
+		Streams:  make(map[string]prng.State, len(in.sources)),
+		NodeDown: make(map[string]int, len(in.nodeDown)),
+		Counts:   make(map[string]int64, len(in.counts)),
+		Total:    in.total,
+	}
+	for site, src := range in.sources {
+		st.Streams[site] = src.State()
+	}
+	for site, left := range in.nodeDown {
+		st.NodeDown[site] = left
+	}
+	for kind, n := range in.counts {
+		st.Counts[kind] = n
+	}
+	return st
+}
+
+// RestoreCheckpointState repositions every stream and overwrites the
+// injector's counters. Sites absent from st reset to fresh streams
+// (they will reseed identically on first use). Restoring non-empty
+// state into a nil injector is an error: the rebuilt system was wired
+// without the chaos configuration the snapshot was taken under.
+func (in *Injector) RestoreCheckpointState(st InjectorState) error {
+	if in == nil {
+		if len(st.Streams) > 0 || st.Total != 0 {
+			return fmt.Errorf("faults: snapshot carries injector state but the rebuilt system has no injector")
+		}
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.disabled = st.Disabled
+	in.streams = make(map[string]*rand.Rand, len(st.Streams))
+	in.sources = make(map[string]*prng.Source, len(st.Streams))
+	for site, ps := range st.Streams {
+		r, src := prng.FromState(ps)
+		in.streams[site] = r
+		in.sources[site] = src
+	}
+	in.nodeDown = make(map[string]int, len(st.NodeDown))
+	for site, left := range st.NodeDown {
+		in.nodeDown[site] = left
+	}
+	in.counts = make(map[string]int64, len(st.Counts))
+	for kind, n := range st.Counts {
+		in.counts[kind] = n
+	}
+	in.total = st.Total
+	return nil
+}

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"autodbaas/internal/obs"
+	"autodbaas/internal/prng"
 )
 
 // ErrInjected marks every failure manufactured by this package, so
@@ -147,6 +148,9 @@ type Injector struct {
 	mu       sync.Mutex
 	disabled bool
 	streams  map[string]*rand.Rand
+	// sources holds the counting source behind each stream so stream
+	// positions can be checkpointed (same keys as streams).
+	sources map[string]*prng.Source
 	// nodeDown tracks nodes this injector crashed, by site, with the
 	// number of windows left until supervisor-style recovery.
 	nodeDown map[string]int
@@ -161,6 +165,7 @@ func New(seed int64, prof Profile) *Injector {
 		seed:     seed,
 		prof:     prof,
 		streams:  make(map[string]*rand.Rand),
+		sources:  make(map[string]*prng.Source),
 		nodeDown: make(map[string]int),
 		counts:   make(map[string]int64),
 		counters: make(map[string]*obs.Counter),
@@ -244,8 +249,10 @@ func (in *Injector) streamLocked(site string) *rand.Rand {
 	if !ok {
 		h := fnv.New64a()
 		h.Write([]byte(site))
-		s = rand.New(rand.NewSource(in.seed ^ int64(h.Sum64())))
+		var src *prng.Source
+		s, src = prng.New(in.seed ^ int64(h.Sum64()))
 		in.streams[site] = s
+		in.sources[site] = src
 	}
 	return s
 }

@@ -103,6 +103,10 @@ type flakyTuner struct {
 func (f *flakyTuner) Name() string                 { return f.inner.Name() }
 func (f *flakyTuner) Observe(s tuner.Sample) error { return f.inner.Observe(s) }
 
+// Unwrap exposes the decorated tuner so cross-cutting subsystems (the
+// checkpoint codec capturing tuner state) can reach the real one.
+func (f *flakyTuner) Unwrap() tuner.Tuner { return f.inner }
+
 func (f *flakyTuner) Recommend(req tuner.Request) (tuner.Recommendation, error) {
 	site := "tuner/" + f.inner.Name()
 	if f.in.hit(site+"/timeout", KindTunerTimeout, f.in.prof.TunerTimeout) {

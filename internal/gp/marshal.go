@@ -1,0 +1,171 @@
+package gp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"autodbaas/internal/linalg"
+)
+
+// Binary state round-trip for a Regressor, shared by the checkpoint
+// codec and usable standalone. The format is exact: every float64 is
+// written as its IEEE-754 bit pattern, so an unmarshalled model is
+// bit-for-bit the marshalled one — posterior means, variances and the
+// incremental-refit bookkeeping all resume identically.
+//
+// Only the SE-ARD kernel is serializable (it is the only kernel the
+// tuners construct); a custom Kernel implementation yields an error
+// rather than a lossy snapshot.
+
+// gpMagic identifies the serialized form; the trailing byte is the
+// format version.
+var gpMagic = []byte{'G', 'P', 'R', 1}
+
+// errNotSEARD rejects kernels the codec cannot capture.
+var errNotSEARD = errors.New("gp: only SE-ARD kernels are serializable")
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (g *Regressor) MarshalBinary() ([]byte, error) {
+	k, ok := g.Kernel.(*SEARD)
+	if !ok {
+		return nil, errNotSEARD
+	}
+	var b bytes.Buffer
+	b.Write(gpMagic)
+	putF64 := func(v float64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		b.Write(buf[:])
+	}
+	putInt := func(v int) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		b.Write(buf[:])
+	}
+	putVec := func(v []float64) {
+		putInt(len(v))
+		for _, f := range v {
+			putF64(f)
+		}
+	}
+	putF64(k.Variance)
+	putVec(k.LengthScales)
+	putF64(g.Noise)
+	putInt(g.FullRefitEvery)
+	putInt(g.addsSinceFit)
+	if g.jittered {
+		putInt(1)
+	} else {
+		putInt(0)
+	}
+	putF64(g.mean)
+	putInt(len(g.x))
+	for _, row := range g.x {
+		putVec(row)
+	}
+	putVec(g.ys)
+	putVec(g.alpha)
+	if g.chol == nil {
+		putInt(-1)
+	} else {
+		putInt(g.chol.Rows)
+		putInt(g.chol.Cols)
+		putVec(g.chol.Data)
+	}
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's kernel and entire fitted state.
+func (g *Regressor) UnmarshalBinary(data []byte) error {
+	if len(data) < len(gpMagic) || !bytes.Equal(data[:3], gpMagic[:3]) {
+		return errors.New("gp: bad magic in serialized regressor")
+	}
+	if data[3] != gpMagic[3] {
+		return fmt.Errorf("gp: serialized regressor version %d, want %d", data[3], gpMagic[3])
+	}
+	r := bytes.NewReader(data[len(gpMagic):])
+	var err error
+	getF64 := func() float64 {
+		var buf [8]byte
+		if _, e := r.Read(buf[:]); e != nil && err == nil {
+			err = errors.New("gp: truncated serialized regressor")
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	getInt := func() int {
+		var buf [8]byte
+		if _, e := r.Read(buf[:]); e != nil && err == nil {
+			err = errors.New("gp: truncated serialized regressor")
+		}
+		return int(int64(binary.LittleEndian.Uint64(buf[:])))
+	}
+	getVec := func() []float64 {
+		n := getInt()
+		if err != nil || n < 0 || n > r.Len()/8+1 {
+			if err == nil {
+				err = errors.New("gp: corrupt vector length in serialized regressor")
+			}
+			return nil
+		}
+		if n == 0 {
+			return nil
+		}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = getF64()
+		}
+		return v
+	}
+	variance := getF64()
+	scales := getVec()
+	noise := getF64()
+	refitEvery := getInt()
+	adds := getInt()
+	jittered := getInt() != 0
+	mean := getF64()
+	nx := getInt()
+	if err != nil || nx < 0 || nx > len(data) {
+		if err == nil {
+			err = errors.New("gp: corrupt training-set size in serialized regressor")
+		}
+		return err
+	}
+	x := make([][]float64, 0, nx)
+	for i := 0; i < nx && err == nil; i++ {
+		x = append(x, getVec())
+	}
+	ys := getVec()
+	alpha := getVec()
+	cholRows := getInt()
+	var chol *linalg.Matrix
+	if cholRows >= 0 {
+		cholCols := getInt()
+		cholData := getVec()
+		if err == nil && len(cholData) != cholRows*cholCols {
+			err = errors.New("gp: corrupt Cholesky factor in serialized regressor")
+		}
+		chol = &linalg.Matrix{Rows: cholRows, Cols: cholCols, Data: cholData}
+	}
+	if err != nil {
+		return err
+	}
+	if len(x) != len(ys) {
+		return fmt.Errorf("gp: serialized regressor has %d inputs but %d targets", len(x), len(ys))
+	}
+	g.Kernel = &SEARD{Variance: variance, LengthScales: scales}
+	g.Noise = noise
+	g.FullRefitEvery = refitEvery
+	g.addsSinceFit = adds
+	g.jittered = jittered
+	g.mean = mean
+	if nx == 0 {
+		x = nil
+	}
+	g.x, g.ys, g.alpha, g.chol = x, ys, alpha, chol
+	g.kbuf, g.vbuf = nil, nil
+	return nil
+}

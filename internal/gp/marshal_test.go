@@ -1,0 +1,141 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fitDemoModel trains a model through the same mixed Fit/Add path the
+// BO tuner uses, so the round-trip covers incremental bookkeeping
+// (addsSinceFit, jitter flag) as well as the factor itself.
+func fitDemoModel(t *testing.T, n int) *Regressor {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	g := NewRegressor(NewSEARD(4, 0.8, 1.2), 1e-5)
+	g.FullRefitEvery = 64
+	x := make([][]float64, 0, n)
+	y := make([]float64, 0, n)
+	for i := 0; i < n/2; i++ {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		x = append(x, row)
+		y = append(y, math.Sin(3*row[0])+row[1]*row[2]+0.1*rng.NormFloat64())
+	}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := n / 2; i < n; i++ {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		if err := g.Add(row, math.Sin(3*row[0])+row[1]*row[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestRegressorBinaryRoundTrip is the checkpoint contract for the GP:
+// marshalled and unmarshalled models agree to the last bit — training
+// set, targets, Cholesky factor, alpha, kernel hyper-parameters and the
+// incremental-refit counters — and keep agreeing through further Adds.
+func TestRegressorBinaryRoundTrip(t *testing.T) {
+	g := fitDemoModel(t, 40)
+	blob, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Regressor
+	if err := h.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bitwise state equality.
+	if h.mean != g.mean || math.Float64bits(h.mean) != math.Float64bits(g.mean) {
+		t.Fatalf("mean: %x != %x", math.Float64bits(h.mean), math.Float64bits(g.mean))
+	}
+	if h.addsSinceFit != g.addsSinceFit || h.jittered != g.jittered ||
+		h.FullRefitEvery != g.FullRefitEvery || h.Noise != g.Noise {
+		t.Fatalf("bookkeeping mismatch: %+v vs %+v", h, g)
+	}
+	eqVec := func(name string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: len %d != %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s[%d]: %x != %x", name, i, math.Float64bits(a[i]), math.Float64bits(b[i]))
+			}
+		}
+	}
+	eqVec("ys", h.ys, g.ys)
+	eqVec("alpha", h.alpha, g.alpha)
+	eqVec("chol", h.chol.Data, g.chol.Data)
+	for i := range g.x {
+		eqVec("x", h.x[i], g.x[i])
+	}
+	hk, gk := h.Kernel.(*SEARD), g.Kernel.(*SEARD)
+	if hk.Variance != gk.Variance {
+		t.Fatalf("kernel variance %v != %v", hk.Variance, gk.Variance)
+	}
+	eqVec("lengthscales", hk.LengthScales, gk.LengthScales)
+
+	// Behavioral equality: predictions and subsequent Adds bitwise agree.
+	q := []float64{0.3, 0.7, 0.1, 0.9}
+	m1, v1, err1 := g.Predict(q)
+	m2, v2, err2 := h.Predict(q)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if math.Float64bits(m1) != math.Float64bits(m2) || math.Float64bits(v1) != math.Float64bits(v2) {
+		t.Fatalf("prediction diverged: (%v,%v) vs (%v,%v)", m1, v1, m2, v2)
+	}
+	if err := g.Add(q, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add(q, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	m1, v1, _ = g.Predict([]float64{0.5, 0.5, 0.5, 0.5})
+	m2, v2, _ = h.Predict([]float64{0.5, 0.5, 0.5, 0.5})
+	if math.Float64bits(m1) != math.Float64bits(m2) || math.Float64bits(v1) != math.Float64bits(v2) {
+		t.Fatalf("post-Add prediction diverged: (%v,%v) vs (%v,%v)", m1, v1, m2, v2)
+	}
+}
+
+// TestRegressorMarshalUnfitted pins the empty-model round trip.
+func TestRegressorMarshalUnfitted(t *testing.T) {
+	g := NewRegressor(NewSEARD(2, 1, 1), 1e-6)
+	blob, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Regressor
+	if err := h.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if h.Fitted() {
+		t.Fatal("unfitted model round-tripped as fitted")
+	}
+}
+
+// TestRegressorUnmarshalCorrupt pins the corruption errors: truncation
+// and version skew must fail loudly, never yield a partial model.
+func TestRegressorUnmarshalCorrupt(t *testing.T) {
+	g := fitDemoModel(t, 10)
+	blob, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Regressor
+	if err := h.UnmarshalBinary(blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated blob unmarshalled without error")
+	}
+	skew := append([]byte(nil), blob...)
+	skew[3] = 99
+	if err := h.UnmarshalBinary(skew); err == nil {
+		t.Fatal("version-skewed blob unmarshalled without error")
+	}
+	if err := h.UnmarshalBinary([]byte("nope")); err == nil {
+		t.Fatal("garbage unmarshalled without error")
+	}
+}

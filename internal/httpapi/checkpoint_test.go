@@ -1,0 +1,103 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fakeCheckpointer writes a fixed snapshot blob, standing in for
+// core.System so the handler test stays in-package.
+type fakeCheckpointer struct {
+	dir     string
+	window  int
+	last    string
+	lastWin int
+	fail    error
+}
+
+func (f *fakeCheckpointer) CheckpointNow(dir string) (string, error) {
+	if f.fail != nil {
+		return "", f.fail
+	}
+	path := filepath.Join(dir, "checkpoint-000007.ckpt")
+	if err := os.WriteFile(path, []byte("ADBC-snapshot-bytes"), 0o644); err != nil {
+		return "", err
+	}
+	f.last, f.lastWin = path, f.window
+	return path, nil
+}
+func (f *fakeCheckpointer) LastCheckpoint() (string, int) { return f.last, f.lastWin }
+func (f *fakeCheckpointer) Windows() int                  { return f.window }
+
+func TestCheckpointServerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fc := &fakeCheckpointer{dir: dir, window: 7}
+	srv := httptest.NewServer(NewCheckpointServer(fc, dir))
+	defer srv.Close()
+
+	// No snapshot yet: latest is a 404.
+	resp, err := http.Get(srv.URL + "/v1/checkpoint/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("latest before any snapshot: %s", resp.Status)
+	}
+
+	// POST writes one and reports its metadata.
+	resp, err = http.Post(srv.URL+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("checkpoint: %s", resp.Status)
+	}
+	var meta struct {
+		Path   string `json:"path"`
+		Window int    `json:"window"`
+		Bytes  int64  `json:"bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Window != 7 || meta.Bytes != int64(len("ADBC-snapshot-bytes")) {
+		t.Fatalf("metadata = %+v", meta)
+	}
+
+	// GET streams the snapshot back with its window in a header.
+	resp, err = http.Get(srv.URL + "/v1/checkpoint/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("latest: %s", resp.Status)
+	}
+	if got := resp.Header.Get("X-Checkpoint-Window"); got != "7" {
+		t.Fatalf("window header = %q", got)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "ADBC-snapshot-bytes" {
+		t.Fatalf("body = %q", body)
+	}
+
+	// Wrong methods are rejected.
+	resp, err = http.Get(srv.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/checkpoint: %s", resp.Status)
+	}
+}

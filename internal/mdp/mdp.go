@@ -87,6 +87,30 @@ func (a *Automaton) SetValue(v float64) error {
 // Probabilities returns (P(increase), P(decrease)).
 func (a *Automaton) Probabilities() (float64, float64) { return a.probs[0], a.probs[1] }
 
+// AutomatonState is the automaton's serializable mutable state; the
+// knob binding and step geometry are construction parameters.
+type AutomatonState struct {
+	Knob  string     `json:"knob"`
+	Value float64    `json:"value"`
+	Probs [2]float64 `json:"probs"`
+}
+
+// CheckpointState captures the automaton's learned state.
+func (a *Automaton) CheckpointState() AutomatonState {
+	return AutomatonState{Knob: a.Knob, Value: a.value, Probs: a.probs}
+}
+
+// RestoreCheckpointState overwrites the automaton's learned state. The
+// state must belong to this automaton's knob.
+func (a *Automaton) RestoreCheckpointState(st AutomatonState) error {
+	if st.Knob != a.Knob {
+		return fmt.Errorf("mdp: state for knob %q restored into automaton for %q", st.Knob, a.Knob)
+	}
+	a.value = st.Value
+	a.probs = st.Probs
+	return nil
+}
+
 // Choose samples an action from the current distribution.
 func (a *Automaton) Choose(rng *rand.Rand) Action {
 	if rng.Float64() < a.probs[0] {

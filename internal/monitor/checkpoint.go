@@ -1,0 +1,26 @@
+package monitor
+
+// CheckpointState captures every retained point of every series, keyed
+// by series name. The retention bound is a construction parameter.
+func (a *Agent) CheckpointState() map[string][]Point {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string][]Point, len(a.series))
+	for name, s := range a.series {
+		out[name] = s.All()
+	}
+	return out
+}
+
+// RestoreCheckpointState replaces the agent's series with the snapshot's.
+func (a *Agent) RestoreCheckpointState(state map[string][]Point) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.series = make(map[string]*Series, len(state))
+	for name, pts := range state {
+		s := NewSeries(a.max)
+		s.points = make([]Point, len(pts))
+		copy(s.points, pts)
+		a.series[name] = s
+	}
+}

@@ -283,6 +283,71 @@ func adam(w, dw, m, v []float64, lr, c1, c2 float64) {
 	}
 }
 
+// LayerState is one layer's serializable parameters + Adam moments.
+type LayerState struct {
+	In  int        `json:"in"`  // shape, validated on restore
+	Out int        `json:"out"` //
+	Act Activation `json:"act"`
+	W   []float64  `json:"w"`
+	B   []float64  `json:"b"`
+	MW  []float64  `json:"mw"`
+	VW  []float64  `json:"vw"`
+	MB  []float64  `json:"mb"`
+	VB  []float64  `json:"vb"`
+}
+
+// NetworkState is a network's serializable state, including the Adam
+// time step — restoring it resumes training bit-for-bit.
+type NetworkState struct {
+	Layers []LayerState `json:"layers"`
+	Step   int          `json:"step"`
+}
+
+// CheckpointState captures all parameters and optimizer state.
+func (n *Network) CheckpointState() NetworkState {
+	st := NetworkState{Step: n.step, Layers: make([]LayerState, len(n.Layers))}
+	for i, l := range n.Layers {
+		st.Layers[i] = LayerState{
+			In: l.In, Out: l.Out, Act: l.Act,
+			W:  append([]float64(nil), l.W...),
+			B:  append([]float64(nil), l.B...),
+			MW: append([]float64(nil), l.mW...),
+			VW: append([]float64(nil), l.vW...),
+			MB: append([]float64(nil), l.mB...),
+			VB: append([]float64(nil), l.vB...),
+		}
+	}
+	return st
+}
+
+// RestoreCheckpointState overwrites all parameters and optimizer state.
+// The network must have the architecture the state was captured from.
+func (n *Network) RestoreCheckpointState(st NetworkState) error {
+	if len(st.Layers) != len(n.Layers) {
+		return fmt.Errorf("nn: restoring %d layers into %d-layer network", len(st.Layers), len(n.Layers))
+	}
+	for i, l := range n.Layers {
+		ls := st.Layers[i]
+		if ls.In != l.In || ls.Out != l.Out {
+			return fmt.Errorf("nn: layer %d shape %dx%d, state %dx%d", i, l.In, l.Out, ls.In, ls.Out)
+		}
+		if len(ls.W) != len(l.W) || len(ls.B) != len(l.B) ||
+			len(ls.MW) != len(l.mW) || len(ls.VW) != len(l.vW) ||
+			len(ls.MB) != len(l.mB) || len(ls.VB) != len(l.vB) {
+			return fmt.Errorf("nn: layer %d state vector lengths do not match the network", i)
+		}
+		l.Act = ls.Act
+		copy(l.W, ls.W)
+		copy(l.B, ls.B)
+		copy(l.mW, ls.MW)
+		copy(l.vW, ls.VW)
+		copy(l.mB, ls.MB)
+		copy(l.vB, ls.VB)
+	}
+	n.step = st.Step
+	return nil
+}
+
 // CopyFrom copies all parameters from src (same architecture required).
 func (n *Network) CopyFrom(src *Network) error {
 	if len(n.Layers) != len(src.Layers) {

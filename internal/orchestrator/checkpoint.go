@@ -1,0 +1,85 @@
+package orchestrator
+
+import (
+	"time"
+
+	"autodbaas/internal/knobs"
+)
+
+// State is the orchestrator's serializable mutable state: credentials
+// (crypto-random at Provision time, so they must ride the snapshot to
+// survive a rebuild), the persisted config truth, and the reconciler's
+// drift/backoff bookkeeping. The provisioner topology and the watcher
+// tunables are construction parameters.
+type State struct {
+	Creds           map[string]Credentials  `json:"creds,omitempty"`
+	Persisted       map[string]knobs.Config `json:"persisted,omitempty"`
+	DriftSince      map[string]time.Time    `json:"drift_since,omitempty"`
+	RepairFails     map[string]int          `json:"repair_fails,omitempty"`
+	RetryAt         map[string]time.Time    `json:"retry_at,omitempty"`
+	Reconciliations int                     `json:"reconciliations"`
+	Retries         int                     `json:"retries"`
+	Escalations     int                     `json:"escalations"`
+}
+
+// CheckpointState captures the orchestrator's mutable state.
+func (o *Orchestrator) CheckpointState() State {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := State{
+		Creds:           make(map[string]Credentials, len(o.creds)),
+		Persisted:       make(map[string]knobs.Config, len(o.persisted)),
+		DriftSince:      make(map[string]time.Time, len(o.driftSince)),
+		RepairFails:     make(map[string]int, len(o.repairFails)),
+		RetryAt:         make(map[string]time.Time, len(o.retryAt)),
+		Reconciliations: o.reconciliations,
+		Retries:         o.retries,
+		Escalations:     o.escalations,
+	}
+	for id, c := range o.creds {
+		st.Creds[id] = c
+	}
+	for id, cfg := range o.persisted {
+		st.Persisted[id] = cfg.Clone()
+	}
+	for id, t := range o.driftSince {
+		st.DriftSince[id] = t
+	}
+	for id, n := range o.repairFails {
+		st.RepairFails[id] = n
+	}
+	for id, t := range o.retryAt {
+		st.RetryAt[id] = t
+	}
+	return st
+}
+
+// RestoreCheckpointState overwrites the orchestrator's mutable state.
+func (o *Orchestrator) RestoreCheckpointState(st State) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.creds = make(map[string]Credentials, len(st.Creds))
+	for id, c := range st.Creds {
+		o.creds[id] = c
+	}
+	o.persisted = make(map[string]knobs.Config, len(st.Persisted))
+	for id, cfg := range st.Persisted {
+		o.persisted[id] = cfg.Clone()
+	}
+	o.driftSince = make(map[string]time.Time, len(st.DriftSince))
+	for id, t := range st.DriftSince {
+		o.driftSince[id] = t
+	}
+	o.repairFails = make(map[string]int, len(st.RepairFails))
+	for id, n := range st.RepairFails {
+		o.repairFails[id] = n
+	}
+	o.retryAt = make(map[string]time.Time, len(st.RetryAt))
+	for id, t := range st.RetryAt {
+		o.retryAt[id] = t
+	}
+	o.reconciliations = st.Reconciliations
+	o.retries = st.Retries
+	o.escalations = st.Escalations
+	return nil
+}

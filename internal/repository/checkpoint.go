@@ -1,0 +1,118 @@
+package repository
+
+import (
+	"fmt"
+	"sort"
+
+	"autodbaas/internal/tuner"
+)
+
+// SubscriberState is one subscriber's exactly-once delivery watermark.
+type SubscriberState struct {
+	Contig int64   `json:"contig"`
+	Sparse []int64 `json:"sparse,omitempty"`
+}
+
+// DelayedState is one reordered sample still held back at snapshot time.
+type DelayedState struct {
+	Sample    tuner.Sample `json:"sample"`
+	Seq       int64        `json:"seq"`
+	DropFirst bool         `json:"drop_first,omitempty"`
+	Dup       bool         `json:"dup,omitempty"`
+	After     int          `json:"after"`
+}
+
+// State is the repository's fan-out bookkeeping: the sequence counter,
+// per-subscriber dedup watermarks (in Subscribe order), any still-held
+// delayed samples, and the hardening counters. The stored samples
+// themselves are serialized separately via Save/LoadQuiet.
+type State struct {
+	NextSeq     int64             `json:"next_seq"`
+	Enqueued    int64             `json:"enqueued"`
+	Delivered   int64             `json:"delivered"`
+	Subscribers []SubscriberState `json:"subscribers,omitempty"`
+	Delayed     []DelayedState    `json:"delayed,omitempty"`
+	Redelivered int64             `json:"redelivered"`
+	Deduped     int64             `json:"deduped"`
+	Reordered   int64             `json:"reordered"`
+}
+
+// CheckpointState captures the fan-out bookkeeping. The queue must be
+// drained (Flush) first: a snapshot with undelivered samples in flight
+// cannot be restored exactly.
+func (r *Repository) CheckpointState() (State, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.pending) > 0 || r.delivered < r.enqueued {
+		return State{}, fmt.Errorf("repository: checkpoint with %d undelivered samples in the fan-out queue (Flush first)", len(r.pending))
+	}
+	st := State{
+		NextSeq:     r.nextSeq,
+		Enqueued:    r.enqueued,
+		Delivered:   r.delivered,
+		Redelivered: r.redelivered.Load(),
+		Deduped:     r.deduped.Load(),
+		Reordered:   r.reordered.Load(),
+	}
+	for _, sub := range r.subscribers {
+		sub.mu.Lock()
+		ss := SubscriberState{Contig: sub.contig}
+		for seq := range sub.sparse {
+			ss.Sparse = append(ss.Sparse, seq)
+		}
+		sub.mu.Unlock()
+		sort.Slice(ss.Sparse, func(i, j int) bool { return ss.Sparse[i] < ss.Sparse[j] })
+		st.Subscribers = append(st.Subscribers, ss)
+	}
+	for _, d := range r.delayed {
+		st.Delayed = append(st.Delayed, DelayedState{
+			Sample:    d.q.s,
+			Seq:       d.q.seq,
+			DropFirst: d.q.dropFirst,
+			Dup:       d.q.dup,
+			After:     d.after,
+		})
+	}
+	return st, nil
+}
+
+// RestoreCheckpointState overwrites the fan-out bookkeeping. The same
+// subscribers must already be registered, in the same order, as when the
+// snapshot was taken (the rebuild re-subscribes the same tuner set).
+func (r *Repository) RestoreCheckpointState(st State) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.pending) > 0 {
+		return fmt.Errorf("repository: restore with %d samples already in the fan-out queue", len(r.pending))
+	}
+	if len(r.subscribers) != len(st.Subscribers) {
+		return fmt.Errorf("repository: snapshot has %d subscribers, repository has %d", len(st.Subscribers), len(r.subscribers))
+	}
+	for i, ss := range st.Subscribers {
+		sub := r.subscribers[i]
+		sub.mu.Lock()
+		sub.contig = ss.Contig
+		sub.sparse = nil
+		if len(ss.Sparse) > 0 {
+			sub.sparse = make(map[int64]bool, len(ss.Sparse))
+			for _, seq := range ss.Sparse {
+				sub.sparse[seq] = true
+			}
+		}
+		sub.mu.Unlock()
+	}
+	r.nextSeq = st.NextSeq
+	r.enqueued = st.Enqueued
+	r.delivered = st.Delivered
+	r.delayed = r.delayed[:0]
+	for _, d := range st.Delayed {
+		r.delayed = append(r.delayed, delayedSample{
+			q:     queued{s: d.Sample, seq: d.Seq, dropFirst: d.DropFirst, dup: d.Dup},
+			after: d.After,
+		})
+	}
+	r.redelivered.Store(st.Redelivered)
+	r.deduped.Store(st.Deduped)
+	r.reordered.Store(st.Reordered)
+	return nil
+}

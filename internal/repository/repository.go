@@ -382,9 +382,13 @@ func (r *Repository) Save(w io.Writer) error {
 
 // Load reads JSON-line samples, storing each and fanning out to current
 // subscribers (so a freshly booted tuner warms up from the durable
-// store). The fan-out queue is drained before returning, so subscribers
-// have seen every loaded sample. It returns the number of samples
-// loaded.
+// store). Note that Load DOES deliver every loaded sample to current
+// subscribers — it goes through Observe, so each sample gets a fresh
+// sequence number and full fan-out. Callers restoring a checkpoint must
+// use LoadQuiet instead: there the subscribed tuners' own state is
+// restored separately, and re-delivery would double-count every sample.
+// The fan-out queue is drained before returning, so subscribers have
+// seen every loaded sample. It returns the number of samples loaded.
 func (r *Repository) Load(rd io.Reader) (int, error) {
 	dec := json.NewDecoder(bufio.NewReader(rd))
 	n := 0
@@ -403,5 +407,26 @@ func (r *Repository) Load(rd io.Reader) (int, error) {
 		n++
 	}
 	r.Flush()
+	return n, nil
+}
+
+// LoadQuiet reads JSON-line samples into the store WITHOUT fanning them
+// out to subscribers and without consuming fan-out sequence numbers.
+// This is the checkpoint-restore ingestion path: subscriber (tuner)
+// state is restored from its own snapshot section, so re-delivering the
+// stored samples would feed every tuner each sample a second time.
+func (r *Repository) LoadQuiet(rd io.Reader) (int, error) {
+	dec := json.NewDecoder(bufio.NewReader(rd))
+	n := 0
+	for {
+		var s tuner.Sample
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return n, fmt.Errorf("repository: load: %w", err)
+		}
+		r.store.Add(s)
+		n++
+	}
 	return n, nil
 }

@@ -103,3 +103,48 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+// TestLoadQuietSkipsFanOut pins the contract checkpoint restore relies
+// on: Load warm-starts subscribers (re-delivering every stored sample),
+// while LoadQuiet only rebuilds the store — subscriber state restored
+// from a snapshot must not see the samples a second time.
+func TestLoadQuietSkipsFanOut(t *testing.T) {
+	src := New()
+	for i := 0; i < 4; i++ {
+		src.Observe(tuner.Sample{WorkloadID: "w", Engine: knobs.Postgres, Objective: float64(i)})
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	loud := New()
+	sub := &countingTuner{engine: knobs.Postgres}
+	loud.Subscribe(sub)
+	if _, err := loud.Load(bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+	loud.Flush()
+	if sub.observed != 4 {
+		t.Fatalf("Load delivered %d samples to the subscriber, want 4", sub.observed)
+	}
+
+	quiet := New()
+	qsub := &countingTuner{engine: knobs.Postgres}
+	quiet.Subscribe(qsub)
+	n, err := quiet.LoadQuiet(bytes.NewReader(saved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet.Flush()
+	if n != 4 || quiet.Len() != 4 {
+		t.Fatalf("LoadQuiet loaded %d, stored %d, want 4", n, quiet.Len())
+	}
+	if qsub.observed != 0 {
+		t.Fatalf("LoadQuiet delivered %d samples to the subscriber, want 0", qsub.observed)
+	}
+	if got := quiet.Store().Samples("w"); len(got) != 4 || got[2].Objective != 2 {
+		t.Fatalf("store not rebuilt: %+v", got)
+	}
+}

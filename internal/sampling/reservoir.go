@@ -63,3 +63,27 @@ func (r *Reservoir[T]) Reset() {
 	r.items = r.items[:0]
 	r.seen = 0
 }
+
+// ReservoirState is a reservoir's serializable mutable state. The rng
+// is shared with (and checkpointed by) the reservoir's owner, so it is
+// not part of this state.
+type ReservoirState[T any] struct {
+	Seen  int `json:"seen"`
+	Items []T `json:"items"`
+}
+
+// CheckpointState captures the reservoir contents and stream position.
+func (r *Reservoir[T]) CheckpointState() ReservoirState[T] {
+	return ReservoirState[T]{Seen: r.seen, Items: r.Sample()}
+}
+
+// RestoreCheckpointState overwrites the reservoir contents. The state's
+// item count must fit this reservoir's capacity.
+func (r *Reservoir[T]) RestoreCheckpointState(st ReservoirState[T]) error {
+	if len(st.Items) > r.k {
+		return errors.New("sampling: restored reservoir exceeds capacity")
+	}
+	r.items = append(r.items[:0], st.Items...)
+	r.seen = st.Seen
+	return nil
+}

@@ -26,6 +26,7 @@ import (
 
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/metrics"
+	"autodbaas/internal/prng"
 	"autodbaas/internal/workload"
 )
 
@@ -94,6 +95,7 @@ type Engine struct {
 	res    Resources
 	dbSize float64
 	rng    *rand.Rand
+	rngSrc *prng.Source // counting source behind rng, for checkpointing
 
 	cfg            knobs.Config // active configuration
 	pendingRestart knobs.Config // staged restart-required values
@@ -190,6 +192,7 @@ func NewEngine(o Options) (*Engine, error) {
 	if err := kcat.Validate(cfg); err != nil {
 		return nil, err
 	}
+	rng, rngSrc := prng.New(o.Seed)
 	e := &Engine{
 		engineName: string(o.Engine),
 		kcat:       kcat,
@@ -197,7 +200,8 @@ func NewEngine(o Options) (*Engine, error) {
 		semMap:     semanticMap(o.Engine),
 		res:        o.Resources,
 		dbSize:     o.DBSizeBytes,
-		rng:        rand.New(rand.NewSource(o.Seed)),
+		rng:        rng,
+		rngSrc:     rngSrc,
 		cfg:        cfg,
 		counters:   make(map[string]float64),
 		now:        start,

@@ -360,3 +360,22 @@ func (t *Templatizer) ClassHistogram() map[Class]int {
 
 // Reset clears all accumulated templates.
 func (t *Templatizer) Reset() { t.templates = make(map[string]*TemplateStats) }
+
+// CheckpointState captures the accumulated template statistics (values,
+// not pointers, so the snapshot is stable).
+func (t *Templatizer) CheckpointState() map[string]TemplateStats {
+	out := make(map[string]TemplateStats, len(t.templates))
+	for id, st := range t.templates {
+		out[id] = *st
+	}
+	return out
+}
+
+// RestoreCheckpointState overwrites the accumulated statistics.
+func (t *Templatizer) RestoreCheckpointState(state map[string]TemplateStats) {
+	t.templates = make(map[string]*TemplateStats, len(state))
+	for id, st := range state {
+		cp := st
+		t.templates[id] = &cp
+	}
+}

@@ -1,0 +1,97 @@
+package tde
+
+import (
+	"fmt"
+	"time"
+
+	"autodbaas/internal/entropy"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/mdp"
+	"autodbaas/internal/metrics"
+	"autodbaas/internal/prng"
+	"autodbaas/internal/sampling"
+	"autodbaas/internal/sqlparse"
+)
+
+// State is the TDE's serializable mutable state: the detection RNG
+// position (shared with the reservoir), the entropy filter counters,
+// the accumulated template statistics, the reservoir contents, every
+// automaton's learned value/probabilities, the last metric snapshot the
+// delta detectors diff against, and the throttle counters. The engine
+// binding, catalog and baseline are construction parameters and come
+// from the rebuild.
+type State struct {
+	RNG        prng.State                        `json:"rng"`
+	Filter     entropy.FilterState               `json:"filter"`
+	Templates  map[string]sqlparse.TemplateStats `json:"templates,omitempty"`
+	Reservoir  sampling.ReservoirState[string]   `json:"reservoir"`
+	Automata   []mdp.AutomatonState              `json:"automata,omitempty"`
+	LastSnap   metrics.Snapshot                  `json:"last_snap,omitempty"`
+	LastSnapAt time.Time                         `json:"last_snap_at"`
+	Throttles  map[knobs.Class]int               `json:"throttles,omitempty"`
+	Upgrades   int                               `json:"upgrades"`
+	Ticks      int                               `json:"ticks"`
+}
+
+// CheckpointState captures the TDE's mutable state.
+func (t *TDE) CheckpointState() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := State{
+		RNG:        t.rngSrc.State(),
+		Filter:     t.filter.CheckpointState(),
+		Templates:  t.templatizer.CheckpointState(),
+		Reservoir:  t.reservoir.CheckpointState(),
+		LastSnap:   t.lastSnap.Clone(),
+		LastSnapAt: t.lastSnapAt,
+		Throttles:  make(map[knobs.Class]int, len(t.throttles)),
+		Upgrades:   t.upgrades,
+		Ticks:      t.ticks,
+	}
+	for _, a := range t.automata {
+		st.Automata = append(st.Automata, a.CheckpointState())
+	}
+	for c, n := range t.throttles {
+		st.Throttles[c] = n
+	}
+	return st
+}
+
+// RestoreCheckpointState overwrites the TDE's mutable state. The TDE
+// must have been built against the same engine configuration (its
+// automata set must match the snapshot's knob-for-knob).
+func (t *TDE) RestoreCheckpointState(st State) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	byKnob := make(map[string]mdp.AutomatonState, len(st.Automata))
+	for _, as := range st.Automata {
+		byKnob[as.Knob] = as
+	}
+	if len(byKnob) != len(t.automata) {
+		return fmt.Errorf("tde: snapshot has %d automata, engine built %d", len(byKnob), len(t.automata))
+	}
+	for _, a := range t.automata {
+		as, ok := byKnob[a.Knob]
+		if !ok {
+			return fmt.Errorf("tde: snapshot missing automaton state for knob %q", a.Knob)
+		}
+		if err := a.RestoreCheckpointState(as); err != nil {
+			return err
+		}
+	}
+	if err := t.reservoir.RestoreCheckpointState(st.Reservoir); err != nil {
+		return err
+	}
+	t.rngSrc.Restore(st.RNG)
+	t.filter.RestoreCheckpointState(st.Filter)
+	t.templatizer.RestoreCheckpointState(st.Templates)
+	t.lastSnap = st.LastSnap.Clone()
+	t.lastSnapAt = st.LastSnapAt
+	t.throttles = make(map[knobs.Class]int, len(st.Throttles))
+	for c, n := range st.Throttles {
+		t.throttles[c] = n
+	}
+	t.upgrades = st.Upgrades
+	t.ticks = st.Ticks
+	return nil
+}

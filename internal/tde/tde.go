@@ -28,6 +28,7 @@ import (
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/mdp"
 	"autodbaas/internal/metrics"
+	"autodbaas/internal/prng"
 	"autodbaas/internal/sampling"
 	"autodbaas/internal/simdb"
 	"autodbaas/internal/sqlparse"
@@ -142,10 +143,11 @@ func DefaultConfig() Config {
 type TDE struct {
 	mu sync.Mutex
 
-	db   *simdb.Engine
-	cfg  Config
-	rng  *rand.Rand
-	kcat *knobs.Catalog
+	db     *simdb.Engine
+	cfg    Config
+	rng    *rand.Rand
+	rngSrc *prng.Source // counting source behind rng (shared with reservoir)
+	kcat   *knobs.Catalog
 
 	filter      *entropy.Filter
 	templatizer *sqlparse.Templatizer
@@ -173,7 +175,7 @@ func New(db *simdb.Engine, cfg Config, baseline Baseline) (*TDE, error) {
 	if baseline == nil {
 		baseline = DefaultBaseline()
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng, rngSrc := prng.New(cfg.Seed)
 	res, err := sampling.NewReservoir[string](cfg.ReservoirSize, rng)
 	if err != nil {
 		return nil, err
@@ -182,6 +184,7 @@ func New(db *simdb.Engine, cfg Config, baseline Baseline) (*TDE, error) {
 		db:          db,
 		cfg:         cfg,
 		rng:         rng,
+		rngSrc:      rngSrc,
 		kcat:        db.KnobCatalog(),
 		filter:      entropy.NewFilter(),
 		templatizer: sqlparse.NewTemplatizer(),

@@ -27,6 +27,7 @@ import (
 	"autodbaas/internal/linalg"
 	"autodbaas/internal/metrics"
 	"autodbaas/internal/obs"
+	"autodbaas/internal/prng"
 	"autodbaas/internal/tuner"
 )
 
@@ -66,11 +67,12 @@ func DefaultOptions(engine knobs.Engine) Options {
 type Tuner struct {
 	mu sync.Mutex
 
-	opts  Options
-	kcat  *knobs.Catalog
-	mcat  *metrics.Catalog
-	store *tuner.Store
-	rng   *rand.Rand
+	opts   Options
+	kcat   *knobs.Catalog
+	mcat   *metrics.Catalog
+	store  *tuner.Store
+	rng    *rand.Rand
+	rngSrc *prng.Source // counting source behind rng, for checkpointing
 
 	knobNames []string // tunable knobs, catalogue order
 
@@ -144,12 +146,14 @@ func New(opts Options) (*Tuner, error) {
 		opts.UCBBeta = 1.2
 	}
 	reg := obs.Default()
+	rng, rngSrc := prng.New(opts.Seed)
 	return &Tuner{
 		opts:       opts,
 		kcat:       kcat,
 		mcat:       mcat,
 		store:      tuner.NewStore(),
-		rng:        rand.New(rand.NewSource(opts.Seed)),
+		rng:        rng,
+		rngSrc:     rngSrc,
 		knobNames:  kcat.TunableNames(),
 		meanSums:   make(map[string][]float64),
 		meanCounts: make(map[string]int),

@@ -1,0 +1,97 @@
+package bo
+
+import (
+	"fmt"
+
+	"autodbaas/internal/gp"
+	"autodbaas/internal/prng"
+	"autodbaas/internal/tuner"
+)
+
+// State is the BO tuner's serializable mutable state: the sample store,
+// the incrementally maintained per-workload metric means, the fit cache
+// (GP Cholesky state via gp.Regressor's binary codec plus the exact
+// training prefix it was fitted on), and the acquisition RNG position.
+// Options and catalogs are construction parameters; the rebuilt tuner
+// must have been created with identical Options.
+type State struct {
+	RNG        prng.State           `json:"rng"`
+	Store      tuner.StoreState     `json:"store"`
+	MeanSums   map[string][]float64 `json:"mean_sums,omitempty"`
+	MeanCounts map[string]int       `json:"mean_counts,omitempty"`
+	MeanOrder  []string             `json:"mean_order,omitempty"`
+
+	// Fit cache: FitModel is gp.Regressor.MarshalBinary output, empty
+	// when no model was cached at snapshot time.
+	FitKey      string         `json:"fit_key,omitempty"`
+	FitYmax     float64        `json:"fit_ymax,omitempty"`
+	FitModel    []byte         `json:"fit_model,omitempty"`
+	FitTraining []tuner.Sample `json:"fit_training,omitempty"`
+}
+
+// CheckpointState captures the tuner's mutable state.
+func (t *Tuner) CheckpointState() (State, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := State{
+		RNG:        t.rngSrc.State(),
+		Store:      t.store.CheckpointState(),
+		MeanSums:   make(map[string][]float64, len(t.meanSums)),
+		MeanCounts: make(map[string]int, len(t.meanCounts)),
+		MeanOrder:  append([]string(nil), t.meanOrder...),
+	}
+	for id, sum := range t.meanSums {
+		st.MeanSums[id] = append([]float64(nil), sum...)
+	}
+	for id, n := range t.meanCounts {
+		st.MeanCounts[id] = n
+	}
+	if c := &t.fitCache; c.model != nil {
+		blob, err := c.model.MarshalBinary()
+		if err != nil {
+			return State{}, fmt.Errorf("bo: fit-cache model: %w", err)
+		}
+		st.FitKey = c.key
+		st.FitYmax = c.ymax
+		st.FitModel = blob
+		st.FitTraining = append([]tuner.Sample(nil), c.training...)
+	}
+	return st, nil
+}
+
+// RestoreCheckpointState overwrites the tuner's mutable state. The tuner
+// must have been constructed with the same Options as the one that
+// produced the snapshot.
+func (t *Tuner) RestoreCheckpointState(st State) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var cache fitCacheEntry
+	if len(st.FitModel) > 0 {
+		// Kernel dimension and noise are overwritten by UnmarshalBinary;
+		// the placeholder regressor just provides the receiver.
+		model := gp.NewRegressor(gp.NewSEARD(1, 0.35, 1.0), 1e-3)
+		if err := model.UnmarshalBinary(st.FitModel); err != nil {
+			return fmt.Errorf("bo: fit-cache model: %w", err)
+		}
+		cache = fitCacheEntry{
+			key:      st.FitKey,
+			ymax:     st.FitYmax,
+			model:    model,
+			training: append([]tuner.Sample(nil), st.FitTraining...),
+		}
+	}
+	t.store.RestoreCheckpointState(st.Store)
+	t.rngSrc.Restore(st.RNG)
+	t.meanSums = make(map[string][]float64, len(st.MeanSums))
+	for id, sum := range st.MeanSums {
+		t.meanSums[id] = append([]float64(nil), sum...)
+	}
+	t.meanCounts = make(map[string]int, len(st.MeanCounts))
+	for id, n := range st.MeanCounts {
+		t.meanCounts[id] = n
+	}
+	t.meanOrder = append([]string(nil), st.MeanOrder...)
+	t.fitCache = cache
+	t.trainingSamples.Set(float64(t.store.Len()))
+	return nil
+}

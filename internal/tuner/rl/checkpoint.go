@@ -1,0 +1,140 @@
+package rl
+
+import (
+	"fmt"
+
+	"autodbaas/internal/nn"
+	"autodbaas/internal/prng"
+)
+
+// Transition is the exported form of one replay-buffer entry.
+type Transition struct {
+	State  []float64 `json:"state"`
+	Action []float64 `json:"action"`
+	Reward float64   `json:"reward"`
+	Next   []float64 `json:"next"`
+}
+
+// EpisodeState is the exported per-instance episode memory.
+type EpisodeState struct {
+	State     []float64 `json:"state"`
+	Action    []float64 `json:"action"`
+	Objective float64   `json:"objective"`
+	Valid     bool      `json:"valid"`
+}
+
+// State is the RL tuner's serializable mutable state: all four network
+// parameter sets (including Adam moments and step counters), the replay
+// ring, the per-instance episode memory, and the RNG stream position.
+// Options, catalogs and network shapes are construction parameters; the
+// rebuilt tuner must have been created with identical Options.
+type State struct {
+	RNG          prng.State              `json:"rng"`
+	Actor        nn.NetworkState         `json:"actor"`
+	ActorTarget  nn.NetworkState         `json:"actor_target"`
+	Critic       nn.NetworkState         `json:"critic"`
+	CriticTarget nn.NetworkState         `json:"critic_target"`
+	Replay       []Transition            `json:"replay,omitempty"`
+	Next         int                     `json:"next"`
+	Full         bool                    `json:"full"`
+	Episodes     map[string]EpisodeState `json:"episodes,omitempty"`
+	Observed     int                     `json:"observed"`
+	Trained      int                     `json:"trained"`
+}
+
+func copyVec(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// CheckpointState captures the tuner's mutable state.
+func (t *Tuner) CheckpointState() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := State{
+		RNG:          t.rngSrc.State(),
+		Actor:        t.actor.CheckpointState(),
+		ActorTarget:  t.actorTarget.CheckpointState(),
+		Critic:       t.critic.CheckpointState(),
+		CriticTarget: t.criticTarget.CheckpointState(),
+		Next:         t.next,
+		Full:         t.full,
+		Observed:     t.observed,
+		Trained:      t.trained,
+	}
+	if len(t.replay) > 0 {
+		st.Replay = make([]Transition, len(t.replay))
+		for i, tr := range t.replay {
+			st.Replay[i] = Transition{
+				State:  copyVec(tr.state),
+				Action: copyVec(tr.action),
+				Reward: tr.reward,
+				Next:   copyVec(tr.next),
+			}
+		}
+	}
+	if len(t.episodes) > 0 {
+		st.Episodes = make(map[string]EpisodeState, len(t.episodes))
+		for k, ep := range t.episodes {
+			st.Episodes[k] = EpisodeState{
+				State:     copyVec(ep.state),
+				Action:    copyVec(ep.action),
+				Objective: ep.objective,
+				Valid:     ep.valid,
+			}
+		}
+	}
+	return st
+}
+
+// RestoreCheckpointState overwrites the tuner's mutable state. The tuner
+// must have been constructed with the same Options as the one that
+// produced the snapshot (network shapes and replay capacity must match).
+func (t *Tuner) RestoreCheckpointState(st State) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(st.Replay) > t.opts.ReplayCap {
+		return fmt.Errorf("rl: snapshot replay holds %d transitions, capacity is %d", len(st.Replay), t.opts.ReplayCap)
+	}
+	if err := t.actor.RestoreCheckpointState(st.Actor); err != nil {
+		return fmt.Errorf("rl: actor: %w", err)
+	}
+	if err := t.actorTarget.RestoreCheckpointState(st.ActorTarget); err != nil {
+		return fmt.Errorf("rl: actor target: %w", err)
+	}
+	if err := t.critic.RestoreCheckpointState(st.Critic); err != nil {
+		return fmt.Errorf("rl: critic: %w", err)
+	}
+	if err := t.criticTarget.RestoreCheckpointState(st.CriticTarget); err != nil {
+		return fmt.Errorf("rl: critic target: %w", err)
+	}
+	t.rngSrc.Restore(st.RNG)
+	t.replay = make([]transition, 0, t.opts.ReplayCap)
+	for _, tr := range st.Replay {
+		t.replay = append(t.replay, transition{
+			state:  copyVec(tr.State),
+			action: copyVec(tr.Action),
+			reward: tr.Reward,
+			next:   copyVec(tr.Next),
+		})
+	}
+	t.next = st.Next
+	t.full = st.Full
+	t.episodes = make(map[string]*episode, len(st.Episodes))
+	for k, ep := range st.Episodes {
+		t.episodes[k] = &episode{
+			state:     copyVec(ep.State),
+			action:    copyVec(ep.Action),
+			objective: ep.Objective,
+			valid:     ep.Valid,
+		}
+	}
+	t.observed = st.Observed
+	t.trained = st.Trained
+	t.replaySize.Set(float64(len(t.replay)))
+	return nil
+}

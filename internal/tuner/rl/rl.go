@@ -17,6 +17,7 @@ import (
 	"autodbaas/internal/metrics"
 	"autodbaas/internal/nn"
 	"autodbaas/internal/obs"
+	"autodbaas/internal/prng"
 	"autodbaas/internal/tuner"
 )
 
@@ -68,10 +69,11 @@ type transition struct {
 type Tuner struct {
 	mu sync.Mutex
 
-	opts Options
-	kcat *knobs.Catalog
-	mcat *metrics.Catalog
-	rng  *rand.Rand
+	opts   Options
+	kcat   *knobs.Catalog
+	mcat   *metrics.Catalog
+	rng    *rand.Rand
+	rngSrc *prng.Source // counting source behind rng, for checkpointing
 
 	knobNames []string
 	stateDim  int
@@ -121,7 +123,7 @@ func New(opts Options) (*Tuner, error) {
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = 32
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng, rngSrc := prng.New(opts.Seed)
 	knobNames := kcat.TunableNames()
 	stateDim := mcat.Len()
 	actDim := len(knobNames)
@@ -159,6 +161,7 @@ func New(opts Options) (*Tuner, error) {
 		kcat:         kcat,
 		mcat:         mcat,
 		rng:          rng,
+		rngSrc:       rngSrc,
 		knobNames:    knobNames,
 		stateDim:     stateDim,
 		actor:        actor,

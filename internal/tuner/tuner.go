@@ -136,3 +136,35 @@ func (s *Store) Len() int {
 	}
 	return n
 }
+
+// StoreState is the serializable contents of a Store. Order preserves the
+// first-seen workload sequence, which Workloads and All expose.
+type StoreState struct {
+	Order   []string            `json:"order,omitempty"`
+	Samples map[string][]Sample `json:"samples,omitempty"`
+}
+
+// CheckpointState deep-copies the store contents.
+func (s *Store) CheckpointState() StoreState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := StoreState{
+		Order:   append([]string(nil), s.order...),
+		Samples: make(map[string][]Sample, len(s.samples)),
+	}
+	for id, v := range s.samples {
+		st.Samples[id] = append([]Sample(nil), v...)
+	}
+	return st
+}
+
+// RestoreCheckpointState overwrites the store contents.
+func (s *Store) RestoreCheckpointState(st StoreState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.order = append([]string(nil), st.Order...)
+	s.samples = make(map[string][]Sample, len(st.Samples))
+	for id, v := range st.Samples {
+		s.samples[id] = append([]Sample(nil), v...)
+	}
+}

@@ -35,6 +35,16 @@ func (s *Switch) Flipped() bool {
 	return s.flipped
 }
 
+// SetFlipped overwrites the shift bit — the checkpoint-restore hook for
+// workload-shift experiments. Generators are construction parameters
+// under the rebuild-then-restore contract; the Switch's one mutable bit
+// is the exception, restored with this setter.
+func (s *Switch) SetFlipped(v bool) {
+	s.mu.Lock()
+	s.flipped = v
+	s.mu.Unlock()
+}
+
 func (s *Switch) current() Generator {
 	s.mu.Lock()
 	defer s.mu.Unlock()
