@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"autodbaas/internal/faults"
+)
+
+// cliConfig is the parsed command line; validateFlags checks it as a
+// whole before anything is built, so incompatible combinations fail
+// fast with one clear error instead of surfacing mid-run.
+type cliConfig struct {
+	Fleet       int
+	Hours       int
+	Listen      string
+	Tuners      int
+	Periodic    bool
+	Seed        int64
+	Parallelism int
+
+	FaultsProfile string
+	FaultSeed     int64
+
+	CkptDir   string
+	CkptEvery int
+	Resume    bool
+
+	Serve bool
+	Tick  time.Duration
+}
+
+// validateFlags cross-checks the flag set. isSet reports whether the
+// named flag was explicitly provided (distinguishing a default from a
+// deliberate choice, so "-checkpoint-every 12" without a directory is
+// rejected while the bare default passes).
+func validateFlags(c cliConfig, isSet func(string) bool) error {
+	if c.Tuners < 1 {
+		return fmt.Errorf("-tuners must be at least 1 (got %d)", c.Tuners)
+	}
+	if c.Fleet < 0 {
+		return fmt.Errorf("-fleet cannot be negative (got %d)", c.Fleet)
+	}
+	if c.Serve {
+		if c.Hours < 0 {
+			return fmt.Errorf("-hours cannot be negative under -serve (got %d; 0 runs until interrupted)", c.Hours)
+		}
+	} else if c.Hours <= 0 {
+		return fmt.Errorf("-hours must be positive (got %d)", c.Hours)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("-parallelism cannot be negative (got %d)", c.Parallelism)
+	}
+
+	if c.Resume && c.CkptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint-dir: there is no snapshot directory to restore from")
+	}
+	if isSet("checkpoint-every") && c.CkptDir == "" {
+		return fmt.Errorf("-checkpoint-every needs -checkpoint-dir: snapshots have nowhere to go")
+	}
+	if c.CkptDir != "" && c.CkptEvery <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive with -checkpoint-dir (got %d)", c.CkptEvery)
+	}
+
+	if isSet("fault-seed") && c.FaultsProfile == "" {
+		return fmt.Errorf("-fault-seed needs -faults: no injection profile is enabled")
+	}
+	if c.FaultsProfile != "" {
+		if _, err := faults.ParseProfile(c.FaultsProfile); err != nil {
+			return err
+		}
+	}
+
+	if c.Serve && c.Periodic {
+		return fmt.Errorf("-periodic conflicts with -serve: under -serve the tuning mode comes from each database's blueprint")
+	}
+	if isSet("tick") && !c.Serve {
+		return fmt.Errorf("-tick needs -serve: the fixed-fleet mode runs virtual time flat out")
+	}
+	if c.Tick < 0 {
+		return fmt.Errorf("-tick cannot be negative (got %s)", c.Tick)
+	}
+	return nil
+}

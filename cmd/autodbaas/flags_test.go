@@ -1,0 +1,137 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// defaults mirrors the flag defaults main registers.
+func defaults() cliConfig {
+	return cliConfig{
+		Fleet: 8, Hours: 24, Listen: "127.0.0.1:8080", Tuners: 3,
+		Seed: 1, CkptEvery: 12,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*cliConfig)
+		set     []string // flags explicitly provided
+		wantErr string   // substring; empty means valid
+	}{
+		{name: "defaults", mutate: func(c *cliConfig) {}},
+		{
+			name:    "resume without checkpoint dir",
+			mutate:  func(c *cliConfig) { c.Resume = true },
+			set:     []string{"resume"},
+			wantErr: "-resume needs -checkpoint-dir",
+		},
+		{
+			name:   "resume with checkpoint dir",
+			mutate: func(c *cliConfig) { c.Resume = true; c.CkptDir = "/tmp/ckpt" },
+			set:    []string{"resume", "checkpoint-dir"},
+		},
+		{
+			name:    "checkpoint-every without dir",
+			mutate:  func(c *cliConfig) { c.CkptEvery = 6 },
+			set:     []string{"checkpoint-every"},
+			wantErr: "-checkpoint-every needs -checkpoint-dir",
+		},
+		{
+			name:   "default checkpoint-every without dir is fine",
+			mutate: func(c *cliConfig) {},
+			set:    []string{},
+		},
+		{
+			name:    "non-positive checkpoint cadence",
+			mutate:  func(c *cliConfig) { c.CkptDir = "/tmp/ckpt"; c.CkptEvery = 0 },
+			set:     []string{"checkpoint-dir", "checkpoint-every"},
+			wantErr: "-checkpoint-every must be positive",
+		},
+		{
+			name:    "fault seed without profile",
+			mutate:  func(c *cliConfig) { c.FaultSeed = 9 },
+			set:     []string{"fault-seed"},
+			wantErr: "-fault-seed needs -faults",
+		},
+		{
+			name:   "fault seed with profile",
+			mutate: func(c *cliConfig) { c.FaultSeed = 9; c.FaultsProfile = "medium" },
+			set:    []string{"fault-seed", "faults"},
+		},
+		{
+			name:    "unknown fault profile",
+			mutate:  func(c *cliConfig) { c.FaultsProfile = "catastrophic" },
+			set:     []string{"faults"},
+			wantErr: "unknown profile",
+		},
+		{
+			name:    "serve with periodic",
+			mutate:  func(c *cliConfig) { c.Serve = true; c.Periodic = true },
+			set:     []string{"serve", "periodic"},
+			wantErr: "-periodic conflicts with -serve",
+		},
+		{
+			name:    "tick without serve",
+			mutate:  func(c *cliConfig) { c.Tick = time.Second },
+			set:     []string{"tick"},
+			wantErr: "-tick needs -serve",
+		},
+		{
+			name:   "tick with serve",
+			mutate: func(c *cliConfig) { c.Serve = true; c.Tick = time.Second },
+			set:    []string{"serve", "tick"},
+		},
+		{
+			name:    "zero tuners",
+			mutate:  func(c *cliConfig) { c.Tuners = 0 },
+			set:     []string{"tuners"},
+			wantErr: "-tuners must be at least 1",
+		},
+		{
+			name:    "negative fleet",
+			mutate:  func(c *cliConfig) { c.Fleet = -1 },
+			set:     []string{"fleet"},
+			wantErr: "-fleet cannot be negative",
+		},
+		{
+			name:    "zero hours in fixed mode",
+			mutate:  func(c *cliConfig) { c.Hours = 0 },
+			set:     []string{"hours"},
+			wantErr: "-hours must be positive",
+		},
+		{
+			name:   "zero hours under serve runs forever",
+			mutate: func(c *cliConfig) { c.Serve = true; c.Hours = 0 },
+			set:    []string{"serve", "hours"},
+		},
+		{
+			name:    "negative parallelism",
+			mutate:  func(c *cliConfig) { c.Parallelism = -2 },
+			set:     []string{"parallelism"},
+			wantErr: "-parallelism cannot be negative",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := defaults()
+			tc.mutate(&c)
+			explicit := map[string]bool{}
+			for _, n := range tc.set {
+				explicit[n] = true
+			}
+			err := validateFlags(c, func(name string) bool { return explicit[name] })
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

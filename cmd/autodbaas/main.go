@@ -26,18 +26,15 @@ import (
 	"autodbaas/internal/agent"
 	"autodbaas/internal/cluster"
 	"autodbaas/internal/core"
-	"autodbaas/internal/faults"
 	"autodbaas/internal/httpapi"
 	"autodbaas/internal/knobs"
-	"autodbaas/internal/tuner"
-	"autodbaas/internal/tuner/bo"
 	"autodbaas/internal/workload"
 )
 
 func main() {
-	fleet := flag.Int("fleet", 8, "number of database service instances")
-	hours := flag.Int("hours", 24, "simulated hours to run")
-	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address (director + repository)")
+	fleetN := flag.Int("fleet", 8, "number of database service instances (under -serve: bootstrap databases; 0 starts empty)")
+	hours := flag.Int("hours", 24, "simulated hours to run (under -serve: 0 runs until interrupted)")
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address (director + repository; under -serve also the tenant API)")
 	tuners := flag.Int("tuners", 3, "tuner instances behind the director")
 	periodic := flag.Bool("periodic", false, "use the periodic baseline instead of TDE-driven requests")
 	seed := flag.Int64("seed", 1, "PRNG seed")
@@ -47,35 +44,46 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for fleet snapshots (empty: checkpointing disabled)")
 	ckptEvery := flag.Int("checkpoint-every", 12, "auto-checkpoint every N windows (needs -checkpoint-dir)")
 	resume := flag.Bool("resume", false, "restore -checkpoint-dir/latest.ckpt before simulating; all other flags must match the run that wrote it")
+	serve := flag.Bool("serve", false, "run the elastic multi-tenant fleet service with its REST control plane instead of a fixed fleet")
+	tick := flag.Duration("tick", 0, "wall-clock pause between virtual windows under -serve (0: flat out)")
 	flag.Parse()
 
-	if err := run(*fleet, *hours, *listen, *tuners, *periodic, *seed, *parallelism, *faultsProfile, *faultSeed, *ckptDir, *ckptEvery, *resume); err != nil {
+	cfg := cliConfig{
+		Fleet: *fleetN, Hours: *hours, Listen: *listen, Tuners: *tuners,
+		Periodic: *periodic, Seed: *seed, Parallelism: *parallelism,
+		FaultsProfile: *faultsProfile, FaultSeed: *faultSeed,
+		CkptDir: *ckptDir, CkptEvery: *ckptEvery, Resume: *resume,
+		Serve: *serve, Tick: *tick,
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateFlags(cfg, func(name string) bool { return explicit[name] }); err != nil {
+		fmt.Fprintf(os.Stderr, "autodbaas: %v\n", err)
+		os.Exit(2)
+	}
+
+	runMode := run
+	if cfg.Serve {
+		runMode = runServe
+	}
+	if err := runMode(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "autodbaas: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed int64, parallelism int, faultsProfile string, faultSeed int64, ckptDir string, ckptEvery int, resume bool) error {
-	tuners := make([]tuner.Tuner, 0, tunerCount)
-	for i := 0; i < tunerCount; i++ {
-		t, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 200, MaxSamplesPerFit: 150, UCBBeta: 0.5, Seed: seed + int64(i)})
-		if err != nil {
-			return err
-		}
-		tuners = append(tuners, t)
+func run(c cliConfig) error {
+	fleet, hours, listen, ckptDir, ckptEvery := c.Fleet, c.Hours, c.Listen, c.CkptDir, c.CkptEvery
+	seed, periodic, resume := c.Seed, c.Periodic, c.Resume
+	tuners, err := buildTuners(c.Tuners, seed)
+	if err != nil {
+		return err
 	}
-	var injector *faults.Injector
-	if faultsProfile != "" {
-		prof, err := faults.ParseProfile(faultsProfile)
-		if err != nil {
-			return err
-		}
-		if faultSeed == 0 {
-			faultSeed = seed
-		}
-		injector = faults.New(faultSeed, prof)
+	injector, err := buildInjector(c.FaultsProfile, c.FaultSeed, seed)
+	if err != nil {
+		return err
 	}
-	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: parallelism, Faults: injector}, tuners...)
+	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: c.Parallelism, Faults: injector}, tuners...)
 	if err != nil {
 		return err
 	}
@@ -113,9 +121,6 @@ func run(fleet, hours int, listen string, tunerCount int, periodic bool, seed in
 	// the system rebuilt above from the same flags that wrote the
 	// snapshot (the codec rejects a mismatched topology).
 	if resume {
-		if ckptDir == "" {
-			return fmt.Errorf("-resume needs -checkpoint-dir")
-		}
 		if err := sys.RestoreLatest(ckptDir); err != nil {
 			return fmt.Errorf("resume: %w", err)
 		}

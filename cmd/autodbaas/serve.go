@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"autodbaas/internal/faults"
+	"autodbaas/internal/fleet"
+	"autodbaas/internal/httpapi"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tenant"
+	"autodbaas/internal/tuner"
+	"autodbaas/internal/tuner/bo"
+)
+
+// buildTuners constructs the shared BO tuner fleet.
+func buildTuners(n int, seed int64) ([]tuner.Tuner, error) {
+	tuners := make([]tuner.Tuner, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 200, MaxSamplesPerFit: 150, UCBBeta: 0.5, Seed: seed + int64(i)})
+		if err != nil {
+			return nil, err
+		}
+		tuners = append(tuners, t)
+	}
+	return tuners, nil
+}
+
+// buildInjector constructs the fault injector, or nil with no profile.
+func buildInjector(profile string, faultSeed, seed int64) (*faults.Injector, error) {
+	if profile == "" {
+		return nil, nil
+	}
+	prof, err := faults.ParseProfile(profile)
+	if err != nil {
+		return nil, err
+	}
+	if faultSeed == 0 {
+		faultSeed = seed
+	}
+	return faults.New(faultSeed, prof), nil
+}
+
+// seedBlueprints are the postgres templates the -fleet bootstrap cycles
+// through (the shared tuners are postgres-trained).
+var seedBlueprints = []string{"pg-oltp-small", "pg-web", "pg-production"}
+
+// seedFleet declares -fleet databases across as many "default-NN"
+// tenants as the standard tier's quota requires; the first reconcile
+// tick provisions them all.
+func seedFleet(svc *fleet.Service, n int) error {
+	perTenant := tenant.DefaultTiers()["standard"].MaxInstances
+	for i := 0; i < n; i++ {
+		tid := fmt.Sprintf("default-%02d", i/perTenant)
+		if i%perTenant == 0 {
+			if err := svc.CreateTenant(tenant.Tenant{ID: tid, Name: "bootstrap fleet", Tier: "standard"}); err != nil {
+				return err
+			}
+		}
+		spec := fleet.DatabaseSpec{ID: fmt.Sprintf("db-%03d", i), Blueprint: seedBlueprints[i%len(seedBlueprints)]}
+		if err := svc.CreateDatabase(tid, spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runServe is the -serve mode: an elastic fleet service driven over the
+// REST control plane while virtual time ticks underneath. The fleet
+// starts with -fleet bootstrap databases (0 for an empty service) and
+// grows, resizes and shrinks purely through the HTTP API.
+func runServe(c cliConfig) error {
+	tuners, err := buildTuners(c.Tuners, c.Seed)
+	if err != nil {
+		return err
+	}
+	injector, err := buildInjector(c.FaultsProfile, c.FaultSeed, c.Seed)
+	if err != nil {
+		return err
+	}
+	svc, err := fleet.New(fleet.Config{
+		Seed:        c.Seed,
+		Parallelism: c.Parallelism,
+		Faults:      injector,
+		Tuners:      tuners,
+	})
+	if err != nil {
+		return err
+	}
+	sys := svc.System()
+
+	if c.Resume {
+		if err := svc.RestoreLatest(c.CkptDir); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		fmt.Printf("resumed from %s at window %d (%d instances, %d tenants)\n",
+			c.CkptDir, sys.Windows(), svc.Summary().Instances, svc.Summary().Tenants)
+	} else if c.Fleet > 0 {
+		if err := seedFleet(svc, c.Fleet); err != nil {
+			return err
+		}
+	}
+	if c.CkptDir != "" {
+		svc.SetAutoCheckpoint(c.CkptDir, c.CkptEvery)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", httpapi.NewFleetServer(svc))
+	mux.Handle("/director/", http.StripPrefix("/director", httpapi.NewDirectorServer(sys.Director)))
+	mux.Handle("/repository/", http.StripPrefix("/repository", httpapi.NewRepositoryServer(sys.Repository)))
+	if c.CkptDir != "" {
+		ckptSrv := httpapi.NewCheckpointServer(sys, c.CkptDir)
+		mux.Handle("/v1/checkpoint", ckptSrv)
+		mux.Handle("/v1/checkpoint/latest", ckptSrv)
+	}
+	obsHandler := httpapi.NewObsHandler(nil, nil)
+	mux.Handle("/metrics", obsHandler)
+	mux.Handle("/metrics.json", obsHandler)
+	mux.Handle("/debug/", obsHandler)
+
+	l, err := net.Listen("tcp", c.Listen)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		if err := httpapi.Serve(ctx, l, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "autodbaas: http: %v\n", err)
+		}
+	}()
+	fmt.Printf("fleet service on http://%s  (POST/GET/DELETE /v1/tenants, /v1/fleet, /v1/tiers, /v1/blueprints, /metrics)\n", l.Addr())
+	if injector != nil {
+		fmt.Printf("fault injection: profile=%s seed=%d\n", injector.Profile().Name, injector.Seed())
+	}
+	if c.Hours > 0 {
+		fmt.Printf("serving for %d virtual hours (parallelism %d)\n", c.Hours, sys.Parallelism())
+	} else {
+		fmt.Printf("serving until interrupted (parallelism %d)\n", sys.Parallelism())
+	}
+
+	for {
+		w := sys.Windows()
+		if c.Hours > 0 && w >= c.Hours*12 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println("interrupted")
+			return nil
+		default:
+		}
+		if _, err := svc.Step(5 * time.Minute); err != nil {
+			return err
+		}
+		if (w+1)%12 == 0 {
+			sum := svc.Summary()
+			fmt.Printf("hour %02d: tenants=%d instances=%d provisions=%d deprovisions=%d resizes=%d samples=%d\n",
+				(w+1)/12-1, sum.Tenants, sum.Instances, sum.Provisions, sum.Deprovisions, sum.Resizes, sys.Repository.Len())
+		}
+		if c.Tick > 0 {
+			select {
+			case <-ctx.Done():
+				fmt.Println("interrupted")
+				return nil
+			case <-time.After(c.Tick):
+			}
+		}
+	}
+	fmt.Println("virtual hours exhausted; ctrl-c to stop the HTTP endpoints")
+	<-ctx.Done()
+	return nil
+}

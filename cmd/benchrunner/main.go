@@ -102,6 +102,7 @@ func main() {
 		{"checkpoint", "BENCH_checkpoint.json", func() string {
 			return runCheckpointBench(q, *seed, *parallelism, *ckptDir, *ckptEvery, *resume)
 		}},
+		{"fleet", "BENCH_fleet.json", func() string { return runFleetScaling(q, *seed, *parallelism) }},
 		{"ablations", "ablations.txt", func() string {
 			out := experiments.AblationEntropyFilter([]int{2, 4, 8, 16, 64}, scale(30, 10), *seed).Render()
 			out += "\n" + experiments.AblationWorkloadMapping(*seed).Render()

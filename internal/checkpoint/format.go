@@ -63,24 +63,41 @@ type SectionMeta struct {
 }
 
 // InstanceMeta pins one fleet member's topology so a snapshot cannot be
-// restored into a differently-built System.
+// restored into a differently-built System. Gen is the membership
+// generation at which the member last (re-)joined the fleet — it tells
+// a pre-resize cohort apart from a post-resize one even when the plan
+// happens to match.
 type InstanceMeta struct {
 	ID     string `json:"id"`
 	Engine string `json:"engine"`
 	Plan   string `json:"plan"`
 	Slaves int    `json:"slaves"`
+	Gen    int    `json:"gen,omitempty"`
 }
 
 // Manifest is the snapshot's self-description, serialized as the first
-// section of the container.
+// section of the container. Generation is the fleet membership
+// generation at snapshot time; Instances is the cohort alive at the
+// snapshot's window, in onboarding order.
 type Manifest struct {
 	FormatVersion int            `json:"format_version"`
 	Window        int            `json:"window"`
+	Generation    int            `json:"generation,omitempty"`
 	Parallelism   int            `json:"parallelism"`
 	Tuners        []string       `json:"tuners,omitempty"`
 	Instances     []InstanceMeta `json:"instances,omitempty"`
 	HasFaults     bool           `json:"has_faults"`
 	Sections      []SectionMeta  `json:"sections,omitempty"`
+}
+
+// Cohort returns the instance IDs the snapshot was taken over, in
+// onboarding order.
+func (m Manifest) Cohort() []string {
+	out := make([]string, 0, len(m.Instances))
+	for _, im := range m.Instances {
+		out = append(out, im.ID)
+	}
+	return out
 }
 
 // section is one named payload staged for writing.
@@ -196,6 +213,15 @@ func readSection(r io.Reader, ctx string) (name string, payload []byte, err erro
 		return name, nil, fmt.Errorf("%w: section %q (stored %08x, computed %08x)", ErrChecksum, name, want, got)
 	}
 	return name, payload, nil
+}
+
+// Inspect reads and verifies a whole snapshot container — manifest,
+// section list, lengths and checksums — without restoring anything. The
+// elastic fleet service uses it to learn the cohort a snapshot was
+// taken over (and to recover its own control-plane section) before it
+// rebuilds that cohort and performs the actual Read.
+func Inspect(r io.Reader) (Manifest, map[string][]byte, error) {
+	return readContainer(r)
 }
 
 // readContainer reads the header and manifest, then every section the

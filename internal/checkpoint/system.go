@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,11 +25,25 @@ import (
 
 // FleetMember is one instance's slice of the System handed to the codec:
 // the tuning agent (which reaches the cluster instance, replica set and
-// TDE) and its external monitoring agent.
+// TDE) and its external monitoring agent. Gen is the membership
+// generation at which the member last (re-)joined.
 type FleetMember struct {
 	ID      string
+	Gen     int
 	Agent   *agent.Agent
 	Monitor *monitor.Agent
+}
+
+// Extra is one auxiliary snapshot section contributed by a subsystem
+// layered on top of core.System (the elastic fleet service's desired
+// state, for example). Save is called at Write time; Restore, when
+// non-nil, is called at Read time with the section payload. Extras ride
+// in the same container as "extra/<name>" sections, CRC-verified like
+// everything else.
+type Extra struct {
+	Name    string
+	Save    func() ([]byte, error)
+	Restore func([]byte) error
 }
 
 // System is the full set of subsystem handles the codec serializes. The
@@ -37,6 +52,7 @@ type FleetMember struct {
 // surface auditable in one place.
 type System struct {
 	Window      int
+	Generation  int
 	Parallelism int
 
 	Orchestrator *orchestrator.Orchestrator
@@ -46,6 +62,7 @@ type System struct {
 	Tuners       []tuner.Tuner
 	Faults       *faults.Injector
 	Fleet        []FleetMember
+	Extras       []Extra
 }
 
 // Section names. Per-instance sections are "instance/<id>".
@@ -58,6 +75,7 @@ const (
 	secFaults       = "faults"
 	secTuners       = "tuners"
 	secInstPrefix   = "instance/"
+	secExtraPrefix  = "extra/"
 )
 
 // tunerBlob is one tuner's snapshot inside the "tuners" section.
@@ -167,7 +185,45 @@ func instanceMeta(fm FleetMember) InstanceMeta {
 		Engine: string(inst.Engine),
 		Plan:   inst.Plan.Name,
 		Slaves: len(inst.Replica.Slaves()),
+		Gen:    fm.Gen,
 	}
+}
+
+// cohortDiff renders the difference between the snapshot's cohort and
+// the rebuilt system's, naming the instance IDs on each side of the
+// mismatch — "snapshot has 4 instances, system has 3" tells an operator
+// nothing once cohorts are dynamic; "missing db-02" does.
+func cohortDiff(snapshot []InstanceMeta, system []FleetMember) string {
+	snapIDs := make(map[string]bool, len(snapshot))
+	for _, im := range snapshot {
+		snapIDs[im.ID] = true
+	}
+	sysIDs := make(map[string]bool, len(system))
+	for _, fm := range system {
+		sysIDs[fm.ID] = true
+	}
+	var missing, extra []string // relative to the rebuilt system
+	for _, im := range snapshot {
+		if !sysIDs[im.ID] {
+			missing = append(missing, im.ID)
+		}
+	}
+	for _, fm := range system {
+		if !snapIDs[fm.ID] {
+			extra = append(extra, fm.ID)
+		}
+	}
+	var parts []string
+	if len(missing) > 0 {
+		parts = append(parts, fmt.Sprintf("snapshot expects [%s] which the system lacks", strings.Join(missing, " ")))
+	}
+	if len(extra) > 0 {
+		parts = append(parts, fmt.Sprintf("system has [%s] which the snapshot lacks", strings.Join(extra, " ")))
+	}
+	if len(parts) == 0 {
+		return "same IDs in a different order"
+	}
+	return strings.Join(parts, "; ")
 }
 
 // Write serializes the System into w. The repository fan-out queue must
@@ -225,8 +281,17 @@ func Write(w io.Writer, sys System) error {
 		return err
 	}
 
+	for _, ex := range sys.Extras {
+		raw, err := ex.Save()
+		if err != nil {
+			return fmt.Errorf("checkpoint: extra section %q: %w", ex.Name, err)
+		}
+		add(secExtraPrefix+ex.Name, raw)
+	}
+
 	man := Manifest{
 		Window:      sys.Window,
+		Generation:  sys.Generation,
 		Parallelism: sys.Parallelism,
 		HasFaults:   sys.Faults != nil,
 	}
@@ -261,11 +326,14 @@ func Write(w io.Writer, sys System) error {
 
 // Read restores a snapshot into sys, which must be a freshly rebuilt
 // System with the same construction parameters (specs, seeds, tuner
-// fleet, fault profile) as the one that wrote it. It returns the window
-// index the snapshot was taken at. Any validation or decoding failure
-// leaves an error naming the offending section; partial application is
+// fleet, fault profile) as the one that wrote it — for a dynamic fleet,
+// "the same" means the cohort alive at the snapshot's window, which
+// Inspect reports. It returns the snapshot's manifest (window index,
+// membership generation, cohort). Any validation or decoding failure
+// leaves an error naming the offending section — and, for topology
+// mismatches, the differing instance IDs; partial application is
 // avoided by validating topology before mutating anything.
-func Read(r io.Reader, sys System) (window int, err error) {
+func Read(r io.Reader, sys System) (man Manifest, err error) {
 	ckptMetrics()
 	defer func() {
 		if err != nil {
@@ -277,32 +345,41 @@ func Read(r io.Reader, sys System) (window int, err error) {
 
 	man, sections, err := readContainer(r)
 	if err != nil {
-		return 0, err
+		return man, err
 	}
 
 	// Validate the rebuild against the manifest before touching state.
 	if len(man.Tuners) != len(sys.Tuners) {
-		return 0, fmt.Errorf("%w: snapshot has %d tuners, system has %d", ErrManifest, len(man.Tuners), len(sys.Tuners))
+		return man, fmt.Errorf("%w: snapshot has %d tuners, system has %d", ErrManifest, len(man.Tuners), len(sys.Tuners))
 	}
 	for i, name := range man.Tuners {
 		if got := sys.Tuners[i].Name(); got != name {
-			return 0, fmt.Errorf("%w: tuner %d is %q, snapshot holds %q", ErrManifest, i, got, name)
+			return man, fmt.Errorf("%w: tuner %d is %q, snapshot holds %q", ErrManifest, i, got, name)
 		}
 	}
 	if len(man.Instances) != len(sys.Fleet) {
-		return 0, fmt.Errorf("%w: snapshot has %d instances, system has %d", ErrManifest, len(man.Instances), len(sys.Fleet))
+		return man, fmt.Errorf("%w: snapshot cohort has %d instances, system has %d (%s)",
+			ErrManifest, len(man.Instances), len(sys.Fleet), cohortDiff(man.Instances, sys.Fleet))
 	}
 	for i, im := range man.Instances {
 		got := instanceMeta(sys.Fleet[i])
+		if got.ID != im.ID {
+			return man, fmt.Errorf("%w: cohort position %d is %q, snapshot holds %q (%s)",
+				ErrManifest, i, got.ID, im.ID, cohortDiff(man.Instances, sys.Fleet))
+		}
+		// Gen is restored state, not a construction parameter: a rebuilt
+		// cohort joins at generations 1..n regardless of the churn history
+		// behind the snapshot's numbering, and Restore overwrites it.
+		got.Gen = im.Gen
 		if got != im {
-			return 0, fmt.Errorf("%w: instance %d is %+v, snapshot holds %+v", ErrManifest, i, got, im)
+			return man, fmt.Errorf("%w: instance %q is %+v, snapshot holds %+v", ErrManifest, im.ID, got, im)
 		}
 	}
 	if man.HasFaults != (sys.Faults != nil) {
-		return 0, fmt.Errorf("%w: snapshot fault injection = %v, system = %v", ErrManifest, man.HasFaults, sys.Faults != nil)
+		return man, fmt.Errorf("%w: snapshot fault injection = %v, system = %v", ErrManifest, man.HasFaults, sys.Faults != nil)
 	}
 	if sys.Repository.Len() != 0 {
-		return 0, fmt.Errorf("checkpoint: restore into a non-empty repository (%d samples); rebuild the system first", sys.Repository.Len())
+		return man, fmt.Errorf("checkpoint: restore into a non-empty repository (%d samples); rebuild the system first", sys.Repository.Len())
 	}
 
 	need := func(name string) ([]byte, error) {
@@ -325,55 +402,55 @@ func Read(r io.Reader, sys System) (window int, err error) {
 
 	storeRaw, err := need(secRepoStore)
 	if err != nil {
-		return 0, err
+		return man, err
 	}
 	if _, err := sys.Repository.LoadQuiet(bytes.NewReader(storeRaw)); err != nil {
-		return 0, fmt.Errorf("checkpoint: section %q: %w", secRepoStore, err)
+		return man, fmt.Errorf("checkpoint: section %q: %w", secRepoStore, err)
 	}
 	var fanout repository.State
 	if err := decode(secRepoFanout, &fanout); err != nil {
-		return 0, err
+		return man, err
 	}
 	if err := sys.Repository.RestoreCheckpointState(fanout); err != nil {
-		return 0, fmt.Errorf("checkpoint: section %q: %w", secRepoFanout, err)
+		return man, fmt.Errorf("checkpoint: section %q: %w", secRepoFanout, err)
 	}
 	var orch orchestrator.State
 	if err := decode(secOrchestrator, &orch); err != nil {
-		return 0, err
+		return man, err
 	}
 	if err := sys.Orchestrator.RestoreCheckpointState(orch); err != nil {
-		return 0, fmt.Errorf("checkpoint: section %q: %w", secOrchestrator, err)
+		return man, fmt.Errorf("checkpoint: section %q: %w", secOrchestrator, err)
 	}
 	var dfaState dfa.State
 	if err := decode(secDFA, &dfaState); err != nil {
-		return 0, err
+		return man, err
 	}
 	sys.DFA.RestoreCheckpointState(dfaState)
 	var dirState director.State
 	if err := decode(secDirector, &dirState); err != nil {
-		return 0, err
+		return man, err
 	}
 	if err := sys.Director.RestoreCheckpointState(dirState); err != nil {
-		return 0, fmt.Errorf("checkpoint: section %q: %w", secDirector, err)
+		return man, fmt.Errorf("checkpoint: section %q: %w", secDirector, err)
 	}
 	var faultState faults.InjectorState
 	if err := decode(secFaults, &faultState); err != nil {
-		return 0, err
+		return man, err
 	}
 	if err := sys.Faults.RestoreCheckpointState(faultState); err != nil {
-		return 0, fmt.Errorf("checkpoint: section %q: %w", secFaults, err)
+		return man, fmt.Errorf("checkpoint: section %q: %w", secFaults, err)
 	}
 
 	var blobs []tunerBlob
 	if err := decode(secTuners, &blobs); err != nil {
-		return 0, err
+		return man, err
 	}
 	if len(blobs) != len(sys.Tuners) {
-		return 0, fmt.Errorf("%w: section %q holds %d tuners, system has %d", ErrManifest, secTuners, len(blobs), len(sys.Tuners))
+		return man, fmt.Errorf("%w: section %q holds %d tuners, system has %d", ErrManifest, secTuners, len(blobs), len(sys.Tuners))
 	}
 	for i, t := range sys.Tuners {
 		if err := restoreTuner(t, blobs[i]); err != nil {
-			return 0, err
+			return man, err
 		}
 	}
 
@@ -381,24 +458,42 @@ func Read(r io.Reader, sys System) (window int, err error) {
 		name := secInstPrefix + fm.ID
 		var payload instancePayload
 		if err := decode(name, &payload); err != nil {
-			return 0, err
+			return man, err
 		}
 		inst := fm.Agent.Instance()
 		nodes := append([]*simdb.Engine{inst.Replica.Master()}, inst.Replica.Slaves()...)
 		if len(payload.Nodes) != len(nodes) {
-			return 0, fmt.Errorf("%w: section %q holds %d nodes, instance has %d", ErrManifest, name, len(payload.Nodes), len(nodes))
+			return man, fmt.Errorf("%w: section %q holds %d nodes, instance has %d", ErrManifest, name, len(payload.Nodes), len(nodes))
 		}
 		for i, node := range nodes {
 			if err := node.RestoreCheckpointState(payload.Nodes[i]); err != nil {
-				return 0, fmt.Errorf("checkpoint: section %q node %d: %w", name, i, err)
+				return man, fmt.Errorf("checkpoint: section %q node %d: %w", name, i, err)
 			}
 		}
 		if err := fm.Agent.RestoreCheckpointState(payload.Agent); err != nil {
-			return 0, fmt.Errorf("checkpoint: section %q agent: %w", name, err)
+			return man, fmt.Errorf("checkpoint: section %q agent: %w", name, err)
 		}
 		if fm.Monitor != nil {
 			fm.Monitor.RestoreCheckpointState(payload.Monitor)
 		}
 	}
-	return man.Window, nil
+
+	// Extras restore last, after every standard subsystem is in place —
+	// a layered service (the fleet control plane) may read through to
+	// restored state from its Restore hook. A registered restorer with no
+	// matching section means the snapshot predates the subsystem: that is
+	// a manifest mismatch, not a silent default.
+	for _, ex := range sys.Extras {
+		if ex.Restore == nil {
+			continue
+		}
+		p, ok := sections[secExtraPrefix+ex.Name]
+		if !ok {
+			return man, fmt.Errorf("%w: extra section %q missing", ErrManifest, secExtraPrefix+ex.Name)
+		}
+		if err := ex.Restore(p); err != nil {
+			return man, fmt.Errorf("checkpoint: extra section %q: %w", secExtraPrefix+ex.Name, err)
+		}
+	}
+	return man, nil
 }

@@ -180,6 +180,25 @@ func (p *Provisioner) UpgradePlan(id string, dbSize float64, seed int64) (*Insta
 	if err != nil {
 		return nil, err
 	}
+	return p.Reprovision(id, next.Name, dbSize, seed)
+}
+
+// Reprovision moves an instance onto an explicit VM plan — up or down —
+// preserving its tunable configuration and replica topology. This is
+// the resize primitive of the elastic fleet service: the database
+// restarts cold on the new VM with its tuned knobs re-fitted to the new
+// plan's memory budget.
+func (p *Provisioner) Reprovision(id, plan string, dbSize float64, seed int64) (*Instance, error) {
+	p.mu.Lock()
+	inst, ok := p.instances[id]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: no instance %q", id)
+	}
+	next, err := TypeByName(plan)
+	if err != nil {
+		return nil, err
+	}
 	oldCfg := inst.Replica.Master().Config()
 	res := next.Resources()
 	res.SplitDisks = inst.Replica.Master().Resources().SplitDisks

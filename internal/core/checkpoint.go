@@ -25,6 +25,7 @@ func (s *System) codecView() checkpoint.System {
 	s.mu.Lock()
 	view := checkpoint.System{
 		Window:       s.windows,
+		Generation:   s.generation,
 		Parallelism:  s.parallelism,
 		Orchestrator: s.Orchestrator,
 		DFA:          s.DFA,
@@ -32,16 +33,36 @@ func (s *System) codecView() checkpoint.System {
 		Repository:   s.Repository,
 		Tuners:       s.Tuners,
 		Faults:       s.faults,
+		Extras:       append([]checkpoint.Extra(nil), s.ckptExtras...),
 	}
 	for _, id := range s.order {
 		view.Fleet = append(view.Fleet, checkpoint.FleetMember{
 			ID:      id,
+			Gen:     s.memberGens[id],
 			Agent:   s.agents[id],
 			Monitor: s.monitors[id],
 		})
 	}
 	s.mu.Unlock()
 	return view
+}
+
+// RegisterCheckpointExtra attaches an auxiliary snapshot section
+// ("extra/<name>") contributed by a subsystem layered on top of the
+// System — the fleet service's control-plane state, for example. save
+// runs on every Checkpoint; restore, when non-nil, runs at the end of
+// Restore with the section payload. Registering the same name again
+// replaces the previous hooks.
+func (s *System) RegisterCheckpointExtra(name string, save func() ([]byte, error), restore func([]byte) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, ex := range s.ckptExtras {
+		if ex.Name == name {
+			s.ckptExtras[i] = checkpoint.Extra{Name: name, Save: save, Restore: restore}
+			return
+		}
+	}
+	s.ckptExtras = append(s.ckptExtras, checkpoint.Extra{Name: name, Save: save, Restore: restore})
 }
 
 // Checkpoint serializes the system's entire mutable state into w. The
@@ -59,12 +80,16 @@ func (s *System) Checkpoint(w io.Writer) error {
 // resumes from the snapshot and stepping forward reproduces the
 // uninterrupted run bit-for-bit.
 func (s *System) Restore(r io.Reader) error {
-	window, err := checkpoint.Read(r, s.codecView())
+	man, err := checkpoint.Read(r, s.codecView())
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
-	s.windows = window
+	s.windows = man.Window
+	s.generation = man.Generation
+	for _, im := range man.Instances {
+		s.memberGens[im.ID] = im.Gen
+	}
 	s.mu.Unlock()
 	return nil
 }

@@ -369,6 +369,66 @@ func TestRestoreRejectsTopologyMismatch(t *testing.T) {
 	}
 }
 
+// TestTopologyMismatchNamesInstances: with dynamic cohorts a bare size
+// mismatch is useless to an operator — the error must name which
+// instance IDs differ between the snapshot and the rebuilt system.
+func TestTopologyMismatchNamesInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds fleets")
+	}
+	build := func(ids ...string) *System {
+		t.Helper()
+		tb, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 60, MaxSamplesPerFit: 60, UCBBeta: 0.5, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSystem(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			gen := workload.NewProduction()
+			if _, err := s.AddInstance(InstanceSpec{
+				Provision: cluster.ProvisionSpec{ID: id, Plan: "m4.large", Engine: knobs.Postgres, DBSizeBytes: gen.DBSizeBytes(), Seed: 100 + int64(i)},
+				Workload:  gen,
+				Agent:     agent.Options{TickEvery: 5 * time.Minute, GateSamples: true},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	var buf bytes.Buffer
+	if err := build("db-a", "db-b").Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	cases := []struct {
+		name string
+		sys  *System
+		want []string
+	}{
+		{"snapshot member absent", build("db-a"), []string{"db-b", "which the system lacks"}},
+		{"system member unknown to snapshot", build("db-a", "db-b", "db-c"), []string{"db-c", "which the snapshot lacks"}},
+		{"disjoint drift names both sides", build("db-a", "db-x"), []string{"db-b", "db-x"}},
+		{"same cohort, different onboarding order", build("db-b", "db-a"), []string{"different order"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sys.Restore(bytes.NewReader(snap))
+			if !errors.Is(err, checkpoint.ErrManifest) {
+				t.Fatalf("want ErrManifest, got: %v", err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}
+
 // TestAutoCheckpointFiles: periodic snapshots land where configured and
 // latest.ckpt always mirrors the newest one.
 func TestAutoCheckpointFiles(t *testing.T) {

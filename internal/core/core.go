@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"autodbaas/internal/agent"
+	"autodbaas/internal/checkpoint"
 	"autodbaas/internal/cluster"
 	"autodbaas/internal/dfa"
 	"autodbaas/internal/director"
@@ -59,6 +60,14 @@ type System struct {
 	order    []string
 	monitors map[string]*monitor.Agent
 
+	// Membership table: generation is a monotonic counter bumped on
+	// every add, remove and resize; memberGens records the generation at
+	// which each live member last (re-)joined. Together with order it is
+	// the cohort the checkpoint manifest pins, so a snapshot can name
+	// exactly which fleet it was taken from.
+	generation int
+	memberGens map[string]int
+
 	parallelism int
 	faults      *faults.Injector
 	m           coreMetrics
@@ -73,6 +82,9 @@ type System struct {
 	ckptLastPath   string
 	ckptLastWindow int
 	ckptLastErr    error
+	// ckptExtras are auxiliary snapshot sections registered by layered
+	// subsystems (see RegisterCheckpointExtra).
+	ckptExtras []checkpoint.Extra
 }
 
 // coreMetrics are the fleet scheduler's registry handles.
@@ -135,6 +147,7 @@ func NewSystemWithOptions(opts Options, tuners ...tuner.Tuner) (*System, error) 
 		Tuners:       tuners,
 		agents:       make(map[string]*agent.Agent),
 		monitors:     make(map[string]*monitor.Agent),
+		memberGens:   make(map[string]int),
 		parallelism:  par,
 		faults:       opts.Faults,
 		m:            newCoreMetrics(obs.Default()),
@@ -194,7 +207,129 @@ func (s *System) AddInstance(spec InstanceSpec) (*agent.Agent, error) {
 	s.agents[inst.ID] = a
 	s.order = append(s.order, inst.ID)
 	s.monitors[inst.ID] = monitor.NewAgent(100_000)
+	s.generation++
+	s.memberGens[inst.ID] = s.generation
 	return a, nil
+}
+
+// RemoveInstance deprovisions an instance mid-run: the repository
+// fan-out is drained so every sample the instance uploaded has reached
+// the tuners (its training history outlives it — the fleet-wide warm
+// start the paper's workload mapping relies on), then the agent,
+// monitor, director shard, orchestrator record and fault-site streams
+// are all dropped and the IaaS instance released. The membership
+// generation bumps, so a snapshot taken after the removal pins the
+// surviving cohort. Call it between Steps, never concurrently with one.
+func (s *System) RemoveInstance(id string) error {
+	s.mu.Lock()
+	_, ok := s.agents[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: no agent for %s", id)
+	}
+	// Drain: every queued sample — including ones this instance uploaded
+	// in its final window — is delivered before the member disappears.
+	s.Repository.Flush()
+	if err := s.Orchestrator.Deprovision(id); err != nil {
+		return err
+	}
+	s.Director.ForgetInstance(id)
+	s.faults.ForgetInstance(id)
+	s.mu.Lock()
+	delete(s.agents, id)
+	delete(s.monitors, id)
+	delete(s.memberGens, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.generation++
+	s.mu.Unlock()
+	return nil
+}
+
+// ResizeInstance re-provisions an instance onto an explicit VM plan —
+// the elastic fleet's resize verb, distinct from ApproveUpgrade's
+// customer-driven next-plan-up path. Tunable knobs carry over (re-fitted
+// to the new plan's memory budget), a fresh tuning agent and monitor
+// replace the old ones, and the shared tuners' repository history gives
+// the re-blueprinted instance a warm start. The membership generation
+// bumps so snapshots distinguish the pre- and post-resize cohorts.
+func (s *System) ResizeInstance(id, plan string, seed int64, opts agent.Options) (*agent.Agent, error) {
+	s.mu.Lock()
+	old, ok := s.agents[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no agent for %s", id)
+	}
+	gen := old.Generator()
+	inst, err := s.Orchestrator.Provisioner().Reprovision(id, plan, gen.DBSizeBytes(), seed)
+	if err != nil {
+		return nil, err
+	}
+	s.installFaultHooks(inst)
+	if opts.Mode == agent.ModePeriodic && opts.Tuning == nil {
+		opts.Tuning = s.Director
+	}
+	if opts.Baseline == nil {
+		for _, t := range s.Tuners {
+			if b, ok := t.(tde.Baseline); ok {
+				opts.Baseline = b
+				break
+			}
+		}
+	}
+	a, err := agent.New(inst, gen, s.Director, s.Repository, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.agents[id] = a
+	// Fresh monitor: the old series mixed plans; keep every series
+	// single-plan, as ApproveUpgrade does.
+	s.monitors[id] = monitor.NewAgent(100_000)
+	s.generation++
+	s.memberGens[id] = s.generation
+	s.mu.Unlock()
+	if err := s.Orchestrator.PersistConfig(id, inst.Replica.Master().Config()); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Member is one row of the membership table.
+type Member struct {
+	ID  string
+	Gen int // generation at which the member last (re-)joined
+}
+
+// Members returns the live cohort in onboarding order with the
+// generation each member joined at.
+func (s *System) Members() []Member {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Member, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, Member{ID: id, Gen: s.memberGens[id]})
+	}
+	return out
+}
+
+// Generation returns the current membership generation — a monotonic
+// counter bumped by every add, remove and resize.
+func (s *System) Generation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generation
+}
+
+// FleetSize returns the number of live instances.
+func (s *System) FleetSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
 }
 
 // installFaultHooks attaches the injector's per-node engine hooks to

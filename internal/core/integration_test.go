@@ -1,4 +1,6 @@
-package core
+// The external test package breaks the core → httpapi → fleet → core
+// cycle the in-package test build would otherwise form.
+package core_test
 
 import (
 	"net/http/httptest"
@@ -7,6 +9,7 @@ import (
 
 	"autodbaas/internal/agent"
 	"autodbaas/internal/cluster"
+	"autodbaas/internal/core"
 	"autodbaas/internal/httpapi"
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/tuner/bo"
@@ -23,7 +26,7 @@ func TestFullStackOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := NewSystem(tn)
+	sys, err := core.NewSystem(tn)
 	if err != nil {
 		t.Fatal(err)
 	}

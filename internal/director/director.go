@@ -178,6 +178,31 @@ func (d *Director) shard(id string) *instShard {
 	return st
 }
 
+// ForgetInstance drops an instance's director-side state — maintenance
+// bookkeeping, plan-upgrade queue and circuit breaker — when the fleet
+// service deprovisions it. A later instance with the same ID starts
+// from a clean shard, exactly as a first-time onboarding would.
+func (d *Director) ForgetInstance(id string) {
+	d.shardMu.Lock()
+	st, ok := d.shards[id]
+	if ok {
+		delete(d.shards, id)
+	}
+	d.shardMu.Unlock()
+	if !ok {
+		return
+	}
+	st.mu.Lock()
+	pending, open := st.upgradeRequests, st.open
+	st.mu.Unlock()
+	if pending > 0 {
+		d.m.pendingUpgrades.Add(-float64(pending))
+	}
+	if open {
+		d.m.circuitOpen.Add(-1)
+	}
+}
+
 // breakerAllow reports whether a recommendation round may run for the
 // shard at virtual time now, letting exactly one half-open probe
 // through once the cooldown has expired.

@@ -293,6 +293,33 @@ func (in *Injector) hit(site, kind string, prob float64) bool {
 	return in.hitLocked(site, kind, prob)
 }
 
+// ForgetInstance discards every per-site stream owned by one instance —
+// the engine seams ("<id>/node<i>/...") and its monitor site — plus any
+// crashed-node recovery countdowns. The fleet service calls it on
+// deprovision so a later instance reusing the ID reseeds fresh streams
+// and behaves exactly like a first-time onboarding. Safe on nil.
+func (in *Injector) ForgetInstance(id string) {
+	if in == nil {
+		return
+	}
+	owned := func(site string) bool {
+		return strings.HasPrefix(site, id+"/") || site == "monitor/"+id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for site := range in.streams {
+		if owned(site) {
+			delete(in.streams, site)
+			delete(in.sources, site)
+		}
+	}
+	for site := range in.nodeDown {
+		if owned(site) {
+			delete(in.nodeDown, site)
+		}
+	}
+}
+
 // DropMonitorSample reports whether this window's external-monitoring
 // sample for the instance is lost.
 func (in *Injector) DropMonitorSample(instanceID string) bool {

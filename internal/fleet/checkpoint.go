@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"autodbaas/internal/checkpoint"
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/core"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tenant"
+)
+
+// controlSection is the fleet service's snapshot section; it rides in
+// the engine container as "extra/fleet".
+const controlSection = "fleet"
+
+// tenantRecord is one tenant's row of the control-plane section.
+type tenantRecord struct {
+	Tenant  tenant.Tenant `json:"tenant"`
+	Deleted bool          `json:"deleted,omitempty"`
+	DBs     []dbState     `json:"dbs"`
+}
+
+// controlState is the serialized desired state of the fleet service:
+// every tenant and database record, the live cohort in onboarding
+// order (the order a restore must re-provision in, so the engine's
+// ordered control-plane merge replays identically), and the lifecycle
+// totals.
+type controlState struct {
+	Order        []string       `json:"order"`
+	Tenants      []tenantRecord `json:"tenants"`
+	Provisions   int64          `json:"provisions_total"`
+	Deprovisions int64          `json:"deprovisions_total"`
+	Resizes      int64          `json:"resizes_total"`
+}
+
+// saveControlState is the Extra hook checkpoint.Write calls: it runs
+// between Steps (Checkpoint's contract), so desired state is stable.
+func (s *Service) saveControlState() ([]byte, error) {
+	members := s.sys.Members()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ctl := controlState{
+		Order:        make([]string, 0, len(members)),
+		Provisions:   s.provisions,
+		Deprovisions: s.deprovisions,
+		Resizes:      s.resizes,
+	}
+	for _, m := range members {
+		ctl.Order = append(ctl.Order, m.ID)
+	}
+	for _, tid := range s.sortedTenantIDsLocked() {
+		ts := s.tenants[tid]
+		rec := tenantRecord{Tenant: ts.Tenant, Deleted: ts.deleted, DBs: []dbState{}}
+		for _, did := range sortedDBIDs(ts) {
+			rec.DBs = append(rec.DBs, *ts.DBs[did])
+		}
+		ctl.Tenants = append(ctl.Tenants, rec)
+	}
+	return json.Marshal(ctl)
+}
+
+// CheckpointNow writes a snapshot (engine state plus the control-plane
+// section) to dir and refreshes dir/latest.ckpt.
+func (s *Service) CheckpointNow(dir string) (string, error) { return s.sys.CheckpointNow(dir) }
+
+// RestoreLatest resumes a fleet service from dir/latest.ckpt. The
+// receiver must be freshly built from the same Config (seed, tuners,
+// catalogue, fault profile) as the service that wrote the snapshot.
+func (s *Service) RestoreLatest(dir string) error {
+	return s.RestoreFrom(filepath.Join(dir, "latest.ckpt"))
+}
+
+// RestoreFrom resumes from one snapshot file. The restore is two-pass:
+// Inspect recovers the control-plane section without touching engine
+// state; the service rebuilds its desired state and re-provisions the
+// recorded cohort in onboarding order with the recorded plans and
+// seeds; then the engine restore overwrites every instance, tuner,
+// director and repository section, leaving the fleet exactly where the
+// snapshot was taken — same window, same membership generations, same
+// fingerprint going forward.
+func (s *Service) RestoreFrom(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_, sections, err := checkpoint.Inspect(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	raw, ok := sections["extra/"+controlSection]
+	if !ok {
+		return fmt.Errorf("%w: snapshot has no fleet control-plane section (written by a bare core.System?)", checkpoint.ErrManifest)
+	}
+	var ctl controlState
+	if err := json.Unmarshal(raw, &ctl); err != nil {
+		return fmt.Errorf("fleet: decode control-plane section: %w", err)
+	}
+
+	if s.sys.FleetSize() != 0 {
+		return fmt.Errorf("fleet: restore into a non-empty service (%d instances); rebuild it first", s.sys.FleetSize())
+	}
+	s.mu.Lock()
+	if len(s.tenants) != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: restore into a service with %d tenants declared; rebuild it first", len(s.tenants))
+	}
+	byInstance := make(map[string]*dbState)
+	for _, rec := range ctl.Tenants {
+		ts := &tenantState{Tenant: rec.Tenant, DBs: make(map[string]*dbState), deleted: rec.Deleted}
+		for i := range rec.DBs {
+			db := rec.DBs[i]
+			ts.DBs[db.ID] = &db
+			byInstance[instanceID(rec.Tenant.ID, db.ID)] = &db
+		}
+		if _, ok := s.cfg.Tiers[rec.Tenant.Tier]; !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("fleet: snapshot tenant %q uses tier %q, absent from this catalogue", rec.Tenant.ID, rec.Tenant.Tier)
+		}
+		s.tenants[rec.Tenant.ID] = ts
+	}
+	s.provisions, s.deprovisions, s.resizes = ctl.Provisions, ctl.Deprovisions, ctl.Resizes
+
+	// Rebuild the cohort in recorded onboarding order with the recorded
+	// plans and seeds; the engine restore below overwrites all state.
+	for _, id := range ctl.Order {
+		db, ok := byInstance[id]
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("fleet: snapshot cohort lists %q but no tenant record declares it", id)
+		}
+		ts := s.tenants[tenantIDOf(id)]
+		if err := s.rebuildLocked(ts, db); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.m.tenants.Set(float64(len(s.tenants)))
+	s.m.instances.Set(float64(len(ctl.Order)))
+	s.mu.Unlock()
+
+	return s.sys.Restore(bytes.NewReader(data))
+}
+
+// tenantIDOf splits "<tenant>/<db>" back into the tenant half.
+func tenantIDOf(instanceID string) string {
+	for i := 0; i < len(instanceID); i++ {
+		if instanceID[i] == '/' {
+			return instanceID[:i]
+		}
+	}
+	return instanceID
+}
+
+// rebuildLocked re-provisions one database with its recorded plan and
+// seed — the restore path's twin of provisionLocked, which must not
+// re-derive seeds or bump lifecycle totals.
+func (s *Service) rebuildLocked(ts *tenantState, db *dbState) error {
+	bp, ok := s.cfg.Blueprints[db.Blueprint]
+	if !ok {
+		return fmt.Errorf("fleet: snapshot database %s/%s uses blueprint %q, absent from this catalogue", ts.Tenant.ID, db.ID, db.Blueprint)
+	}
+	gen, err := bp.Workload.Build()
+	if err != nil {
+		return err
+	}
+	_, err = s.sys.AddInstance(core.InstanceSpec{
+		Provision: cluster.ProvisionSpec{
+			ID:          instanceID(ts.Tenant.ID, db.ID),
+			Plan:        db.Plan,
+			Engine:      knobs.Engine(bp.Engine),
+			DBSizeBytes: gen.DBSizeBytes(),
+			Slaves:      bp.Slaves,
+			Seed:        db.Seed,
+		},
+		Workload: gen,
+		Agent:    agentOptions(bp),
+	})
+	return err
+}

@@ -1,0 +1,377 @@
+package fleet
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"autodbaas/internal/checkpoint"
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/core"
+	"autodbaas/internal/faults"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tenant"
+	"autodbaas/internal/tuner"
+	"autodbaas/internal/tuner/bo"
+	"autodbaas/internal/workload"
+)
+
+const window = 5 * time.Minute
+
+// testCatalogue keeps workloads small so lifecycle tests stay fast.
+func testCatalogue() (map[string]tenant.Tier, map[string]tenant.Blueprint) {
+	tiers := map[string]tenant.Tier{
+		"std": {Name: "std", MaxInstances: 200, AllowedPlans: []string{"t2.medium", "t2.large", "m4.large"}, WarmupWindows: 2},
+	}
+	bps := map[string]tenant.Blueprint{
+		"oltp": {Name: "oltp", Engine: "postgres", Plan: "t2.medium",
+			Workload: tenant.WorkloadSpec{Class: "tpcc", SizeGiB: 2, Rate: 1200}},
+		"kv": {Name: "kv", Engine: "postgres", Plan: "t2.large",
+			Workload: tenant.WorkloadSpec{Class: "ycsb", SizeGiB: 4, Rate: 2000}},
+	}
+	return tiers, bps
+}
+
+func newTestService(t *testing.T, parallelism int, in *faults.Injector) *Service {
+	t.Helper()
+	tn, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 60, MaxSamplesPerFit: 60, UCBBeta: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers, bps := testCatalogue()
+	svc, err := New(Config{
+		Seed:        42,
+		Parallelism: parallelism,
+		Faults:      in,
+		Tuners:      []tuner.Tuner{tn},
+		Tiers:       tiers,
+		Blueprints:  bps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func mustStep(t *testing.T, svc *Service) {
+	t.Helper()
+	if _, err := svc.Step(window); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dbPhase(t *testing.T, svc *Service, tid, did string) string {
+	t.Helper()
+	db, ok := svc.GetDatabase(tid, did)
+	if !ok {
+		return "absent"
+	}
+	return db.Phase
+}
+
+func TestLifecyclePhases(t *testing.T) {
+	svc := newTestService(t, 2, nil)
+	if err := svc.CreateTenant(tenant.Tenant{ID: "acme", Tier: "std"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateDatabase("acme", DatabaseSpec{ID: "orders", Blueprint: "oltp"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dbPhase(t, svc, "acme", "orders"); got != "pending" {
+		t.Fatalf("pre-reconcile phase = %s", got)
+	}
+
+	// Tick 1 provisions and starts the warm-up (2 windows).
+	mustStep(t, svc)
+	if got := dbPhase(t, svc, "acme", "orders"); got != "warmup" {
+		t.Fatalf("after tick 1 phase = %s", got)
+	}
+	if svc.System().FleetSize() != 1 {
+		t.Fatalf("fleet size = %d", svc.System().FleetSize())
+	}
+	mustStep(t, svc)
+	mustStep(t, svc)
+	if got := dbPhase(t, svc, "acme", "orders"); got != "tuned" {
+		t.Fatalf("after warm-up phase = %s", got)
+	}
+
+	// Resize re-blueprints onto the new plan and re-warms.
+	if err := svc.ResizeDatabase("acme", "orders", "m4.large"); err != nil {
+		t.Fatal(err)
+	}
+	mustStep(t, svc)
+	db, _ := svc.GetDatabase("acme", "orders")
+	if db.Plan != "m4.large" || db.Phase != "warmup" {
+		t.Fatalf("post-resize status = %+v", db)
+	}
+	if sum := svc.Summary(); sum.Resizes != 1 || sum.Provisions != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	// Delete drains one final window before the instance disappears.
+	if err := svc.DeleteDatabase("acme", "orders"); err != nil {
+		t.Fatal(err)
+	}
+	mustStep(t, svc)
+	if got := dbPhase(t, svc, "acme", "orders"); got != "draining" {
+		t.Fatalf("after delete phase = %s", got)
+	}
+	if svc.System().FleetSize() != 1 {
+		t.Fatalf("draining db already gone")
+	}
+	mustStep(t, svc)
+	if _, ok := svc.GetDatabase("acme", "orders"); ok {
+		t.Fatalf("database survived its drain")
+	}
+	if svc.System().FleetSize() != 0 {
+		t.Fatalf("fleet size = %d after deprovision", svc.System().FleetSize())
+	}
+	if sum := svc.Summary(); sum.Deprovisions != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	// Tenant deletion with no databases is immediate.
+	if err := svc.DeleteTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.GetTenant("acme"); ok {
+		t.Fatalf("tenant survived deletion")
+	}
+}
+
+func TestDesiredStateValidation(t *testing.T) {
+	svc := newTestService(t, 1, nil)
+	if err := svc.CreateTenant(tenant.Tenant{ID: "Bad ID!", Tier: "std"}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("bad tenant ID: %v", err)
+	}
+	if err := svc.CreateTenant(tenant.Tenant{ID: "a1", Tier: "gold"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown tier: %v", err)
+	}
+	if err := svc.CreateTenant(tenant.Tenant{ID: "a1", Tier: "std"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateTenant(tenant.Tenant{ID: "a1", Tier: "std"}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("duplicate tenant: %v", err)
+	}
+	if err := svc.CreateDatabase("a1", DatabaseSpec{ID: "d", Blueprint: "nope"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown blueprint: %v", err)
+	}
+	if err := svc.CreateDatabase("a1", DatabaseSpec{ID: "d", Blueprint: "oltp", Plan: "m4.xlarge"}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("plan outside tier: %v", err)
+	}
+	if err := svc.CreateDatabase("a1", DatabaseSpec{ID: "d", Blueprint: "oltp"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateDatabase("a1", DatabaseSpec{ID: "d", Blueprint: "kv"}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("duplicate database: %v", err)
+	}
+	if err := svc.ResizeDatabase("a1", "d", "t2.medium"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("resize onto current plan: %v", err)
+	}
+	if err := svc.DeleteDatabase("a1", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.DeleteDatabase("a1", "d"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := svc.ResizeDatabase("a1", "d", "t2.large"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("resize while draining: %v", err)
+	}
+}
+
+// churnEvent is one scripted control-plane mutation, applied before the
+// Step of the named window.
+type churnEvent struct {
+	window int
+	apply  func(t *testing.T, svc *Service)
+}
+
+// churnSchedule is a fixed onboard/resize/offboard wave over three
+// tenants — the scripted lifecycle schedule of the determinism
+// contract.
+func churnSchedule() []churnEvent {
+	ct := func(id string) func(*testing.T, *Service) {
+		return func(t *testing.T, svc *Service) {
+			if err := svc.CreateTenant(tenant.Tenant{ID: id, Tier: "std"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cd := func(tid, did, bp string) func(*testing.T, *Service) {
+		return func(t *testing.T, svc *Service) {
+			if err := svc.CreateDatabase(tid, DatabaseSpec{ID: did, Blueprint: bp}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rs := func(tid, did, plan string) func(*testing.T, *Service) {
+		return func(t *testing.T, svc *Service) {
+			if err := svc.ResizeDatabase(tid, did, plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dd := func(tid, did string) func(*testing.T, *Service) {
+		return func(t *testing.T, svc *Service) {
+			if err := svc.DeleteDatabase(tid, did); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return []churnEvent{
+		{0, ct("ant")}, {0, cd("ant", "db-a", "oltp")}, {0, cd("ant", "db-b", "kv")},
+		{1, ct("bee")}, {1, cd("bee", "db-a", "kv")},
+		{3, ct("cat")}, {3, cd("cat", "db-a", "oltp")}, {3, cd("cat", "db-b", "oltp")},
+		{5, rs("ant", "db-a", "m4.large")},
+		{7, dd("bee", "db-a")},
+		{8, cd("bee", "db-b", "oltp")},
+		{10, rs("cat", "db-b", "t2.large")},
+		{12, dd("ant", "db-b")},
+		{14, cd("ant", "db-c", "kv")},
+	}
+}
+
+// runChurn drives the schedule for totalWindows and fingerprints.
+func runChurn(t *testing.T, svc *Service, schedule []churnEvent, totalWindows int) Fingerprint {
+	t.Helper()
+	for svc.System().Windows() < totalWindows {
+		w := svc.System().Windows()
+		for _, ev := range schedule {
+			if ev.window == w {
+				ev.apply(t, svc)
+			}
+		}
+		mustStep(t, svc)
+	}
+	return svc.Fingerprint()
+}
+
+// TestChurnDeterminismAcrossParallelism is the fleet service's core
+// guarantee: a fixed (seed, scripted lifecycle schedule) produces
+// identical fleet fingerprints at parallelism 1, 4 and 16, clean and
+// under medium fault injection.
+func TestChurnDeterminismAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn determinism sweep")
+	}
+	const total = 18
+	for _, faulted := range []bool{false, true} {
+		name := "clean"
+		inj := func() *faults.Injector { return nil }
+		if faulted {
+			name = "faulted"
+			inj = func() *faults.Injector { return faults.New(99, faults.Medium()) }
+		}
+		t.Run(name, func(t *testing.T) {
+			base := runChurn(t, newTestService(t, 1, inj()), churnSchedule(), total)
+			if base.Provisions < 7 || base.Deprovisions < 2 || base.Resizes < 2 {
+				t.Fatalf("degenerate schedule: %+v", base)
+			}
+			if base.Samples == 0 {
+				t.Fatalf("no training samples uploaded: %+v", base)
+			}
+			for _, par := range []int{4, 16} {
+				got := runChurn(t, newTestService(t, par, inj()), churnSchedule(), total)
+				if !reflect.DeepEqual(base, got) {
+					t.Fatalf("parallelism %d diverged:\n base %+v\n got %+v", par, base, got)
+				}
+			}
+		})
+	}
+}
+
+// TestKillRestoreMidChurn proves the snapshot contract over a dynamic
+// cohort: kill the service mid-churn (databases provisioned, resized
+// and draining on both sides of the cut), rebuild it fresh, restore the
+// latest auto-checkpoint, replay the remainder of the schedule — the
+// final fingerprint matches the uninterrupted run bit-for-bit.
+func TestKillRestoreMidChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn kill/restore soak")
+	}
+	const total = 18
+	const killAt = 13 // after the window-12 delete, mid-drain
+	for _, faulted := range []bool{false, true} {
+		name := "clean"
+		inj := func() *faults.Injector { return nil }
+		if faulted {
+			name = "faulted"
+			inj = func() *faults.Injector { return faults.New(99, faults.Medium()) }
+		}
+		t.Run(name, func(t *testing.T) {
+			base := runChurn(t, newTestService(t, 4, inj()), churnSchedule(), total)
+
+			dir := t.TempDir()
+			crash := newTestService(t, 4, inj())
+			crash.SetAutoCheckpoint(dir, 3)
+			runChurn(t, crash, churnSchedule(), killAt)
+			// The process dies here; crash is abandoned un-drained.
+
+			svc := newTestService(t, 4, inj())
+			if err := svc.RestoreLatest(dir); err != nil {
+				t.Fatal(err)
+			}
+			if w := svc.System().Windows(); w == 0 || w > killAt {
+				t.Fatalf("restored at window %d", w)
+			}
+			got := runChurn(t, svc, churnSchedule(), total)
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("restored run diverged:\n base %+v\n got %+v", base, got)
+			}
+		})
+	}
+}
+
+// TestRestoreErrors covers the guard rails of the two-pass restore.
+func TestRestoreErrors(t *testing.T) {
+	svc := newTestService(t, 1, nil)
+	if err := svc.RestoreLatest(t.TempDir()); err == nil {
+		t.Fatal("restore from an empty dir succeeded")
+	}
+
+	// A snapshot written by a bare core.System has no control section.
+	tn, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 60, MaxSamplesPerFit: 60, UCBBeta: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := core.NewSystem(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewTPCC(2*cluster.GiB, 1200)
+	if _, err := bare.AddInstance(core.InstanceSpec{
+		Provision: cluster.ProvisionSpec{ID: "x/y", Plan: "t2.medium", Engine: knobs.Postgres, DBSizeBytes: gen.DBSizeBytes(), Seed: 1},
+		Workload:  gen,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := bare.CheckpointNow(dir); err != nil {
+		t.Fatal(err)
+	}
+	err = newTestService(t, 1, nil).RestoreLatest(dir)
+	if err == nil || !errors.Is(err, checkpoint.ErrManifest) {
+		t.Fatalf("bare-system snapshot: %v", err)
+	}
+
+	// Restore into a dirty service is refused.
+	busy := newTestService(t, 1, nil)
+	if err := busy.CreateTenant(tenant.Tenant{ID: "x", Tier: "std"}); err != nil {
+		t.Fatal(err)
+	}
+	good := newTestService(t, 1, nil)
+	if err := good.CreateTenant(tenant.Tenant{ID: "x", Tier: "std"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.CreateDatabase("x", DatabaseSpec{ID: "y", Blueprint: "oltp"}); err != nil {
+		t.Fatal(err)
+	}
+	mustStep(t, good)
+	if _, err := good.CheckpointNow(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := busy.RestoreLatest(dir); err == nil {
+		t.Fatal("restore into a service with declared tenants succeeded")
+	}
+}

@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"sort"
+
+	"autodbaas/internal/knobs"
+)
+
+// DatabaseStatus is one database's externally visible state.
+type DatabaseStatus struct {
+	ID          string `json:"id"`
+	Blueprint   string `json:"blueprint"`
+	Plan        string `json:"plan"`
+	Phase       string `json:"phase"`
+	PendingPlan string `json:"pending_plan,omitempty"`
+	Deleting    bool   `json:"deleting,omitempty"`
+	Gen         int    `json:"gen,omitempty"` // membership generation of the last (re-)join
+}
+
+// TenantStatus is one tenant's externally visible state.
+type TenantStatus struct {
+	ID        string           `json:"id"`
+	Name      string           `json:"name,omitempty"`
+	Tier      string           `json:"tier"`
+	Deleting  bool             `json:"deleting,omitempty"`
+	Databases []DatabaseStatus `json:"databases"`
+}
+
+// Summary is the fleet-wide roll-up served at GET /v1/fleet.
+type Summary struct {
+	Window       int   `json:"window"`
+	Generation   int   `json:"generation"`
+	Tenants      int   `json:"tenants"`
+	Instances    int   `json:"instances"`
+	Provisions   int64 `json:"provisions_total"`
+	Deprovisions int64 `json:"deprovisions_total"`
+	Resizes      int64 `json:"resizes_total"`
+}
+
+// memberGens maps live instance IDs to their join generation.
+func (s *Service) memberGens() map[string]int {
+	out := make(map[string]int)
+	for _, m := range s.sys.Members() {
+		out[m.ID] = m.Gen
+	}
+	return out
+}
+
+// statusLocked renders one tenant. Callers hold s.mu.
+func (s *Service) statusLocked(ts *tenantState, gens map[string]int) TenantStatus {
+	st := TenantStatus{
+		ID:        ts.Tenant.ID,
+		Name:      ts.Tenant.Name,
+		Tier:      ts.Tenant.Tier,
+		Deleting:  ts.deleted,
+		Databases: []DatabaseStatus{},
+	}
+	for _, did := range sortedDBIDs(ts) {
+		db := ts.DBs[did]
+		st.Databases = append(st.Databases, DatabaseStatus{
+			ID:          db.ID,
+			Blueprint:   db.Blueprint,
+			Plan:        db.Plan,
+			Phase:       db.Phase.String(),
+			PendingPlan: db.Pending,
+			Deleting:    db.Deleting,
+			Gen:         gens[instanceID(ts.Tenant.ID, db.ID)],
+		})
+	}
+	return st
+}
+
+// GetTenant returns one tenant's status.
+func (s *Service) GetTenant(id string) (TenantStatus, bool) {
+	gens := s.memberGens()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.tenants[id]
+	if !ok {
+		return TenantStatus{}, false
+	}
+	return s.statusLocked(ts, gens), true
+}
+
+// GetDatabase returns one database's status.
+func (s *Service) GetDatabase(tenantID, dbID string) (DatabaseStatus, bool) {
+	t, ok := s.GetTenant(tenantID)
+	if !ok {
+		return DatabaseStatus{}, false
+	}
+	for _, db := range t.Databases {
+		if db.ID == dbID {
+			return db, true
+		}
+	}
+	return DatabaseStatus{}, false
+}
+
+// ListTenants returns every tenant's status, sorted by ID.
+func (s *Service) ListTenants() []TenantStatus {
+	gens := s.memberGens()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantStatus, 0, len(s.tenants))
+	for _, tid := range s.sortedTenantIDsLocked() {
+		out = append(out, s.statusLocked(s.tenants[tid], gens))
+	}
+	return out
+}
+
+// Summary returns the fleet-wide roll-up.
+func (s *Service) Summary() Summary {
+	window := s.sys.Windows()
+	gen := s.sys.Generation()
+	size := s.sys.FleetSize()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Summary{
+		Window:       window,
+		Generation:   gen,
+		Tenants:      len(s.tenants),
+		Instances:    size,
+		Provisions:   s.provisions,
+		Deprovisions: s.deprovisions,
+		Resizes:      s.resizes,
+	}
+}
+
+// MemberPrint is one instance's slice of a Fingerprint.
+type MemberPrint struct {
+	ID            string
+	Gen           int
+	Plan          string
+	Phase         string
+	Config        knobs.Config
+	MonitorPoints int
+}
+
+// Fingerprint captures everything the fleet determinism contract
+// covers: the window and membership generation, control-plane totals,
+// director counters, repository size, and per-member plan, phase,
+// final configuration and monitor series length. Two runs of the same
+// scripted lifecycle schedule must produce identical fingerprints at
+// any parallelism, clean or faulted, across kill/restore.
+type Fingerprint struct {
+	Window       int
+	Generation   int
+	Provisions   int64
+	Deprovisions int64
+	Resizes      int64
+	Samples      int
+
+	TuningRequests  int
+	Recommendations int
+	ApplyFailures   int
+	PlanUpgrades    int
+
+	Members []MemberPrint
+}
+
+// Fingerprint computes the current fleet fingerprint.
+func (s *Service) Fingerprint() Fingerprint {
+	fp := Fingerprint{
+		Window:     s.sys.Windows(),
+		Generation: s.sys.Generation(),
+		Samples:    s.sys.Repository.Len(),
+	}
+	fp.TuningRequests, fp.Recommendations, fp.ApplyFailures, fp.PlanUpgrades = s.sys.Director.Counters()
+
+	phases := make(map[string]string)
+	s.mu.Lock()
+	fp.Provisions, fp.Deprovisions, fp.Resizes = s.provisions, s.deprovisions, s.resizes
+	for _, ts := range s.tenants {
+		for _, db := range ts.DBs {
+			phases[instanceID(ts.Tenant.ID, db.ID)] = db.Phase.String()
+		}
+	}
+	s.mu.Unlock()
+
+	gens := s.memberGens()
+	for _, a := range s.sys.Agents() {
+		inst := a.Instance()
+		mp := MemberPrint{
+			ID:     inst.ID,
+			Gen:    gens[inst.ID],
+			Plan:   inst.Plan.Name,
+			Phase:  phases[inst.ID],
+			Config: inst.Replica.Master().Config(),
+		}
+		if m, ok := s.sys.Monitor(inst.ID); ok {
+			mp.MonitorPoints = m.Series("disk_latency_ms").Len()
+		}
+		fp.Members = append(fp.Members, mp)
+	}
+	sort.Slice(fp.Members, func(i, j int) bool { return fp.Members[i].ID < fp.Members[j].ID })
+	return fp
+}

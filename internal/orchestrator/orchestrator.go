@@ -137,6 +137,29 @@ func randomToken() string {
 	return hex.EncodeToString(b)
 }
 
+// Deprovision tears an instance down: the reconciler stops watching it,
+// its credentials and persisted configuration are forgotten, and the
+// IaaS instance is released. Dynamic fleet membership requires this to
+// be safe mid-run — nothing here touches any other instance's state.
+func (o *Orchestrator) Deprovision(id string) error {
+	o.mu.Lock()
+	if _, ok := o.creds[id]; !ok {
+		o.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	delete(o.creds, id)
+	delete(o.persisted, id)
+	delete(o.driftSince, id)
+	delete(o.repairFails, id)
+	delete(o.retryAt, id)
+	o.mu.Unlock()
+	if err := o.prov.Deprovision(id); err != nil {
+		return err
+	}
+	o.m.instances.Add(-1)
+	return nil
+}
+
 // Credentials returns the management credentials for an instance.
 func (o *Orchestrator) Credentials(id string) (Credentials, error) {
 	o.mu.Lock()

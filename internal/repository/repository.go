@@ -176,6 +176,23 @@ func (r *Repository) Subscribe(t tuner.Tuner) {
 	r.subscribers = append(r.subscribers, &subscriber{t: t, contig: r.nextSeq})
 }
 
+// Unsubscribe removes a previously subscribed tuner. The fan-out queue
+// is drained first so the departing subscriber has seen every sample
+// enqueued before the call — the clean-handoff half of the dynamic
+// membership contract (Subscribe is the other half). Unknown tuners are
+// a no-op.
+func (r *Repository) Unsubscribe(t tuner.Tuner) {
+	r.Flush()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, sub := range r.subscribers {
+		if sub.t == t {
+			r.subscribers = append(r.subscribers[:i], r.subscribers[i+1:]...)
+			return
+		}
+	}
+}
+
 // Observe implements agent.SampleSink: store the sample synchronously
 // and enqueue it for asynchronous fan-out. Fan-out errors (e.g. engine
 // mismatch: a MySQL sample is not delivered to PostgreSQL tuners in any

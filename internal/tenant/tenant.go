@@ -1,0 +1,279 @@
+// Package tenant holds the declarative vocabulary of the elastic fleet
+// service: a Tenant owns database services stamped out of Blueprints
+// (engine, VM plan, workload class, tuning mode) into a Tier (resource
+// ceilings, tuning cadence, fault domain). Everything here is plain
+// data — JSON-serializable so the fleet service can checkpoint its
+// desired state alongside the engine snapshot and so the REST control
+// plane can ship it over the wire. The reconciler in internal/fleet
+// turns these declarations into core.System membership.
+package tenant
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+
+	"autodbaas/internal/cluster"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/workload"
+)
+
+// GiB in bytes, for WorkloadSpec.SizeGiB conversions.
+const GiB = 1 << 30
+
+// idPattern restricts tenant and database IDs to URL- and
+// checkpoint-section-safe names. Slashes are excluded on purpose: the
+// fleet service forms instance IDs as "<tenant>/<database>".
+var idPattern = regexp.MustCompile(`^[a-z0-9]([a-z0-9._-]{0,62}[a-z0-9])?$`)
+
+// ValidID reports whether s is usable as a tenant or database ID.
+func ValidID(s string) bool { return idPattern.MatchString(s) }
+
+// WorkloadSpec names one of the synthetic workload classes and its
+// parameters. Mix is class-specific: the adulteration probability for
+// "adulterated-tpcc", ignored elsewhere.
+type WorkloadSpec struct {
+	Class   string  `json:"class"`
+	SizeGiB float64 `json:"size_gib,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+	Mix     float64 `json:"mix,omitempty"`
+}
+
+// WorkloadClasses lists the accepted WorkloadSpec.Class values.
+func WorkloadClasses() []string {
+	return []string{"production", "tpcc", "adulterated-tpcc", "ycsb", "wikipedia", "twitter", "tpch", "chbench"}
+}
+
+// Build materializes the workload generator. Size and rate default per
+// class when zero.
+func (w WorkloadSpec) Build() (workload.Generator, error) {
+	size := w.SizeGiB * GiB
+	if size <= 0 {
+		size = 8 * GiB
+	}
+	rate := w.Rate
+	if rate <= 0 {
+		rate = 1500
+	}
+	switch w.Class {
+	case "production":
+		return workload.NewProduction(), nil
+	case "tpcc":
+		return workload.NewTPCC(size, rate), nil
+	case "adulterated-tpcc":
+		mix := w.Mix
+		if mix <= 0 {
+			mix = 0.5
+		}
+		return workload.NewAdulteratedTPCC(size, rate, mix), nil
+	case "ycsb":
+		return workload.NewYCSB(size, rate), nil
+	case "wikipedia":
+		return workload.NewWikipedia(size, rate), nil
+	case "twitter":
+		return workload.NewTwitter(size, rate), nil
+	case "tpch":
+		return workload.NewTPCH(size, rate), nil
+	case "chbench":
+		return workload.NewCHBench(size, rate), nil
+	default:
+		return nil, fmt.Errorf("tenant: unknown workload class %q (want one of %v)", w.Class, WorkloadClasses())
+	}
+}
+
+// Validate checks the spec without building it.
+func (w WorkloadSpec) Validate() error {
+	_, err := w.Build()
+	return err
+}
+
+// Blueprint is a stampable database-service template: which engine and
+// plan to provision, what workload to attach, and how the tuning agent
+// runs. Databases reference blueprints by name; a tier constrains which
+// plans a blueprint may land on for its tenants.
+type Blueprint struct {
+	Name   string `json:"name"`
+	Engine string `json:"engine"` // "postgres" | "mysql"
+	Plan   string `json:"plan"`   // VM plan, e.g. "t2.medium"
+	Slaves int    `json:"slaves,omitempty"`
+
+	Workload WorkloadSpec `json:"workload"`
+
+	// TickEveryMin is the TDE execution period in virtual minutes
+	// (0: the agent default). Mode is "tde" (event-driven, default) or
+	// "periodic"; GateSamples uploads training samples only on detected
+	// throttles.
+	TickEveryMin int    `json:"tick_every_min,omitempty"`
+	Mode         string `json:"mode,omitempty"`
+	GateSamples  bool   `json:"gate_samples,omitempty"`
+}
+
+// Validate rejects malformed blueprints with an error naming the field.
+func (b Blueprint) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("tenant: blueprint needs a name")
+	}
+	switch knobs.Engine(b.Engine) {
+	case knobs.Postgres, knobs.MySQL:
+	default:
+		return fmt.Errorf("tenant: blueprint %q: unknown engine %q (want postgres|mysql)", b.Name, b.Engine)
+	}
+	if _, err := cluster.TypeByName(b.Plan); err != nil {
+		return fmt.Errorf("tenant: blueprint %q: %w", b.Name, err)
+	}
+	if b.Slaves < 0 || b.Slaves > 8 {
+		return fmt.Errorf("tenant: blueprint %q: slaves %d out of range [0,8]", b.Name, b.Slaves)
+	}
+	switch b.Mode {
+	case "", "tde", "periodic":
+	default:
+		return fmt.Errorf("tenant: blueprint %q: unknown mode %q (want tde|periodic)", b.Name, b.Mode)
+	}
+	if b.TickEveryMin < 0 {
+		return fmt.Errorf("tenant: blueprint %q: negative tick period", b.Name)
+	}
+	if err := b.Workload.Validate(); err != nil {
+		return fmt.Errorf("tenant: blueprint %q: %w", b.Name, err)
+	}
+	return nil
+}
+
+// Tier is a service class: how many databases a tenant may run, which
+// VM plans those databases may occupy (resize targets included), how
+// many observation windows a fresh or resized database warms up for
+// before it counts as tuned, and which fault domain it lands in.
+type Tier struct {
+	Name          string   `json:"name"`
+	MaxInstances  int      `json:"max_instances"`
+	AllowedPlans  []string `json:"allowed_plans"`
+	WarmupWindows int      `json:"warmup_windows"`
+	FaultDomain   string   `json:"fault_domain,omitempty"`
+}
+
+// Validate rejects malformed tiers.
+func (t Tier) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("tenant: tier needs a name")
+	}
+	if t.MaxInstances <= 0 {
+		return fmt.Errorf("tenant: tier %q: max_instances must be positive", t.Name)
+	}
+	if len(t.AllowedPlans) == 0 {
+		return fmt.Errorf("tenant: tier %q: needs at least one allowed plan", t.Name)
+	}
+	for _, p := range t.AllowedPlans {
+		if _, err := cluster.TypeByName(p); err != nil {
+			return fmt.Errorf("tenant: tier %q: %w", t.Name, err)
+		}
+	}
+	if t.WarmupWindows < 0 {
+		return fmt.Errorf("tenant: tier %q: negative warmup", t.Name)
+	}
+	return nil
+}
+
+// AllowsPlan reports whether the tier permits the VM plan.
+func (t Tier) AllowsPlan(plan string) bool {
+	for _, p := range t.AllowedPlans {
+		if p == plan {
+			return true
+		}
+	}
+	return false
+}
+
+// Tenant is one customer of the fleet service.
+type Tenant struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	Tier string `json:"tier"`
+}
+
+// Phase is a database service's position in its lifecycle, driven by
+// the fleet reconciler.
+type Phase int
+
+const (
+	// Pending: declared, not yet provisioned.
+	Pending Phase = iota
+	// WarmUp: provisioned (or resized), burning warm-up windows.
+	WarmUp
+	// Tuned: steady state, tuning loop active.
+	Tuned
+	// Draining: deprovision requested; final window in flight.
+	Draining
+	// Deprovisioned: gone; terminal.
+	Deprovisioned
+)
+
+var phaseNames = [...]string{"pending", "warmup", "tuned", "draining", "deprovisioned"}
+
+func (p Phase) String() string {
+	if p < 0 || int(p) >= len(phaseNames) {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// MarshalText renders the phase for JSON payloads.
+func (p Phase) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText parses a phase name.
+func (p *Phase) UnmarshalText(b []byte) error {
+	for i, n := range phaseNames {
+		if n == string(b) {
+			*p = Phase(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("tenant: unknown phase %q", b)
+}
+
+// DefaultTiers returns the built-in service classes, keyed by name.
+func DefaultTiers() map[string]Tier {
+	tiers := []Tier{
+		{Name: "dev", MaxInstances: 4, AllowedPlans: []string{"t2.small", "t2.medium"}, WarmupWindows: 1, FaultDomain: "shared"},
+		{Name: "standard", MaxInstances: 16, AllowedPlans: []string{"t2.medium", "t2.large", "m4.large"}, WarmupWindows: 2, FaultDomain: "shared"},
+		{Name: "premium", MaxInstances: 64, AllowedPlans: []string{"t2.large", "m4.large", "m4.xlarge"}, WarmupWindows: 3, FaultDomain: "isolated"},
+	}
+	out := make(map[string]Tier, len(tiers))
+	for _, t := range tiers {
+		out[t.Name] = t
+	}
+	return out
+}
+
+// DefaultBlueprints returns the built-in database templates, keyed by
+// name.
+func DefaultBlueprints() map[string]Blueprint {
+	bps := []Blueprint{
+		{Name: "pg-oltp-small", Engine: "postgres", Plan: "t2.medium",
+			Workload: WorkloadSpec{Class: "tpcc", SizeGiB: 4, Rate: 1200}},
+		{Name: "pg-oltp-large", Engine: "postgres", Plan: "m4.large", Slaves: 2,
+			Workload: WorkloadSpec{Class: "adulterated-tpcc", SizeGiB: 21, Rate: 3000, Mix: 0.8}},
+		{Name: "pg-web", Engine: "postgres", Plan: "t2.large",
+			Workload: WorkloadSpec{Class: "wikipedia", SizeGiB: 10, Rate: 2000}},
+		{Name: "pg-production", Engine: "postgres", Plan: "m4.large", Slaves: 1,
+			Workload: WorkloadSpec{Class: "production"}},
+		{Name: "mysql-kv", Engine: "mysql", Plan: "t2.medium",
+			Workload: WorkloadSpec{Class: "ycsb", SizeGiB: 10, Rate: 2000}},
+		{Name: "pg-analytics", Engine: "postgres", Plan: "m4.xlarge",
+			Workload: WorkloadSpec{Class: "tpch", SizeGiB: 30, Rate: 200}, Mode: "periodic"},
+	}
+	out := make(map[string]Blueprint, len(bps))
+	for _, b := range bps {
+		out[b.Name] = b
+	}
+	return out
+}
+
+// Names returns the sorted keys of a tier or blueprint map — a helper
+// for deterministic listings.
+func Names[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,90 @@
+package tenant
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestValidID(t *testing.T) {
+	valid := []string{"a", "acme", "acme-corp", "db.01", "x_1", "a" + strings.Repeat("b", 62) + "c"}
+	for _, id := range valid {
+		if !ValidID(id) {
+			t.Errorf("ValidID(%q) = false, want true", id)
+		}
+	}
+	invalid := []string{"", "-acme", "acme-", "Acme", "a/b", "a b", strings.Repeat("x", 65)}
+	for _, id := range invalid {
+		if ValidID(id) {
+			t.Errorf("ValidID(%q) = true, want false", id)
+		}
+	}
+}
+
+// TestDefaultCatalogueValid: every shipped tier and blueprint must pass
+// its own validation — the fleet service trusts the defaults blindly.
+func TestDefaultCatalogueValid(t *testing.T) {
+	for name, tier := range DefaultTiers() {
+		if err := tier.Validate(); err != nil {
+			t.Errorf("tier %q: %v", name, err)
+		}
+		if name != tier.Name {
+			t.Errorf("tier keyed %q but named %q", name, tier.Name)
+		}
+		if !tier.AllowsPlan(tier.AllowedPlans[0]) {
+			t.Errorf("tier %q does not allow its own first plan", name)
+		}
+	}
+	for name, bp := range DefaultBlueprints() {
+		if err := bp.Validate(); err != nil {
+			t.Errorf("blueprint %q: %v", name, err)
+		}
+		if name != bp.Name {
+			t.Errorf("blueprint keyed %q but named %q", name, bp.Name)
+		}
+		if _, err := bp.Workload.Build(); err != nil {
+			t.Errorf("blueprint %q workload: %v", name, err)
+		}
+	}
+}
+
+func TestValidationErrorsNameTheField(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"blueprint engine", Blueprint{Name: "b", Engine: "oracle", Plan: "t2.medium", Workload: WorkloadSpec{Class: "tpcc"}}.Validate(), "unknown engine"},
+		{"blueprint plan", Blueprint{Name: "b", Engine: "postgres", Plan: "z9.mega", Workload: WorkloadSpec{Class: "tpcc"}}.Validate(), "z9.mega"},
+		{"blueprint slaves", Blueprint{Name: "b", Engine: "postgres", Plan: "t2.medium", Slaves: 9, Workload: WorkloadSpec{Class: "tpcc"}}.Validate(), "slaves"},
+		{"blueprint mode", Blueprint{Name: "b", Engine: "postgres", Plan: "t2.medium", Mode: "eager", Workload: WorkloadSpec{Class: "tpcc"}}.Validate(), "unknown mode"},
+		{"workload class", WorkloadSpec{Class: "crypto-mining"}.Validate(), "unknown workload class"},
+		{"tier quota", Tier{Name: "t", MaxInstances: 0, AllowedPlans: []string{"t2.medium"}}.Validate(), "max_instances"},
+		{"tier plans", Tier{Name: "t", MaxInstances: 1}.Validate(), "at least one allowed plan"},
+	}
+	for _, tc := range cases {
+		if tc.err == nil || !strings.Contains(tc.err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, tc.err, tc.want)
+		}
+	}
+}
+
+func TestPhaseTextRoundTrip(t *testing.T) {
+	for p := Pending; p <= Deprovisioned; p++ {
+		raw, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Phase
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if back != p {
+			t.Errorf("phase %v round-tripped to %v", p, back)
+		}
+	}
+	var p Phase
+	if err := json.Unmarshal([]byte(`"exploded"`), &p); err == nil {
+		t.Error("unknown phase name unmarshaled successfully")
+	}
+}
