@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"autodbaas/internal/faults"
@@ -28,6 +29,44 @@ type cliConfig struct {
 
 	Serve bool
 	Tick  time.Duration
+
+	Worker   bool
+	Shards   int
+	ShardMap string
+}
+
+// shardMapEntry is one "name=addr" pair from -shard-map, in flag
+// order. The order is load-bearing: it fixes the coordinator's shard
+// map, which is part of the determinism contract.
+type shardMapEntry struct {
+	Name string
+	Addr string
+}
+
+// parseShardMap splits "s0=host:port,s1=host:port" into ordered
+// entries, rejecting duplicates and malformed pairs.
+func parseShardMap(s string) ([]shardMapEntry, error) {
+	seen := make(map[string]bool)
+	var out []shardMapEntry
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("-shard-map entry %q is not name=addr", pair)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("-shard-map names shard %q twice", name)
+		}
+		seen[name] = true
+		out = append(out, shardMapEntry{Name: name, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-shard-map is empty")
+	}
+	return out, nil
 }
 
 // validateFlags cross-checks the flag set. isSet reports whether the
@@ -35,6 +74,38 @@ type cliConfig struct {
 // deliberate choice, so "-checkpoint-every 12" without a directory is
 // rejected while the bare default passes).
 func validateFlags(c cliConfig, isSet func(string) bool) error {
+	if c.Worker {
+		// A worker is a blank shard host: its shard (seed, tuners,
+		// faults, instances) arrives from the coordinator over RPC, so
+		// every simulation flag is meaningless here.
+		for _, name := range []string{
+			"fleet", "hours", "tuners", "periodic", "seed", "parallelism",
+			"faults", "fault-seed", "checkpoint-dir", "checkpoint-every",
+			"resume", "serve", "tick", "shards", "shard-map",
+		} {
+			if isSet(name) {
+				return fmt.Errorf("-%s conflicts with -worker: the worker's shard is configured by the coordinator over RPC", name)
+			}
+		}
+		return nil
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("-shards cannot be negative (got %d)", c.Shards)
+	}
+	if c.Shards > 0 && c.ShardMap != "" {
+		return fmt.Errorf("-shards conflicts with -shard-map: pick in-process shards or remote workers, not both")
+	}
+	if c.Shards > 0 && !c.Serve {
+		return fmt.Errorf("-shards needs -serve: only the fleet service runs sharded")
+	}
+	if c.ShardMap != "" {
+		if !c.Serve {
+			return fmt.Errorf("-shard-map needs -serve: only the fleet service runs sharded")
+		}
+		if _, err := parseShardMap(c.ShardMap); err != nil {
+			return err
+		}
+	}
 	if c.Tuners < 1 {
 		return fmt.Errorf("-tuners must be at least 1 (got %d)", c.Tuners)
 	}

@@ -113,6 +113,73 @@ func TestValidateFlags(t *testing.T) {
 			set:     []string{"parallelism"},
 			wantErr: "-parallelism cannot be negative",
 		},
+		{
+			name:   "bare worker",
+			mutate: func(c *cliConfig) { c.Worker = true },
+			set:    []string{"worker", "listen"},
+		},
+		{
+			name:    "worker with simulation flags",
+			mutate:  func(c *cliConfig) { c.Worker = true; c.Seed = 7 },
+			set:     []string{"worker", "seed"},
+			wantErr: "-seed conflicts with -worker",
+		},
+		{
+			name:    "worker with serve",
+			mutate:  func(c *cliConfig) { c.Worker = true; c.Serve = true },
+			set:     []string{"worker", "serve"},
+			wantErr: "-serve conflicts with -worker",
+		},
+		{
+			name:    "shards without serve",
+			mutate:  func(c *cliConfig) { c.Shards = 2 },
+			set:     []string{"shards"},
+			wantErr: "-shards needs -serve",
+		},
+		{
+			name:   "shards with serve",
+			mutate: func(c *cliConfig) { c.Serve = true; c.Shards = 2 },
+			set:    []string{"serve", "shards"},
+		},
+		{
+			name:    "negative shards",
+			mutate:  func(c *cliConfig) { c.Serve = true; c.Shards = -1 },
+			set:     []string{"serve", "shards"},
+			wantErr: "-shards cannot be negative",
+		},
+		{
+			name:    "shard map without serve",
+			mutate:  func(c *cliConfig) { c.ShardMap = "s0=127.0.0.1:9001" },
+			set:     []string{"shard-map"},
+			wantErr: "-shard-map needs -serve",
+		},
+		{
+			name:   "shard map with serve",
+			mutate: func(c *cliConfig) { c.Serve = true; c.ShardMap = "s0=127.0.0.1:9001,s1=127.0.0.1:9002" },
+			set:    []string{"serve", "shard-map"},
+		},
+		{
+			name: "shards conflicts with shard map",
+			mutate: func(c *cliConfig) {
+				c.Serve = true
+				c.Shards = 2
+				c.ShardMap = "s0=127.0.0.1:9001"
+			},
+			set:     []string{"serve", "shards", "shard-map"},
+			wantErr: "-shards conflicts with -shard-map",
+		},
+		{
+			name:    "malformed shard map",
+			mutate:  func(c *cliConfig) { c.Serve = true; c.ShardMap = "s0:9001" },
+			set:     []string{"serve", "shard-map"},
+			wantErr: "not name=addr",
+		},
+		{
+			name:    "duplicate shard name",
+			mutate:  func(c *cliConfig) { c.Serve = true; c.ShardMap = "s0=a:1,s0=b:2" },
+			set:     []string{"serve", "shard-map"},
+			wantErr: "twice",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -133,5 +200,33 @@ func TestValidateFlags(t *testing.T) {
 				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+func TestParseShardMap(t *testing.T) {
+	entries, err := parseShardMap(" s0=127.0.0.1:9001, s1=unix:/tmp/w1.sock ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []shardMapEntry{
+		{Name: "s0", Addr: "127.0.0.1:9001"},
+		{Name: "s1", Addr: "unix:/tmp/w1.sock"},
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("entries = %v, want %v", entries, want)
+	}
+	for i := range want {
+		if entries[i] != want[i] {
+			t.Fatalf("entry %d = %v, want %v", i, entries[i], want[i])
+		}
+	}
+	if _, err := parseShardMap(",,"); err == nil {
+		t.Fatal("empty map accepted")
+	}
+	if _, err := parseShardMap("=addr"); err == nil {
+		t.Fatal("nameless entry accepted")
+	}
+	if _, err := parseShardMap("s0="); err == nil {
+		t.Fatal("addrless entry accepted")
 	}
 }

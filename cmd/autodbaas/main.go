@@ -46,6 +46,9 @@ func main() {
 	resume := flag.Bool("resume", false, "restore -checkpoint-dir/latest.ckpt before simulating; all other flags must match the run that wrote it")
 	serve := flag.Bool("serve", false, "run the elastic multi-tenant fleet service with its REST control plane instead of a fixed fleet")
 	tick := flag.Duration("tick", 0, "wall-clock pause between virtual windows under -serve (0: flat out)")
+	worker := flag.Bool("worker", false, "run a shard worker: serve the shard RPC protocol on -listen and wait for a coordinator")
+	shards := flag.Int("shards", 0, "split the fleet service across N in-process shards (needs -serve; 0: one flat deployment)")
+	shardMap := flag.String("shard-map", "", "comma-separated name=addr shard workers to coordinate, e.g. s0=127.0.0.1:9001,s1=127.0.0.1:9002 (needs -serve)")
 	flag.Parse()
 
 	cfg := cliConfig{
@@ -54,6 +57,7 @@ func main() {
 		FaultsProfile: *faultsProfile, FaultSeed: *faultSeed,
 		CkptDir: *ckptDir, CkptEvery: *ckptEvery, Resume: *resume,
 		Serve: *serve, Tick: *tick,
+		Worker: *worker, Shards: *shards, ShardMap: *shardMap,
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -63,7 +67,10 @@ func main() {
 	}
 
 	runMode := run
-	if cfg.Serve {
+	switch {
+	case cfg.Worker:
+		runMode = runWorker
+	case cfg.Serve:
 		runMode = runServe
 	}
 	if err := runMode(cfg); err != nil {

@@ -7,12 +7,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"autodbaas/internal/faults"
 	"autodbaas/internal/fleet"
 	"autodbaas/internal/httpapi"
 	"autodbaas/internal/knobs"
+	"autodbaas/internal/shard"
 	"autodbaas/internal/tenant"
 	"autodbaas/internal/tuner"
 	"autodbaas/internal/tuner/bo"
@@ -70,36 +72,106 @@ func seedFleet(svc *fleet.Service, n int) error {
 	return nil
 }
 
+// shardConfig derives one shard's config from the command line. Seeds
+// are spread per shard so the shards simulate decorrelated streams,
+// yet the whole layout stays a pure function of (flags, shard index) —
+// the determinism contract for multi-process runs.
+func shardConfig(name string, idx int, c cliConfig) shard.Config {
+	return shard.Config{
+		Name:        name,
+		Seed:        c.Seed + int64(idx+1)*1_000_003,
+		Parallelism: c.Parallelism,
+		Tuner: shard.TunerConfig{
+			Count:            c.Tuners,
+			Seed:             c.Seed + int64(idx+1)*7,
+			Engine:           "postgres",
+			Candidates:       200,
+			MaxSamplesPerFit: 150,
+			UCBBeta:          0.5,
+		},
+		FaultProfile: c.FaultsProfile,
+		FaultSeed:    c.FaultSeed,
+	}
+}
+
+// buildShardHosts dials every -shard-map worker in flag order and
+// pushes its derived shard config; the returned hosts are handed to
+// the fleet service, which owns them from then on.
+func buildShardHosts(c cliConfig) ([]shard.Shard, error) {
+	entries, err := parseShardMap(c.ShardMap)
+	if err != nil {
+		return nil, err
+	}
+	hosts := make([]shard.Shard, 0, len(entries))
+	closeAll := func() {
+		for _, h := range hosts {
+			h.Close()
+		}
+	}
+	for i, e := range entries {
+		network, addr := "tcp", e.Addr
+		if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+			network, addr = "unix", rest
+		}
+		r, err := shard.Dial(network, addr)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		if err := r.Init(shardConfig(e.Name, i, c)); err != nil {
+			r.Close()
+			closeAll()
+			return nil, fmt.Errorf("init shard %q at %s: %w", e.Name, e.Addr, err)
+		}
+		hosts = append(hosts, r)
+	}
+	return hosts, nil
+}
+
 // runServe is the -serve mode: an elastic fleet service driven over the
 // REST control plane while virtual time ticks underneath. The fleet
 // starts with -fleet bootstrap databases (0 for an empty service) and
-// grows, resizes and shrinks purely through the HTTP API.
+// grows, resizes and shrinks purely through the HTTP API. With -shards
+// or -shard-map the fleet is split across shard deployments — in-process
+// or one worker process each — behind a coordinator.
 func runServe(c cliConfig) error {
-	tuners, err := buildTuners(c.Tuners, c.Seed)
+	fcfg := fleet.Config{Seed: c.Seed, Parallelism: c.Parallelism}
+	switch {
+	case c.ShardMap != "":
+		hosts, err := buildShardHosts(c)
+		if err != nil {
+			return err
+		}
+		fcfg.ShardHosts = hosts
+	case c.Shards > 0:
+		for i := 0; i < c.Shards; i++ {
+			fcfg.Shards = append(fcfg.Shards, shardConfig(fmt.Sprintf("s%d", i), i, c))
+		}
+	default:
+		tuners, err := buildTuners(c.Tuners, c.Seed)
+		if err != nil {
+			return err
+		}
+		injector, err := buildInjector(c.FaultsProfile, c.FaultSeed, c.Seed)
+		if err != nil {
+			return err
+		}
+		fcfg.Faults = injector
+		fcfg.Tuners = tuners
+	}
+	svc, err := fleet.New(fcfg)
 	if err != nil {
 		return err
 	}
-	injector, err := buildInjector(c.FaultsProfile, c.FaultSeed, c.Seed)
-	if err != nil {
-		return err
-	}
-	svc, err := fleet.New(fleet.Config{
-		Seed:        c.Seed,
-		Parallelism: c.Parallelism,
-		Faults:      injector,
-		Tuners:      tuners,
-	})
-	if err != nil {
-		return err
-	}
-	sys := svc.System()
+	defer svc.Close()
+	sys := svc.System() // nil when sharded: no single System exists
 
 	if c.Resume {
 		if err := svc.RestoreLatest(c.CkptDir); err != nil {
 			return fmt.Errorf("resume: %w", err)
 		}
 		fmt.Printf("resumed from %s at window %d (%d instances, %d tenants)\n",
-			c.CkptDir, sys.Windows(), svc.Summary().Instances, svc.Summary().Tenants)
+			c.CkptDir, svc.Windows(), svc.Summary().Instances, svc.Summary().Tenants)
 	} else if c.Fleet > 0 {
 		if err := seedFleet(svc, c.Fleet); err != nil {
 			return err
@@ -111,12 +183,17 @@ func runServe(c cliConfig) error {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", httpapi.NewFleetServer(svc))
-	mux.Handle("/director/", http.StripPrefix("/director", httpapi.NewDirectorServer(sys.Director)))
-	mux.Handle("/repository/", http.StripPrefix("/repository", httpapi.NewRepositoryServer(sys.Repository)))
-	if c.CkptDir != "" {
-		ckptSrv := httpapi.NewCheckpointServer(sys, c.CkptDir)
-		mux.Handle("/v1/checkpoint", ckptSrv)
-		mux.Handle("/v1/checkpoint/latest", ckptSrv)
+	// The director and repository endpoints expose one deployment's
+	// internals; sharded fleets have one per shard, so only the flat
+	// layout serves them.
+	if sys != nil {
+		mux.Handle("/director/", http.StripPrefix("/director", httpapi.NewDirectorServer(sys.Director)))
+		mux.Handle("/repository/", http.StripPrefix("/repository", httpapi.NewRepositoryServer(sys.Repository)))
+		if c.CkptDir != "" {
+			ckptSrv := httpapi.NewCheckpointServer(sys, c.CkptDir)
+			mux.Handle("/v1/checkpoint", ckptSrv)
+			mux.Handle("/v1/checkpoint/latest", ckptSrv)
+		}
 	}
 	obsHandler := httpapi.NewObsHandler(nil, nil)
 	mux.Handle("/metrics", obsHandler)
@@ -135,17 +212,21 @@ func runServe(c cliConfig) error {
 		}
 	}()
 	fmt.Printf("fleet service on http://%s  (POST/GET/DELETE /v1/tenants, /v1/fleet, /v1/tiers, /v1/blueprints, /metrics)\n", l.Addr())
-	if injector != nil {
-		fmt.Printf("fault injection: profile=%s seed=%d\n", injector.Profile().Name, injector.Seed())
+	if c.FaultsProfile != "" {
+		fmt.Printf("fault injection: profile=%s\n", c.FaultsProfile)
+	}
+	layout := "one flat deployment"
+	if svc.Sharded() {
+		layout = fmt.Sprintf("%d shards", len(svc.Coordinator().ShardNames()))
 	}
 	if c.Hours > 0 {
-		fmt.Printf("serving for %d virtual hours (parallelism %d)\n", c.Hours, sys.Parallelism())
+		fmt.Printf("serving for %d virtual hours (%s)\n", c.Hours, layout)
 	} else {
-		fmt.Printf("serving until interrupted (parallelism %d)\n", sys.Parallelism())
+		fmt.Printf("serving until interrupted (%s)\n", layout)
 	}
 
 	for {
-		w := sys.Windows()
+		w := svc.Windows()
 		if c.Hours > 0 && w >= c.Hours*12 {
 			break
 		}
@@ -161,7 +242,7 @@ func runServe(c cliConfig) error {
 		if (w+1)%12 == 0 {
 			sum := svc.Summary()
 			fmt.Printf("hour %02d: tenants=%d instances=%d provisions=%d deprovisions=%d resizes=%d samples=%d\n",
-				(w+1)/12-1, sum.Tenants, sum.Instances, sum.Provisions, sum.Deprovisions, sum.Resizes, sys.Repository.Len())
+				(w+1)/12-1, sum.Tenants, sum.Instances, sum.Provisions, sum.Deprovisions, sum.Resizes, sum.Samples)
 		}
 		if c.Tick > 0 {
 			select {

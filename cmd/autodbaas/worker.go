@@ -1,0 +1,42 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+
+	"autodbaas/internal/shard"
+)
+
+// runWorker is the -worker mode: a blank shard host serving the shard
+// RPC protocol on -listen. The process carries no simulation state of
+// its own — a coordinator dials in, pushes a shard config over the
+// "init" RPC, and from then on drives provisioning, stepping and
+// checkpointing remotely. Several workers plus one `-serve -shard-map`
+// coordinator form a multi-process deployment.
+func runWorker(c cliConfig) error {
+	network, addr := "tcp", c.Listen
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, addr = "unix", rest
+	}
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	fmt.Printf("shard worker on %s://%s (waiting for a coordinator)\n", network, l.Addr())
+	err = shard.NewServer().Serve(l)
+	if ctx.Err() != nil {
+		fmt.Println("interrupted")
+		return nil
+	}
+	return err
+}

@@ -35,7 +35,16 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "keep the checkpoint job's warmed-fleet snapshots in this directory")
 	ckptEvery := flag.Int("checkpoint-every", 0, "if >0, auto-checkpoint the checkpoint job's warm-up every N windows (needs -checkpoint-dir)")
 	resume := flag.Bool("resume", false, "restore the checkpoint job's fleets from -checkpoint-dir instead of re-running the warm-up")
+	shardWorker := flag.String("shard-worker", "", "internal: serve the shard RPC protocol on this address (the shards job re-execs itself with it)")
 	flag.Parse()
+
+	if *shardWorker != "" {
+		if err := runShardWorker(*shardWorker); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: shard worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
@@ -103,6 +112,7 @@ func main() {
 			return runCheckpointBench(q, *seed, *parallelism, *ckptDir, *ckptEvery, *resume)
 		}},
 		{"fleet", "BENCH_fleet.json", func() string { return runFleetScaling(q, *seed, *parallelism) }},
+		{"shards", "BENCH_shards.json", func() string { return runShardScaling(q, *seed) }},
 		{"ablations", "ablations.txt", func() string {
 			out := experiments.AblationEntropyFilter([]int{2, 4, 8, 16, 64}, scale(30, 10), *seed).Render()
 			out += "\n" + experiments.AblationWorkloadMapping(*seed).Render()

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"autodbaas/internal/shard"
+	"autodbaas/internal/tenant"
+)
+
+// shardScalePoint measures the sharded control plane at one worker
+// count: the per-instance step cost with the fleet fanned out across
+// that many worker processes, and the latency of a full fingerprint
+// merge (fan-out to every worker + deterministic ordered merge).
+type shardScalePoint struct {
+	Workers     int     `json:"workers"`
+	Instances   int     `json:"instances"`
+	Windows     int     `json:"windows"`
+	StepUsPerOp float64 `json:"step_us_per_op"` // one window step / instance, µs
+	StepMsTotal float64 `json:"step_ms_total"`  // whole measured run, ms
+	MergeUs     float64 `json:"merge_us"`       // one fingerprint fan-out + merge, µs
+}
+
+// shardReport is the machine-readable artifact (BENCH_shards.json) for
+// the multi-process control plane: the same workload stepped through
+// 1, 2 and 4 RPC worker processes.
+type shardReport struct {
+	Quick  bool              `json:"quick"`
+	Seed   int64             `json:"seed"`
+	Points []shardScalePoint `json:"points"`
+}
+
+// runShardWorker is the re-exec target: benchrunner relaunches itself
+// with -shard-worker to become one worker process of the shards job.
+func runShardWorker(addr string) error {
+	network, a := "tcp", addr
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, a = "unix", rest
+	}
+	l, err := net.Listen(network, a)
+	if err != nil {
+		return err
+	}
+	return shard.NewServer().Serve(l)
+}
+
+// spawnBenchWorker re-execs this binary as a worker on a unix socket
+// and dials it, retrying until the child is listening.
+func spawnBenchWorker(dir string, i int) (*exec.Cmd, *shard.Remote, error) {
+	sock := filepath.Join(dir, fmt.Sprintf("w%d.sock", i))
+	self, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	cmd := exec.Command(self, "-shard-worker", "unix:"+sock)
+	if err := cmd.Start(); err != nil {
+		return nil, nil, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := shard.Dial("unix", sock)
+		if err == nil {
+			return cmd, r, nil
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, nil, fmt.Errorf("worker %d never came up: %w", i, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// runShardBench measures one worker count end to end.
+func runShardBench(workers, instances, windows int, seed int64) (shardScalePoint, error) {
+	pt := shardScalePoint{Workers: workers, Instances: instances, Windows: windows}
+	dir, err := os.MkdirTemp("", "shardbench")
+	if err != nil {
+		return pt, err
+	}
+	defer os.RemoveAll(dir)
+
+	var cmds []*exec.Cmd
+	defer func() {
+		for _, c := range cmds {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}()
+	hosts := make([]shard.Shard, 0, workers)
+	for i := 0; i < workers; i++ {
+		cmd, r, err := spawnBenchWorker(dir, i)
+		if err != nil {
+			return pt, err
+		}
+		cmds = append(cmds, cmd)
+		cfg := shard.Config{
+			Name: fmt.Sprintf("s%d", i),
+			Seed: seed + int64(i+1)*1000,
+			Tuner: shard.TunerConfig{
+				Count: 1, Candidates: 60, MaxSamplesPerFit: 60, UCBBeta: 0.5,
+			},
+		}
+		if err := r.Init(cfg); err != nil {
+			r.Close()
+			return pt, err
+		}
+		hosts = append(hosts, r)
+	}
+
+	coord, err := shard.NewCoordinator(hosts...)
+	if err != nil {
+		return pt, err
+	}
+	defer coord.Close()
+	for i := 0; i < instances; i++ {
+		spec := shard.InstanceSpec{
+			ID: fmt.Sprintf("db-%03d", i), Plan: "t2.medium", Engine: "postgres",
+			Seed:     seed + int64(i),
+			Workload: tenant.WorkloadSpec{Class: "tpcc", SizeGiB: 2, Rate: 1000},
+			Agent:    shard.AgentConfig{TickEveryMin: 5, GateSamples: true},
+		}
+		if err := coord.AddInstance(spec); err != nil {
+			return pt, err
+		}
+	}
+
+	start := time.Now()
+	for w := 0; w < windows; w++ {
+		if _, err := coord.Step(5 * time.Minute); err != nil {
+			return pt, err
+		}
+	}
+	stepDur := time.Since(start)
+	pt.StepMsTotal = float64(stepDur.Microseconds()) / 1e3
+	pt.StepUsPerOp = float64(stepDur.Microseconds()) / float64(windows*instances)
+
+	const merges = 5
+	start = time.Now()
+	for i := 0; i < merges; i++ {
+		if _, err := coord.Fingerprint(); err != nil {
+			return pt, err
+		}
+	}
+	pt.MergeUs = float64(time.Since(start).Microseconds()) / merges
+	return pt, nil
+}
+
+// runShardScaling produces BENCH_shards.json.
+func runShardScaling(quick bool, seed int64) string {
+	instances, windows := 12, 12
+	if quick {
+		instances, windows = 6, 4
+	}
+	rep := shardReport{Quick: quick, Seed: seed}
+	for _, workers := range []int{1, 2, 4} {
+		pt, err := runShardBench(workers, instances, windows, seed)
+		if err != nil {
+			return fmt.Sprintf(`{"error":%q}`, err.Error())
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(raw) + "\n"
+}

@@ -224,6 +224,28 @@ func Inspect(r io.Reader) (Manifest, map[string][]byte, error) {
 	return readContainer(r)
 }
 
+// RawSection is one named payload for WriteRaw — the coordinator-level
+// snapshot API. The shard coordinator nests each worker shard's full
+// snapshot as a "shard/<name>" section of an outer container, so the
+// multi-process control plane gets the same header, manifest, length
+// and CRC verification as a single-process snapshot, with no second
+// serialization format.
+type RawSection struct {
+	Name    string
+	Payload []byte
+}
+
+// WriteRaw emits a container holding the given manifest (section
+// metadata is filled in) and sections, returning the bytes written.
+// Readers use Inspect.
+func WriteRaw(w io.Writer, man Manifest, secs []RawSection) (int64, error) {
+	staged := make([]section, 0, len(secs))
+	for _, s := range secs {
+		staged = append(staged, section{name: s.Name, payload: s.Payload})
+	}
+	return writeContainer(w, man, staged)
+}
+
 // readContainer reads the header and manifest, then every section the
 // manifest lists, verifying names, lengths and checksums. It returns
 // the manifest and the sections by name.

@@ -177,6 +177,71 @@ func restoreTuner(t tuner.Tuner, blob tunerBlob) error {
 	}
 }
 
+// EncodeInstance serializes one fleet member's state exactly as a full
+// snapshot's "instance/<id>" section would — the tuning agent (TDE
+// embedded), every node engine (master first, then slaves in replica
+// order, virtual clocks and PRNG positions included) and the monitor
+// series — plus the topology pin for the member. It is the migration
+// wire format: a shard checkpoints an instance out with EncodeInstance
+// and the destination shard restores it with DecodeInstance; no new
+// serialization format exists for rebalancing.
+func EncodeInstance(fm FleetMember) ([]byte, InstanceMeta, error) {
+	inst := fm.Agent.Instance()
+	payload := instancePayload{Agent: fm.Agent.CheckpointState()}
+	payload.Nodes = append(payload.Nodes, inst.Replica.Master().CheckpointState())
+	for _, sl := range inst.Replica.Slaves() {
+		payload.Nodes = append(payload.Nodes, sl.CheckpointState())
+	}
+	if fm.Monitor != nil {
+		payload.Monitor = fm.Monitor.CheckpointState()
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, InstanceMeta{}, fmt.Errorf("checkpoint: encode instance %q: %w", fm.ID, err)
+	}
+	return raw, instanceMeta(fm), nil
+}
+
+// DecodeInstance restores an EncodeInstance payload onto a freshly
+// (re-)provisioned fleet member. The member must match the payload's
+// topology pin (engine, plan, replica count); Gen is not compared — the
+// member joins the destination cohort at the destination's own
+// generation numbering.
+func DecodeInstance(fm FleetMember, meta InstanceMeta, payload []byte) error {
+	got := instanceMeta(fm)
+	got.Gen = meta.Gen
+	if got != meta {
+		return fmt.Errorf("%w: instance %q is %+v, migration payload holds %+v", ErrManifest, fm.ID, got, meta)
+	}
+	return restoreInstance(fm, secInstPrefix+fm.ID, payload)
+}
+
+// restoreInstance applies one "instance/<id>" payload onto a rebuilt
+// member: node engines first, then the agent, then the monitor series.
+func restoreInstance(fm FleetMember, name string, payload []byte) error {
+	var p instancePayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return fmt.Errorf("checkpoint: decode section %q: %w", name, err)
+	}
+	inst := fm.Agent.Instance()
+	nodes := append([]*simdb.Engine{inst.Replica.Master()}, inst.Replica.Slaves()...)
+	if len(p.Nodes) != len(nodes) {
+		return fmt.Errorf("%w: section %q holds %d nodes, instance has %d", ErrManifest, name, len(p.Nodes), len(nodes))
+	}
+	for i, node := range nodes {
+		if err := node.RestoreCheckpointState(p.Nodes[i]); err != nil {
+			return fmt.Errorf("checkpoint: section %q node %d: %w", name, i, err)
+		}
+	}
+	if err := fm.Agent.RestoreCheckpointState(p.Agent); err != nil {
+		return fmt.Errorf("checkpoint: section %q agent: %w", name, err)
+	}
+	if fm.Monitor != nil {
+		fm.Monitor.RestoreCheckpointState(p.Monitor)
+	}
+	return nil
+}
+
 // instanceMeta derives the topology pin for one fleet member.
 func instanceMeta(fm FleetMember) InstanceMeta {
 	inst := fm.Agent.Instance()
@@ -456,25 +521,12 @@ func Read(r io.Reader, sys System) (man Manifest, err error) {
 
 	for _, fm := range sys.Fleet {
 		name := secInstPrefix + fm.ID
-		var payload instancePayload
-		if err := decode(name, &payload); err != nil {
+		payload, err := need(name)
+		if err != nil {
 			return man, err
 		}
-		inst := fm.Agent.Instance()
-		nodes := append([]*simdb.Engine{inst.Replica.Master()}, inst.Replica.Slaves()...)
-		if len(payload.Nodes) != len(nodes) {
-			return man, fmt.Errorf("%w: section %q holds %d nodes, instance has %d", ErrManifest, name, len(payload.Nodes), len(nodes))
-		}
-		for i, node := range nodes {
-			if err := node.RestoreCheckpointState(payload.Nodes[i]); err != nil {
-				return man, fmt.Errorf("checkpoint: section %q node %d: %w", name, i, err)
-			}
-		}
-		if err := fm.Agent.RestoreCheckpointState(payload.Agent); err != nil {
-			return man, fmt.Errorf("checkpoint: section %q agent: %w", name, err)
-		}
-		if fm.Monitor != nil {
-			fm.Monitor.RestoreCheckpointState(payload.Monitor)
+		if err := restoreInstance(fm, name, payload); err != nil {
+			return man, err
 		}
 	}
 

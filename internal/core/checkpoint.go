@@ -94,6 +94,52 @@ func (s *System) Restore(r io.Reader) error {
 	return nil
 }
 
+// ExportInstanceSection serializes one live member's full state — the
+// tuning agent with its embedded TDE, every node engine (virtual clock
+// and PRNG positions included) and the monitor series — in the snapshot
+// container's "instance/<id>" section format, plus the member's
+// topology pin. The repository fan-out is drained first, so every
+// sample the instance uploaded has reached the tuners and its training
+// history stays behind with this system. This is the shard runtime's
+// migration export: rebalancing an instance between shards is exactly
+// checkpoint-out here, restore-in via ImportInstanceSection there.
+func (s *System) ExportInstanceSection(id string) ([]byte, checkpoint.InstanceMeta, error) {
+	s.Repository.Flush()
+	s.mu.Lock()
+	a, ok := s.agents[id]
+	mon := s.monitors[id]
+	gen := s.memberGens[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, checkpoint.InstanceMeta{}, fmt.Errorf("core: no agent for %s", id)
+	}
+	return checkpoint.EncodeInstance(checkpoint.FleetMember{ID: id, Gen: gen, Agent: a, Monitor: mon})
+}
+
+// ImportInstanceSection restores an exported instance section onto a
+// member that was just (re-)provisioned into this system via
+// AddInstance with the same spec — the rebuild-then-restore contract at
+// single-instance scope. The payload must match the live member's
+// topology pin (a mismatch fails with a named-instance error before
+// any state mutates), and the imported configuration is persisted as
+// the orchestrator's new source of truth, exactly as a resize would.
+// Call it between Steps, never concurrently with one.
+func (s *System) ImportInstanceSection(id string, meta checkpoint.InstanceMeta, payload []byte) error {
+	s.mu.Lock()
+	a, ok := s.agents[id]
+	mon := s.monitors[id]
+	gen := s.memberGens[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: no agent for %s", id)
+	}
+	fm := checkpoint.FleetMember{ID: id, Gen: gen, Agent: a, Monitor: mon}
+	if err := checkpoint.DecodeInstance(fm, meta, payload); err != nil {
+		return err
+	}
+	return s.Orchestrator.PersistConfig(id, a.Instance().Replica.Master().Config())
+}
+
 // SetAutoCheckpoint enables periodic snapshots: after every everyN-th
 // window Step writes dir/checkpoint-<window>.ckpt (atomically, via a
 // temp file rename) and refreshes dir/latest.ckpt. everyN <= 0 or an

@@ -269,6 +269,23 @@ func (d *Director) CircuitSkips() int { return int(d.circuitSkips.Load()) }
 // CircuitTrips returns the number of circuit-breaker trips so far.
 func (d *Director) CircuitTrips() int { return int(d.circuitTrips.Load()) }
 
+// CircuitOpen reports whether one instance's recommendation circuit is
+// currently open. The shard coordinator consults it when deciding (and
+// testing) rebalances: migrating an instance drops its breaker state
+// with the rest of the source shard's director bookkeeping, so the
+// destination starts it half-closed like any fresh onboarding.
+func (d *Director) CircuitOpen(id string) bool {
+	d.shardMu.RLock()
+	st, ok := d.shards[id]
+	d.shardMu.RUnlock()
+	if !ok {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.open
+}
+
 // OpenCircuits counts instances whose circuit is currently open.
 func (d *Director) OpenCircuits() int {
 	d.shardMu.RLock()

@@ -8,9 +8,6 @@ import (
 	"path/filepath"
 
 	"autodbaas/internal/checkpoint"
-	"autodbaas/internal/cluster"
-	"autodbaas/internal/core"
-	"autodbaas/internal/knobs"
 	"autodbaas/internal/tenant"
 )
 
@@ -38,10 +35,15 @@ type controlState struct {
 	Resizes      int64          `json:"resizes_total"`
 }
 
-// saveControlState is the Extra hook checkpoint.Write calls: it runs
-// between Steps (Checkpoint's contract), so desired state is stable.
+// saveControlState is the Extra hook the engine's checkpoint calls
+// (core.System extras on the flat engine, coordinator extras when
+// sharded): it runs between Steps (Checkpoint's contract), so desired
+// state is stable.
 func (s *Service) saveControlState() ([]byte, error) {
-	members := s.sys.Members()
+	members, err := s.eng.Members()
+	if err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ctl := controlState{
@@ -66,7 +68,7 @@ func (s *Service) saveControlState() ([]byte, error) {
 
 // CheckpointNow writes a snapshot (engine state plus the control-plane
 // section) to dir and refreshes dir/latest.ckpt.
-func (s *Service) CheckpointNow(dir string) (string, error) { return s.sys.CheckpointNow(dir) }
+func (s *Service) CheckpointNow(dir string) (string, error) { return s.eng.CheckpointTo(dir) }
 
 // RestoreLatest resumes a fleet service from dir/latest.ckpt. The
 // receiver must be freshly built from the same Config (seed, tuners,
@@ -77,12 +79,14 @@ func (s *Service) RestoreLatest(dir string) error {
 
 // RestoreFrom resumes from one snapshot file. The restore is two-pass:
 // Inspect recovers the control-plane section without touching engine
-// state; the service rebuilds its desired state and re-provisions the
-// recorded cohort in onboarding order with the recorded plans and
-// seeds; then the engine restore overwrites every instance, tuner,
-// director and repository section, leaving the fleet exactly where the
-// snapshot was taken — same window, same membership generations, same
-// fingerprint going forward.
+// state; the service rebuilds its desired state — and, on the flat
+// engine, re-provisions the recorded cohort in onboarding order with
+// the recorded plans and seeds (sharded snapshots are self-contained:
+// every shard rebuilds its own cohort from its specs section); then
+// the engine restore overwrites every instance, tuner, director and
+// repository section, leaving the fleet exactly where the snapshot was
+// taken — same window, same membership generations, same fingerprint
+// going forward.
 func (s *Service) RestoreFrom(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -94,15 +98,15 @@ func (s *Service) RestoreFrom(path string) error {
 	}
 	raw, ok := sections["extra/"+controlSection]
 	if !ok {
-		return fmt.Errorf("%w: snapshot has no fleet control-plane section (written by a bare core.System?)", checkpoint.ErrManifest)
+		return fmt.Errorf("%w: snapshot has no fleet control-plane section (written by a bare engine?)", checkpoint.ErrManifest)
 	}
 	var ctl controlState
 	if err := json.Unmarshal(raw, &ctl); err != nil {
 		return fmt.Errorf("fleet: decode control-plane section: %w", err)
 	}
 
-	if s.sys.FleetSize() != 0 {
-		return fmt.Errorf("fleet: restore into a non-empty service (%d instances); rebuild it first", s.sys.FleetSize())
+	if n := s.eng.FleetSize(); n != 0 {
+		return fmt.Errorf("fleet: restore into a non-empty service (%d instances); rebuild it first", n)
 	}
 	s.mu.Lock()
 	if len(s.tenants) != 0 {
@@ -125,25 +129,41 @@ func (s *Service) RestoreFrom(path string) error {
 	}
 	s.provisions, s.deprovisions, s.resizes = ctl.Provisions, ctl.Deprovisions, ctl.Resizes
 
-	// Rebuild the cohort in recorded onboarding order with the recorded
-	// plans and seeds; the engine restore below overwrites all state.
-	for _, id := range ctl.Order {
-		db, ok := byInstance[id]
-		if !ok {
-			s.mu.Unlock()
-			return fmt.Errorf("fleet: snapshot cohort lists %q but no tenant record declares it", id)
-		}
-		ts := s.tenants[tenantIDOf(id)]
-		if err := s.rebuildLocked(ts, db); err != nil {
-			s.mu.Unlock()
-			return err
+	if !s.eng.SelfContainedSnapshots() {
+		// Rebuild the cohort in recorded onboarding order with the
+		// recorded plans and seeds; the engine restore below overwrites
+		// all state.
+		for _, id := range ctl.Order {
+			db, ok := byInstance[id]
+			if !ok {
+				s.mu.Unlock()
+				return fmt.Errorf("fleet: snapshot cohort lists %q but no tenant record declares it", id)
+			}
+			ts := s.tenants[tenantIDOf(id)]
+			if err := s.rebuildLocked(ts, db); err != nil {
+				s.mu.Unlock()
+				return err
+			}
 		}
 	}
 	s.m.tenants.Set(float64(len(s.tenants)))
 	s.m.instances.Set(float64(len(ctl.Order)))
 	s.mu.Unlock()
 
-	return s.sys.Restore(bytes.NewReader(data))
+	if err := s.eng.Restore(data); err != nil {
+		return err
+	}
+
+	// Cross-check the engine's rebuilt cohort against the control
+	// plane's: every recorded instance must be hosted somewhere.
+	if s.eng.SelfContainedSnapshots() {
+		for _, id := range ctl.Order {
+			if _, ok := s.eng.Placement(id); !ok {
+				return fmt.Errorf("fleet: restored engine does not host recorded instance %q", id)
+			}
+		}
+	}
+	return nil
 }
 
 // tenantIDOf splits "<tenant>/<db>" back into the tenant half.
@@ -164,21 +184,5 @@ func (s *Service) rebuildLocked(ts *tenantState, db *dbState) error {
 	if !ok {
 		return fmt.Errorf("fleet: snapshot database %s/%s uses blueprint %q, absent from this catalogue", ts.Tenant.ID, db.ID, db.Blueprint)
 	}
-	gen, err := bp.Workload.Build()
-	if err != nil {
-		return err
-	}
-	_, err = s.sys.AddInstance(core.InstanceSpec{
-		Provision: cluster.ProvisionSpec{
-			ID:          instanceID(ts.Tenant.ID, db.ID),
-			Plan:        db.Plan,
-			Engine:      knobs.Engine(bp.Engine),
-			DBSizeBytes: gen.DBSizeBytes(),
-			Slaves:      bp.Slaves,
-			Seed:        db.Seed,
-		},
-		Workload: gen,
-		Agent:    agentOptions(bp),
-	})
-	return err
+	return s.eng.AddInstance(instanceSpec(instanceID(ts.Tenant.ID, db.ID), db, bp))
 }

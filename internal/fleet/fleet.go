@@ -25,12 +25,11 @@ import (
 	"sync"
 	"time"
 
-	"autodbaas/internal/agent"
 	"autodbaas/internal/cluster"
 	"autodbaas/internal/core"
 	"autodbaas/internal/faults"
-	"autodbaas/internal/knobs"
 	"autodbaas/internal/obs"
+	"autodbaas/internal/shard"
 	"autodbaas/internal/tenant"
 	"autodbaas/internal/tuner"
 )
@@ -54,14 +53,31 @@ type Config struct {
 	// Parallelism is the fleet-step worker bound (0: GOMAXPROCS).
 	Parallelism int
 	// Faults optionally injects deterministic chaos (may be nil).
+	// Ignored when the engine is sharded — each shard config names its
+	// own fault profile.
 	Faults *faults.Injector
-	// Tuners is the shared tuner fleet (required, len >= 1).
+	// Tuners is the shared tuner fleet (required for the flat engine,
+	// len >= 1). Ignored when sharded — each shard builds its own
+	// tuner pool from its config.
 	Tuners []tuner.Tuner
 	// Tiers and Blueprints are the service catalogue; nil means the
 	// built-in defaults from the tenant package.
 	Tiers      map[string]tenant.Tier
 	Blueprints map[string]tenant.Blueprint
+
+	// Shards switches the engine from one flat core.System to a
+	// coordinator over one in-process shard per config. Instance
+	// placement is the coordinator's rendezvous hash; the shard map
+	// (names, in order) is part of the determinism contract.
+	Shards []shard.Config
+	// ShardHosts supplies pre-built shards instead — e.g. shard.Remote
+	// proxies to `autodbaas -worker` processes. Takes precedence over
+	// Shards. The service owns them: Close releases them.
+	ShardHosts []shard.Shard
 }
+
+// Sharded reports whether the config selects the sharded engine.
+func (c Config) Sharded() bool { return len(c.Shards) > 0 || len(c.ShardHosts) > 0 }
 
 // dbState is the desired+observed record of one database service. It is
 // JSON-serializable: the control-plane section of a snapshot is exactly
@@ -91,7 +107,12 @@ type tenantState struct {
 type Service struct {
 	mu  sync.Mutex
 	cfg Config
-	sys *core.System
+	eng engine
+
+	// sys is the flat engine's deployment (nil when sharded); coord is
+	// the sharded engine's coordinator (nil when flat).
+	sys   *core.System
+	coord *shard.Coordinator
 
 	tenants map[string]*tenantState
 
@@ -140,24 +161,56 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
+	s := &Service{
+		cfg:     cfg,
+		tenants: make(map[string]*tenantState),
+		m:       newFleetMetrics(obs.Default()),
+	}
+	if cfg.Sharded() {
+		shards := cfg.ShardHosts
+		if len(shards) == 0 {
+			for _, sc := range cfg.Shards {
+				l, err := shard.NewLocal(sc)
+				if err != nil {
+					return nil, err
+				}
+				shards = append(shards, l)
+			}
+		}
+		coord, err := shard.NewCoordinator(shards...)
+		if err != nil {
+			return nil, err
+		}
+		s.coord = coord
+		s.eng = &shardedEngine{coord: coord}
+		coord.RegisterCheckpointExtra(controlSection, s.saveControlState, nil)
+		return s, nil
+	}
 	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: cfg.Parallelism, Faults: cfg.Faults}, cfg.Tuners...)
 	if err != nil {
 		return nil, err
 	}
-	s := &Service{
-		cfg:     cfg,
-		sys:     sys,
-		tenants: make(map[string]*tenantState),
-		m:       newFleetMetrics(obs.Default()),
-	}
+	s.sys = sys
+	s.eng = &flatEngine{sys: sys}
 	sys.RegisterCheckpointExtra(controlSection, s.saveControlState, nil)
 	return s, nil
 }
 
-// System exposes the underlying deployment — for mounting its HTTP
-// surfaces and for tests. Mutate membership through the Service, not
-// directly.
+// System exposes the flat engine's underlying deployment — for
+// mounting its HTTP surfaces and for tests. Nil when the fleet is
+// sharded (there is no single System); use Coordinator then. Mutate
+// membership through the Service, not directly.
 func (s *Service) System() *core.System { return s.sys }
+
+// Coordinator exposes the sharded engine's coordinator (nil on a flat
+// fleet) — for rebalance tooling and tests.
+func (s *Service) Coordinator() *shard.Coordinator { return s.coord }
+
+// Sharded reports whether the fleet runs on the sharded engine.
+func (s *Service) Sharded() bool { return s.coord != nil }
+
+// Close releases the engine (remote shard connections, if any).
+func (s *Service) Close() error { return s.eng.Close() }
 
 // Tiers returns the service catalogue's tiers.
 func (s *Service) Tiers() map[string]tenant.Tier { return s.cfg.Tiers }
@@ -357,26 +410,10 @@ func sortedDBIDs(ts *tenantState) []string {
 // engine. Callers hold s.mu.
 func (s *Service) provisionLocked(ts *tenantState, db *dbState) error {
 	bp := s.cfg.Blueprints[db.Blueprint]
-	gen, err := bp.Workload.Build()
-	if err != nil {
-		return err
-	}
 	id := instanceID(ts.Tenant.ID, db.ID)
 	db.Joins++
 	db.Seed = s.instSeed(id, db.Joins)
-	_, err = s.sys.AddInstance(core.InstanceSpec{
-		Provision: cluster.ProvisionSpec{
-			ID:          id,
-			Plan:        db.Plan,
-			Engine:      knobs.Engine(bp.Engine),
-			DBSizeBytes: gen.DBSizeBytes(),
-			Slaves:      bp.Slaves,
-			Seed:        db.Seed,
-		},
-		Workload: gen,
-		Agent:    agentOptions(bp),
-	})
-	if err != nil {
+	if err := s.eng.AddInstance(instanceSpec(id, db, bp)); err != nil {
 		return err
 	}
 	tier := s.cfg.Tiers[ts.Tenant.Tier]
@@ -387,16 +424,29 @@ func (s *Service) provisionLocked(ts *tenantState, db *dbState) error {
 	return nil
 }
 
-// agentOptions derives the tuning-agent options from a blueprint.
-func agentOptions(bp tenant.Blueprint) agent.Options {
-	opts := agent.Options{GateSamples: bp.GateSamples}
-	if bp.TickEveryMin > 0 {
-		opts.TickEvery = time.Duration(bp.TickEveryMin) * time.Minute
+// instanceSpec assembles the declarative engine spec for one database:
+// the blueprint's workload and agent settings, the record's current
+// plan and seed.
+func instanceSpec(id string, db *dbState, bp tenant.Blueprint) shard.InstanceSpec {
+	return shard.InstanceSpec{
+		ID:       id,
+		Plan:     db.Plan,
+		Engine:   bp.Engine,
+		Slaves:   bp.Slaves,
+		Seed:     db.Seed,
+		Workload: bp.Workload,
+		Agent:    agentConfig(bp),
 	}
-	if bp.Mode == "periodic" {
-		opts.Mode = agent.ModePeriodic
+}
+
+// agentConfig derives the serializable tuning-agent config from a
+// blueprint.
+func agentConfig(bp tenant.Blueprint) shard.AgentConfig {
+	return shard.AgentConfig{
+		TickEveryMin: bp.TickEveryMin,
+		GateSamples:  bp.GateSamples,
+		Periodic:     bp.Mode == "periodic",
 	}
-	return opts
 }
 
 // reconcileLocked drives observed membership toward desired state:
@@ -418,7 +468,7 @@ func (s *Service) reconcileLocked() error {
 				delete(ts.DBs, did)
 			case db.Deleting && db.Phase == tenant.Draining:
 				// The final window has run; drain the fan-out and release.
-				if err := s.sys.RemoveInstance(instanceID(tid, did)); err != nil {
+				if err := s.eng.RemoveInstance(instanceID(tid, did)); err != nil {
 					return fmt.Errorf("fleet: deprovision %s/%s: %w", tid, did, err)
 				}
 				db.Phase = tenant.Deprovisioned
@@ -434,7 +484,7 @@ func (s *Service) reconcileLocked() error {
 				id := instanceID(tid, did)
 				db.Joins++
 				db.Seed = s.instSeed(id, db.Joins)
-				if _, err := s.sys.ResizeInstance(id, db.Pending, db.Seed, agentOptions(bp)); err != nil {
+				if err := s.eng.ResizeInstance(id, db.Pending, db.Seed, agentConfig(bp)); err != nil {
 					return fmt.Errorf("fleet: resize %s/%s: %w", tid, did, err)
 				}
 				db.Plan = db.Pending
@@ -462,7 +512,7 @@ func (s *Service) reconcileLocked() error {
 		}
 	}
 	s.m.tenants.Set(float64(len(s.tenants)))
-	s.m.instances.Set(float64(s.sys.FleetSize()))
+	s.m.instances.Set(float64(s.eng.FleetSize()))
 	return nil
 }
 
@@ -470,15 +520,14 @@ func (s *Service) reconcileLocked() error {
 // window of the given duration. The reconcile happens first, so a
 // database created between ticks is provisioned before it ever steps,
 // and one deleted between ticks drains exactly one final window.
-func (s *Service) Step(dur time.Duration) (core.StepResult, error) {
+func (s *Service) Step(dur time.Duration) (shard.StepResult, error) {
 	s.mu.Lock()
 	err := s.reconcileLocked()
 	s.mu.Unlock()
 	if err != nil {
-		return core.StepResult{}, err
+		return shard.StepResult{}, err
 	}
-	res := s.sys.Step(dur)
-	return res, nil
+	return s.eng.Step(dur)
 }
 
 // RunFor steps the fleet window-by-window for a total virtual duration.
@@ -491,7 +540,38 @@ func (s *Service) RunFor(total, window time.Duration) error {
 	return nil
 }
 
-// SetAutoCheckpoint passes through to the engine (see
+// SetAutoCheckpoint arms engine snapshots every N steps (see
 // core.System.SetAutoCheckpoint); snapshots include the fleet service's
-// control-plane section.
-func (s *Service) SetAutoCheckpoint(dir string, everyN int) { s.sys.SetAutoCheckpoint(dir, everyN) }
+// control-plane section on either engine.
+func (s *Service) SetAutoCheckpoint(dir string, everyN int) { s.eng.SetAutoCheckpoint(dir, everyN) }
+
+// Windows returns the number of completed fleet steps.
+func (s *Service) Windows() int { return s.eng.Windows() }
+
+// Rebalance migrates a database's backing instance onto another shard:
+// its live state is checkpointed out of the source shard and restored
+// into the destination, with no change to desired state — the move is
+// invisible to the tenant. Only sharded fleets can rebalance.
+func (s *Service) Rebalance(tenantID, dbID, toShard string) error {
+	s.mu.Lock()
+	ts, ok := s.tenants[tenantID]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: tenant %q", ErrNotFound, tenantID)
+	}
+	db, ok := ts.DBs[dbID]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: database %q", ErrNotFound, dbID)
+	}
+	if db.Phase == tenant.Pending {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: database %q is not provisioned yet", ErrConflict, dbID)
+	}
+	if db.Deleting {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: database %q is being deprovisioned", ErrConflict, dbID)
+	}
+	s.mu.Unlock()
+	return s.eng.Rebalance(instanceID(tenantID, dbID), toShard)
+}

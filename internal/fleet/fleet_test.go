@@ -235,8 +235,8 @@ func churnSchedule() []churnEvent {
 // runChurn drives the schedule for totalWindows and fingerprints.
 func runChurn(t *testing.T, svc *Service, schedule []churnEvent, totalWindows int) Fingerprint {
 	t.Helper()
-	for svc.System().Windows() < totalWindows {
-		w := svc.System().Windows()
+	for svc.Windows() < totalWindows {
+		w := svc.Windows()
 		for _, ev := range schedule {
 			if ev.window == w {
 				ev.apply(t, svc)
@@ -244,7 +244,11 @@ func runChurn(t *testing.T, svc *Service, schedule []churnEvent, totalWindows in
 		}
 		mustStep(t, svc)
 	}
-	return svc.Fingerprint()
+	fp, err := svc.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
 }
 
 // TestChurnDeterminismAcrossParallelism is the fleet service's core

@@ -14,7 +14,8 @@ type DatabaseStatus struct {
 	Phase       string `json:"phase"`
 	PendingPlan string `json:"pending_plan,omitempty"`
 	Deleting    bool   `json:"deleting,omitempty"`
-	Gen         int    `json:"gen,omitempty"` // membership generation of the last (re-)join
+	Gen         int    `json:"gen,omitempty"`   // membership generation of the last (re-)join
+	Shard       string `json:"shard,omitempty"` // hosting shard (sharded fleets only)
 }
 
 // TenantStatus is one tenant's externally visible state.
@@ -35,12 +36,18 @@ type Summary struct {
 	Provisions   int64 `json:"provisions_total"`
 	Deprovisions int64 `json:"deprovisions_total"`
 	Resizes      int64 `json:"resizes_total"`
+	Samples      int   `json:"samples_total"`
 }
 
-// memberGens maps live instance IDs to their join generation.
+// memberGens maps live instance IDs to their join generation. A
+// best-effort view: an unreachable remote shard contributes nothing.
 func (s *Service) memberGens() map[string]int {
 	out := make(map[string]int)
-	for _, m := range s.sys.Members() {
+	members, err := s.eng.Members()
+	if err != nil {
+		return out
+	}
+	for _, m := range members {
 		out[m.ID] = m.Gen
 	}
 	return out
@@ -57,6 +64,7 @@ func (s *Service) statusLocked(ts *tenantState, gens map[string]int) TenantStatu
 	}
 	for _, did := range sortedDBIDs(ts) {
 		db := ts.DBs[did]
+		shardName, _ := s.eng.Placement(instanceID(ts.Tenant.ID, db.ID))
 		st.Databases = append(st.Databases, DatabaseStatus{
 			ID:          db.ID,
 			Blueprint:   db.Blueprint,
@@ -65,6 +73,7 @@ func (s *Service) statusLocked(ts *tenantState, gens map[string]int) TenantStatu
 			PendingPlan: db.Pending,
 			Deleting:    db.Deleting,
 			Gen:         gens[instanceID(ts.Tenant.ID, db.ID)],
+			Shard:       shardName,
 		})
 	}
 	return st
@@ -108,16 +117,22 @@ func (s *Service) ListTenants() []TenantStatus {
 	return out
 }
 
-// Summary returns the fleet-wide roll-up.
+// Summary returns the fleet-wide roll-up. Engine-side numbers are
+// best-effort: an unreachable remote shard leaves Generation at zero.
 func (s *Service) Summary() Summary {
-	window := s.sys.Windows()
-	gen := s.sys.Generation()
-	size := s.sys.FleetSize()
+	window := s.eng.Windows()
+	size := s.eng.FleetSize()
+	gen, samples := 0, 0
+	if counters, err := s.eng.Counters(); err == nil {
+		gen = counters.Generation
+		samples = counters.Samples
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Summary{
 		Window:       window,
 		Generation:   gen,
+		Samples:      samples,
 		Tenants:      len(s.tenants),
 		Instances:    size,
 		Provisions:   s.provisions,
@@ -158,14 +173,22 @@ type Fingerprint struct {
 	Members []MemberPrint
 }
 
-// Fingerprint computes the current fleet fingerprint.
-func (s *Service) Fingerprint() Fingerprint {
-	fp := Fingerprint{
-		Window:     s.sys.Windows(),
-		Generation: s.sys.Generation(),
-		Samples:    s.sys.Repository.Len(),
+// Fingerprint computes the current fleet fingerprint from the engine's
+// merged digest — identical machinery on the flat and sharded engines.
+func (s *Service) Fingerprint() (Fingerprint, error) {
+	efp, err := s.eng.Fingerprint()
+	if err != nil {
+		return Fingerprint{}, err
 	}
-	fp.TuningRequests, fp.Recommendations, fp.ApplyFailures, fp.PlanUpgrades = s.sys.Director.Counters()
+	fp := Fingerprint{
+		Window:          s.eng.Windows(),
+		Generation:      efp.Counters.Generation,
+		Samples:         efp.Counters.Samples,
+		TuningRequests:  efp.Counters.TuningRequests,
+		Recommendations: efp.Counters.Recommendations,
+		ApplyFailures:   efp.Counters.ApplyFailures,
+		PlanUpgrades:    efp.Counters.PlanUpgrades,
+	}
 
 	phases := make(map[string]string)
 	s.mu.Lock()
@@ -177,21 +200,16 @@ func (s *Service) Fingerprint() Fingerprint {
 	}
 	s.mu.Unlock()
 
-	gens := s.memberGens()
-	for _, a := range s.sys.Agents() {
-		inst := a.Instance()
-		mp := MemberPrint{
-			ID:     inst.ID,
-			Gen:    gens[inst.ID],
-			Plan:   inst.Plan.Name,
-			Phase:  phases[inst.ID],
-			Config: inst.Replica.Master().Config(),
-		}
-		if m, ok := s.sys.Monitor(inst.ID); ok {
-			mp.MonitorPoints = m.Series("disk_latency_ms").Len()
-		}
-		fp.Members = append(fp.Members, mp)
+	for _, m := range efp.Members {
+		fp.Members = append(fp.Members, MemberPrint{
+			ID:            m.ID,
+			Gen:           m.Gen,
+			Plan:          efp.Plans[m.ID],
+			Phase:         phases[m.ID],
+			Config:        efp.Configs[m.ID],
+			MonitorPoints: efp.MonitorPoints[m.ID],
+		})
 	}
 	sort.Slice(fp.Members, func(i, j int) bool { return fp.Members[i].ID < fp.Members[j].ID })
-	return fp
+	return fp, nil
 }

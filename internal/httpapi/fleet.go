@@ -20,6 +20,7 @@ import (
 //	GET    /v1/tenants/{id}/databases/{db}      one database
 //	PATCH  /v1/tenants/{id}/databases/{db}      resize (move plans)
 //	DELETE /v1/tenants/{id}/databases/{db}      drain + deprovision
+//	POST   /v1/tenants/{id}/databases/{db}/rebalance   move between shards
 //	GET    /v1/fleet                            fleet-wide summary
 //	GET    /v1/tiers                            tier catalogue
 //	GET    /v1/blueprints                       blueprint catalogue
@@ -43,6 +44,7 @@ func NewFleetServer(svc *fleet.Service) *FleetServer {
 	s.mux.HandleFunc("GET /v1/tenants/{id}/databases/{db}", s.getDatabase)
 	s.mux.HandleFunc("PATCH /v1/tenants/{id}/databases/{db}", s.resizeDatabase)
 	s.mux.HandleFunc("DELETE /v1/tenants/{id}/databases/{db}", s.deleteDatabase)
+	s.mux.HandleFunc("POST /v1/tenants/{id}/databases/{db}/rebalance", s.rebalanceDatabase)
 	s.mux.HandleFunc("GET /v1/fleet", s.summary)
 	s.mux.HandleFunc("GET /v1/tiers", s.tiers)
 	s.mux.HandleFunc("GET /v1/blueprints", s.blueprints)
@@ -149,6 +151,34 @@ func (s *FleetServer) resizeDatabase(w http.ResponseWriter, r *http.Request) {
 	}
 	db, _ := s.svc.GetDatabase(tid, did)
 	writeJSON(w, http.StatusAccepted, db)
+}
+
+// rebalanceRequest is the POST body: the shard to move the database to.
+type rebalanceRequest struct {
+	Shard string `json:"shard"`
+}
+
+// rebalanceDatabase moves a database's live state onto another shard.
+// Unlike the other mutations this acts on the engine immediately — the
+// instance's tuned config, monitor series and tuner history migrate
+// via the checkpoint codec, and desired state is untouched.
+func (s *FleetServer) rebalanceDatabase(w http.ResponseWriter, r *http.Request) {
+	var req rebalanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode rebalance request: %w", err))
+		return
+	}
+	if req.Shard == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rebalance request needs a shard"))
+		return
+	}
+	tid, did := r.PathValue("id"), r.PathValue("db")
+	if err := s.svc.Rebalance(tid, did, req.Shard); err != nil {
+		writeFleetError(w, err)
+		return
+	}
+	db, _ := s.svc.GetDatabase(tid, did)
+	writeJSON(w, http.StatusOK, db)
 }
 
 func (s *FleetServer) deleteDatabase(w http.ResponseWriter, r *http.Request) {

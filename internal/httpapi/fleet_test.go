@@ -12,6 +12,7 @@ import (
 
 	"autodbaas/internal/fleet"
 	"autodbaas/internal/knobs"
+	"autodbaas/internal/shard"
 	"autodbaas/internal/tenant"
 	"autodbaas/internal/tuner"
 	"autodbaas/internal/tuner/bo"
@@ -231,5 +232,99 @@ func TestFleetAPICatalogue(t *testing.T) {
 	var list []fleet.TenantStatus
 	if rec := call(t, srv, "GET", "/v1/tenants", ""); rec.Code != 200 || json.Unmarshal(rec.Body.Bytes(), &list) != nil || len(list) != 0 {
 		t.Fatalf("tenants: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestFleetAPIRebalance drives the rebalance route end to end on a
+// two-shard fleet, plus its error paths on flat and sharded layouts.
+func TestFleetAPIRebalance(t *testing.T) {
+	svc, err := fleet.New(fleet.Config{
+		Seed: 5,
+		Tiers: map[string]tenant.Tier{
+			"std": {Name: "std", MaxInstances: 4, AllowedPlans: []string{"t2.medium", "t2.large"}, WarmupWindows: 1},
+		},
+		Blueprints: map[string]tenant.Blueprint{
+			"oltp": {Name: "oltp", Engine: "postgres", Plan: "t2.medium",
+				Workload: tenant.WorkloadSpec{Class: "tpcc", SizeGiB: 2, Rate: 1000}},
+		},
+		Shards: []shard.Config{
+			{Name: "s0", Seed: 100, Parallelism: 1},
+			{Name: "s1", Seed: 200, Parallelism: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewFleetServer(svc)
+
+	if rec := call(t, srv, "POST", "/v1/tenants", `{"id":"acme","tier":"std"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("create tenant: %d %s", rec.Code, rec.Body)
+	}
+	if rec := call(t, srv, "POST", "/v1/tenants/acme/databases", `{"id":"orders","blueprint":"oltp"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("create database: %d %s", rec.Code, rec.Body)
+	}
+
+	// Pending databases have no live state to move yet.
+	if rec := call(t, srv, "POST", "/v1/tenants/acme/databases/orders/rebalance", `{"shard":"s1"}`); rec.Code != http.StatusConflict {
+		t.Fatalf("rebalance before provisioning: %d %s", rec.Code, rec.Body)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Step(5 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var db fleet.DatabaseStatus
+	rec := call(t, srv, "GET", "/v1/tenants/acme/databases/orders", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Shard == "" {
+		t.Fatalf("no hosting shard in status: %s", rec.Body)
+	}
+	to := "s0"
+	if db.Shard == "s0" {
+		to = "s1"
+	}
+
+	rec = call(t, srv, "POST", "/v1/tenants/acme/databases/orders/rebalance", fmt.Sprintf(`{"shard":%q}`, to))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rebalance: %d %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Shard != to {
+		t.Fatalf("rebalance response shard = %q, want %q", db.Shard, to)
+	}
+	if _, err := svc.Step(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Error paths: body, unknown target, unknown database.
+	if rec := call(t, srv, "POST", "/v1/tenants/acme/databases/orders/rebalance", `{}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("shardless rebalance: %d %s", rec.Code, rec.Body)
+	}
+	if rec := call(t, srv, "POST", "/v1/tenants/acme/databases/orders/rebalance", `{"shard":"ghost"}`); rec.Code >= 200 && rec.Code < 300 {
+		t.Fatalf("rebalance to unknown shard accepted: %d %s", rec.Code, rec.Body)
+	}
+	if rec := call(t, srv, "POST", "/v1/tenants/acme/databases/ghost/rebalance", `{"shard":"s0"}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("rebalance of unknown database: %d %s", rec.Code, rec.Body)
+	}
+
+	// A flat fleet rejects the route as invalid.
+	flat := newFleetService(t, 4)
+	flatSrv := NewFleetServer(flat)
+	if rec := call(t, flatSrv, "POST", "/v1/tenants", `{"id":"acme","tier":"std"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("create tenant: %d %s", rec.Code, rec.Body)
+	}
+	if rec := call(t, flatSrv, "POST", "/v1/tenants/acme/databases", `{"id":"orders","blueprint":"oltp"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("create database: %d %s", rec.Code, rec.Body)
+	}
+	if _, err := flat.Step(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if rec := call(t, flatSrv, "POST", "/v1/tenants/acme/databases/orders/rebalance", `{"shard":"s0"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("rebalance on flat fleet: %d %s", rec.Code, rec.Body)
 	}
 }

@@ -461,9 +461,23 @@ func (c *DirectorClient) Counters() (tuning, recs, failures, upgrades int, err e
 	return out.TuningRequests, out.Recommendations, out.ApplyFailures, out.PlanUpgrades, nil
 }
 
+// newServer builds the http.Server every autodbaas endpoint runs on.
+// The read and idle deadlines ensure a client that dribbles header
+// bytes (slow loris) or parks an open connection cannot pin a server
+// goroutine forever. Handlers stream nothing long-lived, so a bounded
+// ReadTimeout is safe for every route.
+func newServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // Serve runs an http.Handler on a listener until the context ends.
 func Serve(ctx context.Context, l net.Listener, h http.Handler) error {
-	srv := &http.Server{Handler: h}
+	srv := newServer(h)
 	done := make(chan struct{})
 	go func() {
 		<-ctx.Done()

@@ -228,3 +228,42 @@ func TestDirectorMaintenanceAndUpgradeEndpoints(t *testing.T) {
 	}
 	_ = inst
 }
+
+// TestServeTimeouts pins the server hardening contract: every endpoint
+// runs with header-read, body-read and idle deadlines, and a slow-loris
+// client that never finishes its request line is disconnected once the
+// header deadline passes instead of pinning a goroutine.
+func TestServeTimeouts(t *testing.T) {
+	srv := newServer(nil)
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("server missing deadlines: header=%v read=%v idle=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loris := newServer(NewRepositoryServer(repository.New()))
+	loris.ReadHeaderTimeout = 100 * time.Millisecond
+	loris.ReadTimeout = 100 * time.Millisecond
+	go loris.Serve(l)
+	defer loris.Close()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Dribble a partial request line and stall; the server must hang up.
+	if _, err := conn.Write([]byte("GET /v1/sam")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return // connection torn down by the deadline — hardened
+		}
+	}
+}

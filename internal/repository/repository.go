@@ -376,6 +376,31 @@ func (r *Repository) Pending() int {
 	return len(r.pending) + len(r.delayed)
 }
 
+// Stats is a point-in-time summary of the repository: stored samples,
+// fan-out progress and subscriber count. The shard runtime reports it
+// over RPC so the coordinator can audit each worker's data plane
+// without reaching into the process.
+type Stats struct {
+	Samples     int   `json:"samples"`
+	Enqueued    int64 `json:"enqueued"`
+	Delivered   int64 `json:"delivered"`
+	Pending     int   `json:"pending"`
+	Subscribers int   `json:"subscribers"`
+}
+
+// Stats returns the current repository statistics.
+func (r *Repository) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Samples:     r.store.Len(),
+		Enqueued:    r.enqueued,
+		Delivered:   r.delivered,
+		Pending:     len(r.pending) + len(r.delayed),
+		Subscribers: len(r.subscribers),
+	}
+}
+
 // Store returns the underlying sample store.
 func (r *Repository) Store() *tuner.Store { return r.store }
 

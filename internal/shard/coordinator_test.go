@@ -1,0 +1,561 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"autodbaas/internal/checkpoint"
+)
+
+// shardConfigs is the fixed 3-shard map the determinism suite runs —
+// the same value drives the in-process and the multi-process fleet, as
+// the contract is parameterized by (seed, topology, shard map).
+func shardConfigs(faultProfile string) []Config {
+	cfgs := make([]Config, 3)
+	for i := range cfgs {
+		cfgs[i] = Config{
+			Name:        fmt.Sprintf("s%d", i),
+			Seed:        1000 + int64(i),
+			Parallelism: 2,
+		}
+		if faultProfile != "" {
+			cfgs[i].FaultProfile = faultProfile
+			cfgs[i].FaultSeed = 99 + int64(i)
+		}
+	}
+	return cfgs
+}
+
+// newLocalCoordinator builds the in-process fleet: one Local per config.
+func newLocalCoordinator(t *testing.T, cfgs []Config) *Coordinator {
+	t.Helper()
+	shards := make([]Shard, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		l, err := NewLocal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, l)
+	}
+	c, err := NewCoordinator(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// populate onboards n instances round-robin across the shard map — the
+// placement is part of the topology the determinism contract fixes, so
+// both fleets place identically and every shard holds a cohort.
+func populate(t *testing.T, c *Coordinator, n int) {
+	t.Helper()
+	names := c.ShardNames()
+	for i := 0; i < n; i++ {
+		if err := c.AddInstanceTo(names[i%len(names)], testSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPlaceRendezvous pins the default placement: deterministic in
+// (id, shard map), covering every shard over a reasonable cohort, and
+// minimally disruptive — dropping one shard relocates only the
+// instances that lived on it.
+func TestPlaceRendezvous(t *testing.T) {
+	cfgs := shardConfigs("")
+	c := newLocalCoordinator(t, cfgs)
+	used := make(map[string]int)
+	first := make(map[string]string)
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("tenant-%d/db-%02d", i%7, i)
+		name := c.Place(id)
+		used[name]++
+		first[id] = name
+	}
+	if len(used) != 3 {
+		t.Fatalf("60 placements covered %d of 3 shards: %v", len(used), used)
+	}
+	for id, want := range first {
+		if got := c.Place(id); got != want {
+			t.Fatalf("placement of %s not deterministic: %s then %s", id, want, got)
+		}
+	}
+	smaller := newLocalCoordinator(t, cfgs[:2])
+	for id, before := range first {
+		after := smaller.Place(id)
+		if before != "s2" && after != before {
+			t.Errorf("dropping s2 moved %s from %s to %s; rendezvous must only move s2 residents", id, before, after)
+		}
+	}
+}
+
+func fleetStepN(t *testing.T, c *Coordinator, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := c.Step(5 * time.Minute); err != nil {
+			t.Fatalf("fleet step %d: %v", i, err)
+		}
+	}
+}
+
+// TestShardWorkerHelper is not a test: it is the worker process the
+// multi-process suite re-execs this binary into. It prints its listen
+// address and serves shard RPCs until killed.
+func TestShardWorkerHelper(t *testing.T) {
+	if os.Getenv("SHARD_WORKER_HELPER") != "1" {
+		t.Skip("worker-process helper; spawned by the multi-process tests")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("WORKER_ERR %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("WORKER_ADDR %s\n", l.Addr().String())
+	_ = NewServer().Serve(l)
+}
+
+// spawnWorker re-execs the test binary as one worker process and
+// returns its RPC address plus a kill switch.
+func spawnWorker(t *testing.T) (string, func()) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestShardWorkerHelper$")
+	cmd.Env = append(os.Environ(), "SHARD_WORKER_HELPER=1")
+	cmd.Stderr = io.Discard
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "WORKER_ADDR "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("worker process reported no address")
+	}
+	var once bool
+	kill := func() {
+		if once {
+			return
+		}
+		once = true
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	t.Cleanup(kill)
+	return addr, kill
+}
+
+// newRemoteCoordinator spawns one worker process per config and builds
+// the multi-process fleet over them. It returns per-shard kill
+// switches keyed by shard name for the crash-recovery test.
+func newRemoteCoordinator(t *testing.T, cfgs []Config) (*Coordinator, map[string]func()) {
+	t.Helper()
+	kills := make(map[string]func(), len(cfgs))
+	shards := make([]Shard, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		addr, kill := spawnWorker(t)
+		r, err := Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Init(cfg); err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, r)
+		kills[cfg.Name] = kill
+	}
+	c, err := NewCoordinator(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, kills
+}
+
+// TestCrossProcessDeterminism is the tentpole acceptance test: a fixed
+// (seed, topology, shard map) produces bit-for-bit the same fleet
+// fingerprint whether the shards run in-process or as three worker
+// processes — clean and under medium fault injection — and, for the
+// multi-process fleet, across killing one worker mid-run and restoring
+// its replacement from the shard snapshot + replay log.
+func TestCrossProcessDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process determinism sweep")
+	}
+	for _, profile := range []string{"", "medium"} {
+		name := "clean"
+		if profile != "" {
+			name = "faults-" + profile
+		}
+		t.Run(name, func(t *testing.T) {
+			cfgs := shardConfigs(profile)
+			const fleetSize, windows = 6, 24
+
+			inproc := newLocalCoordinator(t, cfgs)
+			populate(t, inproc, fleetSize)
+			fleetStepN(t, inproc, windows)
+			want, err := inproc.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Throttles == 0 {
+				t.Fatalf("degenerate baseline: %+v", want.Shards)
+			}
+			shardsUsed := 0
+			for _, fp := range want.Shards {
+				if fp.Counters.Instances > 0 {
+					shardsUsed++
+				}
+			}
+			if shardsUsed < 2 {
+				t.Fatalf("placement degenerate: only %d shard(s) hold instances", shardsUsed)
+			}
+
+			remote, kills := newRemoteCoordinator(t, cfgs)
+			defer remote.Close()
+			populate(t, remote, fleetSize)
+
+			// First leg, then capture the recovery baseline.
+			fleetStepN(t, remote, 4)
+			if err := remote.SnapshotShards(); err != nil {
+				t.Fatal(err)
+			}
+			fleetStepN(t, remote, 4)
+
+			// Kill the middle worker mid-run and restore a fresh process
+			// from the shard snapshot + replay log.
+			kills["s1"]()
+			addr, _ := spawnWorker(t)
+			fresh, err := Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Init(cfgs[1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := remote.ReplaceShard("s1", fresh); err != nil {
+				t.Fatal(err)
+			}
+			fleetStepN(t, remote, windows-8)
+
+			got, err := remote.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("3-worker fleet diverged from in-process fleet:\n  want: %+v\n  got:  %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestCoordinatorCheckpointRestore: a fleet snapshot (outer container
+// nesting per-shard snapshots) restores into a freshly built fleet
+// with the same shard map, and replaying reproduces the uninterrupted
+// fingerprint.
+func TestCoordinatorCheckpointRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet snapshot sweep")
+	}
+	cfgs := shardConfigs("")
+	full := newLocalCoordinator(t, cfgs)
+	populate(t, full, 6)
+	fleetStepN(t, full, 10)
+	want, err := full.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half := newLocalCoordinator(t, cfgs)
+	populate(t, half, 6)
+	fleetStepN(t, half, 5)
+	var snap bytes.Buffer
+	if err := half.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a coordinator whose shards were never populated —
+	// the snapshot carries every cohort.
+	resumed := newLocalCoordinator(t, cfgs)
+	if err := resumed.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Window() != 5 {
+		t.Fatalf("resumed window = %d, want 5", resumed.Window())
+	}
+	if got := resumed.Instances(); len(got) != 6 {
+		t.Fatalf("resumed cohort = %v", got)
+	}
+	fleetStepN(t, resumed, 5)
+	got, err := resumed.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("fleet restore+replay diverged:\n  want: %+v\n  got:  %+v", want, got)
+	}
+}
+
+// TestCoordinatorRestoreStaleShardMap: restoring a fleet snapshot into
+// a coordinator missing one of the snapshot's shards must fail with a
+// manifest error naming the missing shard AND the instances stranded
+// on it — and must not panic or mutate the surviving shards.
+func TestCoordinatorRestoreStaleShardMap(t *testing.T) {
+	cfgs := shardConfigs("")
+	full := newLocalCoordinator(t, cfgs)
+	populate(t, full, 6)
+	fleetStepN(t, full, 2)
+	var snap bytes.Buffer
+	if err := full.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Which instances live on the shard we are about to drop?
+	var stranded []string
+	for _, id := range full.Instances() {
+		if name, _ := full.Assignment(id); name == "s2" {
+			stranded = append(stranded, id)
+		}
+	}
+	if len(stranded) == 0 {
+		t.Fatal("placement left s2 empty; test needs a populated shard to strand")
+	}
+
+	stale := newLocalCoordinator(t, cfgs[:2])
+	err := stale.Restore(bytes.NewReader(snap.Bytes()))
+	if !errors.Is(err, checkpoint.ErrManifest) {
+		t.Fatalf("err = %v, want ErrManifest", err)
+	}
+	for _, id := range stranded {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error does not name stranded instance %s: %v", id, err)
+		}
+	}
+	if !strings.Contains(err.Error(), `"s2"`) {
+		t.Errorf("error does not name the missing shard: %v", err)
+	}
+	// The refusal happened before any shard state mutated.
+	if stale.Window() != 0 {
+		t.Errorf("stale coordinator advanced to window %d", stale.Window())
+	}
+}
+
+// TestRebalanceManyPreservesSurvivors: migrating ten instances between
+// shards preserves every instance's live state — engine configuration
+// and monitor series — and the fleet keeps stepping afterwards.
+func TestRebalanceManyPreservesSurvivors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebalance sweep")
+	}
+	cfgs := shardConfigs("")[:2]
+	c := newLocalCoordinator(t, cfgs)
+	const fleetSize = 12
+	// Stack everything on s0 so ten migrations have somewhere to go.
+	for i := 0; i < fleetSize; i++ {
+		if err := c.AddInstanceTo("s0", testSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fleetStepN(t, c, 4)
+	before, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	moved := 0
+	for _, id := range c.Instances() {
+		if moved == 10 {
+			break
+		}
+		if err := c.Rebalance(id, "s1"); err != nil {
+			t.Fatalf("rebalance %s: %v", id, err)
+		}
+		if name, _ := c.Assignment(id); name != "s1" {
+			t.Fatalf("%s assigned to %q after rebalance", id, name)
+		}
+		moved++
+	}
+	after, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-instance state is shard-agnostic: collect (config, monitor)
+	// across shards and compare by instance.
+	collect := func(fp FleetFingerprint) (map[string]any, map[string]int) {
+		cfgs := make(map[string]any)
+		mons := make(map[string]int)
+		for _, sfp := range fp.Shards {
+			for id, kc := range sfp.Configs {
+				cfgs[id] = kc
+			}
+			for id, n := range sfp.MonitorPoints {
+				mons[id] = n
+			}
+		}
+		return cfgs, mons
+	}
+	cfgsBefore, monsBefore := collect(before)
+	cfgsAfter, monsAfter := collect(after)
+	if !reflect.DeepEqual(cfgsBefore, cfgsAfter) {
+		t.Errorf("instance configs changed across rebalance:\n  before: %+v\n  after:  %+v", cfgsBefore, cfgsAfter)
+	}
+	if !reflect.DeepEqual(monsBefore, monsAfter) {
+		t.Errorf("monitor series changed across rebalance:\n  before: %v\n  after:  %v", monsBefore, monsAfter)
+	}
+	if n := after.Shards["s1"].Counters.Instances; n != 10 {
+		t.Errorf("s1 holds %d instances, want 10", n)
+	}
+	fleetStepN(t, c, 3)
+	// A no-op rebalance (same shard) and unknown targets are handled.
+	if err := c.Rebalance(c.Instances()[0], "s1"); err != nil {
+		t.Fatalf("same-shard rebalance: %v", err)
+	}
+	if err := c.Rebalance(c.Instances()[0], "nope"); err == nil {
+		t.Fatal("rebalance to unknown shard accepted")
+	}
+	if err := c.Rebalance("ghost", "s1"); err == nil {
+		t.Fatal("rebalance of unknown instance accepted")
+	}
+}
+
+// TestRebalanceMidWarmup: an instance migrated before its first window
+// — nothing warmed up, no samples uploaded — lands cleanly and runs.
+func TestRebalanceMidWarmup(t *testing.T) {
+	cfgs := shardConfigs("")[:2]
+	c := newLocalCoordinator(t, cfgs)
+	if err := c.AddInstanceTo("s0", testSpec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInstanceTo("s0", testSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	// One window in: db-01 is mid-warmup (agents tick every 5m; one
+	// 5m window is the first tick at best).
+	fleetStepN(t, c, 1)
+	if err := c.Rebalance("db-01", "s1"); err != nil {
+		t.Fatalf("mid-warmup rebalance: %v", err)
+	}
+	// And a zero-window migration: provisioned, never stepped.
+	if err := c.AddInstanceTo("s0", testSpec(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebalance("db-02", "s1"); err != nil {
+		t.Fatalf("pre-first-window rebalance: %v", err)
+	}
+	fleetStepN(t, c, 3)
+	fp, err := c.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Shards["s1"].Counters.Instances != 2 {
+		t.Fatalf("s1 = %+v", fp.Shards["s1"].Counters)
+	}
+}
+
+// TestRebalanceWhileCircuitOpen: migrating an instance whose circuit
+// breaker is open moves the instance; breaker state is shard-local and
+// deliberately NOT migrated — the destination starts a fresh breaker,
+// exactly as the director's ForgetInstance contract says.
+func TestRebalanceWhileCircuitOpen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep")
+	}
+	cfgs := shardConfigs("heavy")[:2]
+	c := newLocalCoordinator(t, cfgs)
+	for i := 0; i < 4; i++ {
+		if err := c.AddInstanceTo("s0", testSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, _ := c.Shard("s0")
+	srcSys := src.(*Local).System()
+	tripped := ""
+	for w := 0; w < 150 && tripped == ""; w++ {
+		fleetStepN(t, c, 1)
+		for _, id := range c.Instances() {
+			if srcSys.Director.CircuitOpen(id) {
+				tripped = id
+				break
+			}
+		}
+	}
+	if tripped == "" {
+		t.Fatal("heavy profile opened no circuit in 150 windows; pick a different fault seed")
+	}
+	if err := c.Rebalance(tripped, "s1"); err != nil {
+		t.Fatalf("rebalance with open circuit: %v", err)
+	}
+	dst, _ := c.Shard("s1")
+	if dst.(*Local).System().Director.CircuitOpen(tripped) {
+		t.Errorf("destination inherited an open circuit for %s; breaker state must start fresh", tripped)
+	}
+	if srcSys.Director.CircuitOpen(tripped) {
+		t.Errorf("source still tracks a circuit for migrated instance %s", tripped)
+	}
+	fleetStepN(t, c, 2)
+}
+
+// TestReplaceShardGuards pins the recovery preconditions: no snapshot
+// and stale membership both refuse with actionable errors.
+func TestReplaceShardGuards(t *testing.T) {
+	cfgs := shardConfigs("")[:2]
+	c := newLocalCoordinator(t, cfgs)
+	if err := c.AddInstanceTo("s0", testSpec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInstanceTo("s1", testSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := NewLocal(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplaceShard("s0", fresh); err == nil || !strings.Contains(err.Error(), "no recovery snapshot") {
+		t.Fatalf("err = %v, want missing-snapshot refusal", err)
+	}
+	if err := c.SnapshotShards(); err != nil {
+		t.Fatal(err)
+	}
+	// Membership change invalidates the replay recipe for that shard.
+	var onS0 string
+	for _, id := range c.Instances() {
+		if name, _ := c.Assignment(id); name == "s0" {
+			onS0 = id
+			break
+		}
+	}
+	if onS0 == "" {
+		t.Fatal("nothing placed on s0")
+	}
+	if err := c.RemoveInstance(onS0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplaceShard("s0", fresh); err == nil || !strings.Contains(err.Error(), "membership changed") {
+		t.Fatalf("err = %v, want stale-membership refusal", err)
+	}
+	mismatch, err := NewLocal(testConfig("other", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplaceShard("s0", mismatch); err == nil {
+		t.Fatal("name-mismatched replacement accepted")
+	}
+}

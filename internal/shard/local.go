@@ -1,0 +1,320 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"autodbaas/internal/checkpoint"
+	"autodbaas/internal/core"
+	"autodbaas/internal/faults"
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tuner"
+	"autodbaas/internal/tuner/bo"
+)
+
+// specsExtra is the checkpoint extra section ("extra/" + specsExtra)
+// holding the shard's declarative instance specs in onboarding order.
+// It is what lets a restarted worker rebuild its cohort from the
+// snapshot alone: Restore inspects the container, re-provisions every
+// spec into a fresh system, then reads the snapshot into it — the
+// rebuild-then-restore contract, self-contained per shard.
+const specsExtra = "shard/specs"
+
+// Local is the in-process Shard: one full vertical slice of the control
+// plane — orchestrator, DFA, director, repository, tuner pool — owning
+// one cohort. It is the same machinery a single-process deployment
+// runs; the coordinator holds one Local per shard (or a Remote proxying
+// to a Local inside a worker process) and merges across them.
+type Local struct {
+	cfg Config
+
+	mu    sync.Mutex
+	sys   *core.System
+	specs []InstanceSpec // onboarding order, parallel to sys.Members()
+}
+
+// NewLocal builds an empty shard from its declarative config.
+func NewLocal(cfg Config) (*Local, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("shard: config needs a name")
+	}
+	l := &Local{cfg: cfg}
+	sys, err := l.buildSystem()
+	if err != nil {
+		return nil, err
+	}
+	l.sys = sys
+	return l, nil
+}
+
+// buildSystem assembles a fresh core.System from the shard config —
+// the construction half of the rebuild-then-restore contract, shared
+// by NewLocal and Restore so both produce bit-for-bit the same layout.
+func (l *Local) buildSystem() (*core.System, error) {
+	tc := l.cfg.Tuner
+	count := tc.Count
+	if count <= 0 {
+		count = 1
+	}
+	seed := tc.Seed
+	if seed == 0 {
+		seed = l.cfg.Seed
+	}
+	engine := knobs.Engine(tc.Engine)
+	if engine == "" {
+		engine = knobs.Postgres
+	}
+	candidates := tc.Candidates
+	if candidates <= 0 {
+		candidates = 60
+	}
+	maxFit := tc.MaxSamplesPerFit
+	if maxFit <= 0 {
+		maxFit = 60
+	}
+	beta := tc.UCBBeta
+	if beta == 0 {
+		beta = 0.5
+	}
+	tuners := make([]tuner.Tuner, 0, count)
+	for i := 0; i < count; i++ {
+		t, err := bo.New(bo.Options{Engine: engine, Candidates: candidates, MaxSamplesPerFit: maxFit, UCBBeta: beta, Seed: seed + int64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", l.cfg.Name, err)
+		}
+		tuners = append(tuners, t)
+	}
+	var injector *faults.Injector
+	if l.cfg.FaultProfile != "" {
+		prof, err := faults.ParseProfile(l.cfg.FaultProfile)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", l.cfg.Name, err)
+		}
+		fseed := l.cfg.FaultSeed
+		if fseed == 0 {
+			fseed = l.cfg.Seed
+		}
+		injector = faults.New(fseed, prof)
+	}
+	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: l.cfg.Parallelism, Faults: injector}, tuners...)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", l.cfg.Name, err)
+	}
+	sys.RegisterCheckpointExtra(specsExtra, l.saveSpecs, l.restoreSpecs)
+	return sys, nil
+}
+
+func (l *Local) saveSpecs() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return json.Marshal(l.specs)
+}
+
+func (l *Local) restoreSpecs(p []byte) error {
+	var specs []InstanceSpec
+	if err := json.Unmarshal(p, &specs); err != nil {
+		return fmt.Errorf("shard %s: specs section: %w", l.cfg.Name, err)
+	}
+	l.mu.Lock()
+	l.specs = specs
+	l.mu.Unlock()
+	return nil
+}
+
+// Name implements Shard.
+func (l *Local) Name() string { return l.cfg.Name }
+
+// Config returns the declarative config the shard was built from.
+func (l *Local) Config() Config { return l.cfg }
+
+// System exposes the underlying deployment for in-process callers
+// (status endpoints, tests). Remote shards have no equivalent.
+func (l *Local) System() *core.System { return l.sys }
+
+// Specs returns the cohort's declarative specs in onboarding order.
+func (l *Local) Specs() []InstanceSpec {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]InstanceSpec(nil), l.specs...)
+}
+
+// AddInstance implements Shard: it materializes the declarative spec —
+// workload generator, provision spec, agent options — and onboards the
+// member, recording the spec for the snapshot's rebuild manifest.
+func (l *Local) AddInstance(spec InstanceSpec) error {
+	cs, err := spec.CoreSpec()
+	if err != nil {
+		return err
+	}
+	if _, err := l.sys.AddInstance(cs); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.specs = append(l.specs, spec)
+	l.mu.Unlock()
+	return nil
+}
+
+// RemoveInstance implements Shard.
+func (l *Local) RemoveInstance(id string) error {
+	if err := l.sys.RemoveInstance(id); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	for i, sp := range l.specs {
+		if sp.ID == id {
+			l.specs = append(l.specs[:i], l.specs[i+1:]...)
+			break
+		}
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// ResizeInstance implements Shard, keeping the recorded spec in step so
+// a snapshot taken after the resize rebuilds the post-resize cohort.
+func (l *Local) ResizeInstance(id, plan string, seed int64, agentCfg AgentConfig) error {
+	if _, err := l.sys.ResizeInstance(id, plan, seed, agentCfg.Options()); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	for i := range l.specs {
+		if l.specs[i].ID == id {
+			l.specs[i].Plan = plan
+			l.specs[i].Seed = seed
+			l.specs[i].Agent = agentCfg
+			break
+		}
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// Members implements Shard.
+func (l *Local) Members() ([]core.Member, error) {
+	return l.sys.Members(), nil
+}
+
+// Step implements Shard. The rich per-instance result (window stats,
+// raw TDE events) stays inside the shard; what crosses the boundary is
+// the serializable digest — raw events can carry NaN entropy values,
+// which JSON cannot.
+func (l *Local) Step(dur time.Duration) (StepResult, error) {
+	res := l.sys.Step(dur)
+	return StepDigest(l.sys.Windows(), res), nil
+}
+
+// Counters implements Shard.
+func (l *Local) Counters() (Counters, error) {
+	return CountersOf(l.sys), nil
+}
+
+// Fingerprint implements Shard.
+func (l *Local) Fingerprint() (Fingerprint, error) {
+	return FingerprintOf(l.sys), nil
+}
+
+// Checkpoint implements Shard: the full ADBC container for this shard's
+// slice of the fleet, specs extra included.
+func (l *Local) Checkpoint() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := l.sys.Checkpoint(&buf); err != nil {
+		return nil, fmt.Errorf("shard %s: %w", l.cfg.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements Shard. The snapshot is self-contained: its specs
+// extra names the cohort, so the shard rebuilds a fresh system from its
+// own config, re-provisions every spec, and reads the snapshot into the
+// rebuild. The previous system is discarded only after the restore
+// fully succeeds, so a corrupt snapshot leaves the shard untouched.
+func (l *Local) Restore(snapshot []byte) error {
+	_, sections, err := checkpoint.Inspect(bytes.NewReader(snapshot))
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", l.cfg.Name, err)
+	}
+	raw, ok := sections["extra/"+specsExtra]
+	if !ok {
+		return fmt.Errorf("%w: shard %s: snapshot lacks the %q section (not a shard snapshot)",
+			checkpoint.ErrManifest, l.cfg.Name, "extra/"+specsExtra)
+	}
+	var specs []InstanceSpec
+	if err := json.Unmarshal(raw, &specs); err != nil {
+		return fmt.Errorf("shard %s: specs section: %w", l.cfg.Name, err)
+	}
+
+	fresh := &Local{cfg: l.cfg}
+	sys, err := fresh.buildSystem()
+	if err != nil {
+		return err
+	}
+	fresh.sys = sys
+	for _, sp := range specs {
+		if err := fresh.AddInstance(sp); err != nil {
+			return fmt.Errorf("shard %s: rebuild instance %q: %w", l.cfg.Name, sp.ID, err)
+		}
+	}
+	if err := sys.Restore(bytes.NewReader(snapshot)); err != nil {
+		return fmt.Errorf("shard %s: %w", l.cfg.Name, err)
+	}
+	l.mu.Lock()
+	l.sys = sys
+	l.specs = fresh.specs
+	l.mu.Unlock()
+	// Re-point the extra hooks at this Local (they were bound to the
+	// scratch value during the rebuild).
+	sys.RegisterCheckpointExtra(specsExtra, l.saveSpecs, l.restoreSpecs)
+	return nil
+}
+
+// ExportInstance implements Shard: the migration-out half of a
+// rebalance. The instance stays a member until RemoveInstance.
+func (l *Local) ExportInstance(id string) (InstanceExport, error) {
+	l.mu.Lock()
+	var spec InstanceSpec
+	found := false
+	for _, sp := range l.specs {
+		if sp.ID == id {
+			spec, found = sp, true
+			break
+		}
+	}
+	l.mu.Unlock()
+	if !found {
+		return InstanceExport{}, fmt.Errorf("shard %s: no instance %q", l.cfg.Name, id)
+	}
+	payload, meta, err := l.sys.ExportInstanceSection(id)
+	if err != nil {
+		return InstanceExport{}, err
+	}
+	return InstanceExport{
+		Spec:    spec,
+		Meta:    InstanceMeta{ID: meta.ID, Engine: meta.Engine, Plan: meta.Plan, Slaves: meta.Slaves, Gen: meta.Gen},
+		Section: payload,
+	}, nil
+}
+
+// ImportInstance implements Shard: the migration-in half. The member is
+// re-provisioned from its spec, then its live state is restored from
+// the exported section. A restore failure rolls the provisioning back,
+// so a bad payload never leaves a half-migrated member.
+func (l *Local) ImportInstance(exp InstanceExport) error {
+	if err := l.AddInstance(exp.Spec); err != nil {
+		return err
+	}
+	meta := checkpoint.InstanceMeta{ID: exp.Meta.ID, Engine: exp.Meta.Engine, Plan: exp.Meta.Plan, Slaves: exp.Meta.Slaves, Gen: exp.Meta.Gen}
+	if err := l.sys.ImportInstanceSection(exp.Spec.ID, meta, exp.Section); err != nil {
+		_ = l.RemoveInstance(exp.Spec.ID)
+		return err
+	}
+	return nil
+}
+
+// Close implements Shard. A local shard has nothing to release.
+func (l *Local) Close() error { return nil }
+
+var _ Shard = (*Local)(nil)

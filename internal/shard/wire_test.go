@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte(`{"id":1,"method":"step","params":{"dur_ns":300000000000}}`),
+		bytes.Repeat([]byte{0xAB}, 3<<20), // multi-chunk payload
+	}
+	for _, want := range payloads {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, FrameRequest, want); err != nil {
+			t.Fatalf("write %d bytes: %v", len(want), err)
+		}
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %d bytes: %v", len(want), err)
+		}
+		if typ != FrameRequest {
+			t.Fatalf("type = %d, want %d", typ, FrameRequest)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("payload mismatch at %d bytes", len(want))
+		}
+	}
+}
+
+func TestFrameCleanEOF(t *testing.T) {
+	_, _, err := ReadFrame(bytes.NewReader(nil))
+	if err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameResponse, []byte("hello worker")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Every proper prefix except the empty one must fail with
+	// ErrWireTruncated (cutting inside the header, name, payload or CRC).
+	for cut := 1; cut < len(whole); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(whole[:cut]))
+		if !errors.Is(err, ErrWireTruncated) {
+			t.Fatalf("cut at %d/%d: err = %v, want ErrWireTruncated", cut, len(whole), err)
+		}
+	}
+}
+
+func TestFrameChecksumMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameRequest, []byte("checksummed payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[frameHeaderLen+3] ^= 0x40 // flip one payload bit
+	_, _, err := ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrWireChecksum) {
+		t.Fatalf("err = %v, want ErrWireChecksum", err)
+	}
+}
+
+func TestFrameBadMagicAndVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameRequest, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[0] = 'X'
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrWireMagic) {
+		t.Fatalf("magic: err = %v, want ErrWireMagic", err)
+	}
+	bad = append([]byte(nil), buf.Bytes()...)
+	bad[4] = WireVersion + 1
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("version: err = %v, want ErrWireVersion", err)
+	}
+}
+
+// TestFrameOversizedClaim pins the allocation bound: a header claiming
+// a payload beyond MaxFrame is rejected before any payload allocation,
+// and a header lying upward about a small payload fails by truncation
+// after at most one chunk — never by allocating the claimed size.
+func TestFrameOversizedClaim(t *testing.T) {
+	var hdr [frameHeaderLen]byte
+	copy(hdr[:4], wireMagic[:])
+	hdr[4] = WireVersion
+	hdr[5] = FrameRequest
+	binary.LittleEndian.PutUint32(hdr[6:], MaxFrame+1)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrWireOversized) {
+		t.Fatalf("err = %v, want ErrWireOversized", err)
+	}
+
+	// Claim 64 MiB, deliver 10 bytes: must fail truncated, not OOM.
+	binary.LittleEndian.PutUint32(hdr[6:], 64<<20)
+	stream := append(append([]byte(nil), hdr[:]...), []byte("short read")...)
+	_, _, err = ReadFrame(bytes.NewReader(stream))
+	if !errors.Is(err, ErrWireTruncated) {
+		t.Fatalf("err = %v, want ErrWireTruncated", err)
+	}
+	if err := WriteFrame(io.Discard, FrameRequest, make([]byte, MaxFrame+1)); !errors.Is(err, ErrWireOversized) {
+		t.Fatalf("write: err = %v, want ErrWireOversized", err)
+	}
+}
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder: it must
+// reject truncated, oversized and bit-rotted frames with a wire error
+// (or io.EOF on an empty stream) and must round-trip anything it
+// accepts — without allocation blowups on lying length fields, which
+// the 64 MiB claim in TestFrameOversizedClaim pins and the fuzzer
+// explores further.
+func FuzzDecodeFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, FrameRequest, []byte(`{"id":7,"method":"ping"}`))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("ADBW"))
+	f.Add(seed.Bytes()[:frameHeaderLen])
+	trunc := append([]byte(nil), seed.Bytes()...)
+	binary.LittleEndian.PutUint32(trunc[6:], 1<<27) // huge claim, tiny body
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted frames must re-encode to a decodable frame with the
+		// same content.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatalf("re-encode accepted frame: %v", err)
+		}
+		typ2, payload2, err := ReadFrame(&buf)
+		if err != nil || typ2 != typ || !bytes.Equal(payload, payload2) {
+			t.Fatalf("round-trip mismatch: err=%v", err)
+		}
+	})
+}
