@@ -33,6 +33,10 @@ type cliConfig struct {
 	Worker   bool
 	Shards   int
 	ShardMap string
+
+	Scenario    string
+	TimeScale   float64
+	TimelineOut string
 }
 
 // shardMapEntry is one "name=addr" pair from -shard-map, in flag
@@ -82,12 +86,49 @@ func validateFlags(c cliConfig, isSet func(string) bool) error {
 			"fleet", "hours", "tuners", "periodic", "seed", "parallelism",
 			"faults", "fault-seed", "checkpoint-dir", "checkpoint-every",
 			"resume", "serve", "tick", "shards", "shard-map",
+			"scenario", "time-scale", "timeline-out",
 		} {
 			if isSet(name) {
 				return fmt.Errorf("-%s conflicts with -worker: the worker's shard is configured by the coordinator over RPC", name)
 			}
 		}
 		return nil
+	}
+	if c.Scenario != "" {
+		// A scenario replay owns the schedule end to end: its file fixes
+		// the seed, duration, fleet contents and fault profile (the
+		// -faults flag still overrides the profile for sweeps), so every
+		// flag that would fight the file is rejected.
+		for _, name := range []string{
+			"fleet", "hours", "periodic", "seed", "fault-seed",
+			"checkpoint-dir", "checkpoint-every", "resume",
+			"tick", "shards", "shard-map",
+		} {
+			if isSet(name) {
+				return fmt.Errorf("-%s conflicts with -scenario: the scenario file fixes the schedule (use -time-scale to pace it)", name)
+			}
+		}
+		if c.TimeScale < 0 {
+			return fmt.Errorf("-time-scale cannot be negative (got %v)", c.TimeScale)
+		}
+		if c.Tuners < 1 {
+			return fmt.Errorf("-tuners must be at least 1 (got %d)", c.Tuners)
+		}
+		if c.Parallelism < 0 {
+			return fmt.Errorf("-parallelism cannot be negative (got %d)", c.Parallelism)
+		}
+		if c.FaultsProfile != "" {
+			if _, err := faults.ParseProfile(c.FaultsProfile); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if isSet("time-scale") {
+		return fmt.Errorf("-time-scale needs -scenario: nothing is being replayed")
+	}
+	if isSet("timeline-out") {
+		return fmt.Errorf("-timeline-out needs -scenario: there is no timeline to write")
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("-shards cannot be negative (got %d)", c.Shards)

@@ -180,6 +180,87 @@ func TestValidateFlags(t *testing.T) {
 			set:     []string{"serve", "shard-map"},
 			wantErr: "twice",
 		},
+		{
+			name:   "bare scenario",
+			mutate: func(c *cliConfig) { c.Scenario = "diurnal" },
+			set:    []string{"scenario"},
+		},
+		{
+			name:   "scenario with pacing and serve",
+			mutate: func(c *cliConfig) { c.Scenario = "diurnal"; c.TimeScale = 120; c.Serve = true },
+			set:    []string{"scenario", "time-scale", "serve"},
+		},
+		{
+			name:   "scenario with fault override",
+			mutate: func(c *cliConfig) { c.Scenario = "diurnal"; c.FaultsProfile = "medium" },
+			set:    []string{"scenario", "faults"},
+		},
+		{
+			name:    "scenario with bad fault override",
+			mutate:  func(c *cliConfig) { c.Scenario = "diurnal"; c.FaultsProfile = "apocalyptic" },
+			set:     []string{"scenario", "faults"},
+			wantErr: "unknown profile",
+		},
+		{
+			name:    "scenario with seed",
+			mutate:  func(c *cliConfig) { c.Scenario = "diurnal"; c.Seed = 7 },
+			set:     []string{"scenario", "seed"},
+			wantErr: "-seed conflicts with -scenario",
+		},
+		{
+			name:    "scenario with fleet",
+			mutate:  func(c *cliConfig) { c.Scenario = "diurnal"; c.Fleet = 4 },
+			set:     []string{"scenario", "fleet"},
+			wantErr: "-fleet conflicts with -scenario",
+		},
+		{
+			name:    "scenario with hours",
+			mutate:  func(c *cliConfig) { c.Scenario = "diurnal"; c.Hours = 6 },
+			set:     []string{"scenario", "hours"},
+			wantErr: "-hours conflicts with -scenario",
+		},
+		{
+			name:    "scenario with resume",
+			mutate:  func(c *cliConfig) { c.Scenario = "diurnal"; c.Resume = true },
+			set:     []string{"scenario", "resume"},
+			wantErr: "-resume conflicts with -scenario",
+		},
+		{
+			name:    "scenario with shards",
+			mutate:  func(c *cliConfig) { c.Scenario = "diurnal"; c.Serve = true; c.Shards = 2 },
+			set:     []string{"scenario", "serve", "shards"},
+			wantErr: "-shards conflicts with -scenario",
+		},
+		{
+			name:    "scenario with tick",
+			mutate:  func(c *cliConfig) { c.Scenario = "diurnal"; c.Serve = true; c.Tick = time.Second },
+			set:     []string{"scenario", "serve", "tick"},
+			wantErr: "-tick conflicts with -scenario",
+		},
+		{
+			name:    "negative time scale",
+			mutate:  func(c *cliConfig) { c.Scenario = "diurnal"; c.TimeScale = -1 },
+			set:     []string{"scenario", "time-scale"},
+			wantErr: "-time-scale cannot be negative",
+		},
+		{
+			name:    "time scale without scenario",
+			mutate:  func(c *cliConfig) { c.TimeScale = 120 },
+			set:     []string{"time-scale"},
+			wantErr: "-time-scale needs -scenario",
+		},
+		{
+			name:    "timeline out without scenario",
+			mutate:  func(c *cliConfig) { c.TimelineOut = "/tmp/tl" },
+			set:     []string{"timeline-out"},
+			wantErr: "-timeline-out needs -scenario",
+		},
+		{
+			name:    "worker with scenario",
+			mutate:  func(c *cliConfig) { c.Worker = true; c.Scenario = "diurnal" },
+			set:     []string{"worker", "scenario"},
+			wantErr: "-scenario conflicts with -worker",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

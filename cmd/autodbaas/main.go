@@ -49,6 +49,9 @@ func main() {
 	worker := flag.Bool("worker", false, "run a shard worker: serve the shard RPC protocol on -listen and wait for a coordinator")
 	shards := flag.Int("shards", 0, "split the fleet service across N in-process shards (needs -serve; 0: one flat deployment)")
 	shardMap := flag.String("shard-map", "", "comma-separated name=addr shard workers to coordinate, e.g. s0=127.0.0.1:9001,s1=127.0.0.1:9002 (needs -serve)")
+	scenarioFlag := flag.String("scenario", "", "replay a scenario: a YAML file path or a library name (see scenarios/); with -serve the fleet is also served read-only over HTTP")
+	timeScale := flag.Float64("time-scale", 0, "virtual seconds per wall second for -scenario (0: flat out; 120 replays 24h in 12 minutes)")
+	timelineOut := flag.String("timeline-out", "", "directory for the -scenario timeline artifacts (<name>.csv and <name>.json)")
 	flag.Parse()
 
 	cfg := cliConfig{
@@ -58,6 +61,7 @@ func main() {
 		CkptDir: *ckptDir, CkptEvery: *ckptEvery, Resume: *resume,
 		Serve: *serve, Tick: *tick,
 		Worker: *worker, Shards: *shards, ShardMap: *shardMap,
+		Scenario: *scenarioFlag, TimeScale: *timeScale, TimelineOut: *timelineOut,
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -70,6 +74,8 @@ func main() {
 	switch {
 	case cfg.Worker:
 		runMode = runWorker
+	case cfg.Scenario != "":
+		runMode = runScenario
 	case cfg.Serve:
 		runMode = runServe
 	}

@@ -36,6 +36,7 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "if >0, auto-checkpoint the checkpoint job's warm-up every N windows (needs -checkpoint-dir)")
 	resume := flag.Bool("resume", false, "restore the checkpoint job's fleets from -checkpoint-dir instead of re-running the warm-up")
 	shardWorker := flag.String("shard-worker", "", "internal: serve the shard RPC protocol on this address (the shards job re-execs itself with it)")
+	scenarioBaseline := flag.String("scenario-baseline", "", "gate the scenarios job's per-scenario throttle counts against this committed BENCH_scenarios.json")
 	flag.Parse()
 
 	if *shardWorker != "" {
@@ -112,6 +113,7 @@ func main() {
 			return runCheckpointBench(q, *seed, *parallelism, *ckptDir, *ckptEvery, *resume)
 		}},
 		{"fleet", "BENCH_fleet.json", func() string { return runFleetScaling(q, *seed, *parallelism) }},
+		{"scenarios", "BENCH_scenarios.json", func() string { return runScenarios(*out, *scenarioBaseline) }},
 		{"shards", "BENCH_shards.json", func() string { return runShardScaling(q, *seed) }},
 		{"ablations", "ablations.txt", func() string {
 			out := experiments.AblationEntropyFilter([]int{2, 4, 8, 16, 64}, scale(30, 10), *seed).Render()

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"autodbaas/internal/scenario"
+	"autodbaas/scenarios"
+)
+
+// scenarioRow is one library scenario's summary in
+// BENCH_scenarios.json — the regression baseline CI diffs against.
+type scenarioRow struct {
+	Name             string  `json:"name"`
+	Seed             int64   `json:"seed"`
+	Windows          int     `json:"windows"`
+	Throttles        int     `json:"throttles"`
+	SLOViolations    int     `json:"slo_violations"`
+	Retries          int     `json:"retries"`
+	Escalations      int     `json:"escalations"`
+	Provisions       int     `json:"provisions"`
+	Deprovisions     int     `json:"deprovisions"`
+	Resizes          int     `json:"resizes"`
+	PeakInstances    int     `json:"peak_instances"`
+	MeanProvLatWin   float64 `json:"mean_provision_latency_windows"`
+	Fingerprint      string  `json:"fingerprint"`
+	WallMilliseconds int64   `json:"wall_ms"`
+}
+
+type scenarioBench struct {
+	Note      string        `json:"note"`
+	Scenarios []scenarioRow `json:"scenarios"`
+}
+
+// scenarioParallelism pins the layout the sweep runs at. The timeline
+// is identical at every parallelism (the determinism suite holds that
+// contract), so this only affects wall time.
+const scenarioParallelism = 4
+
+// runScenarioSweep replays every library scenario flat, writes one
+// timeline CSV per scenario into outDir, and returns the
+// BENCH_scenarios.json text. Scenario seeds come from the files — the
+// benchrunner -seed flag deliberately does not reach them, so the
+// sweep is comparable across invocations.
+func runScenarioSweep(outDir string) (string, *scenarioBench, error) {
+	bench := &scenarioBench{
+		Note: "per-scenario totals from the library sweep; throttles are gated in CI against the committed baseline (see DESIGN.md \"Scenario DSL\")",
+	}
+	for _, name := range scenarios.Names() {
+		src, err := scenarios.Source(name)
+		if err != nil {
+			return "", nil, err
+		}
+		sc, err := scenario.Parse(src)
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", name, err)
+		}
+		plan, err := sc.Compile()
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", name, err)
+		}
+		start := time.Now()
+		r, err := scenario.NewRunner(plan, scenario.RunConfig{Parallelism: scenarioParallelism})
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", name, err)
+		}
+		res, err := r.Run(context.Background())
+		r.Close()
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", name, err)
+		}
+
+		csvPath := filepath.Join(outDir, "scenario_"+name+".csv")
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return "", nil, err
+		}
+		if err := res.WriteCSV(f); err != nil {
+			f.Close()
+			return "", nil, err
+		}
+		if err := f.Close(); err != nil {
+			return "", nil, err
+		}
+
+		bench.Scenarios = append(bench.Scenarios, scenarioRow{
+			Name:             res.Scenario,
+			Seed:             res.Seed,
+			Windows:          res.Windows,
+			Throttles:        res.Throttles,
+			SLOViolations:    res.SLOViolations,
+			Retries:          res.Retries,
+			Escalations:      res.Escalations,
+			Provisions:       res.Provisions,
+			Deprovisions:     res.Deprovisions,
+			Resizes:          res.Resizes,
+			PeakInstances:    res.PeakInstances,
+			MeanProvLatWin:   res.MeanProvisionLatency(),
+			Fingerprint:      res.Fingerprint,
+			WallMilliseconds: time.Since(start).Milliseconds(),
+		})
+		fmt.Printf("  %-20s throttles=%-4d slo=%-4d → %s\n", name, res.Throttles, res.SLOViolations, csvPath)
+	}
+	sort.Slice(bench.Scenarios, func(i, j int) bool { return bench.Scenarios[i].Name < bench.Scenarios[j].Name })
+	b, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return "", nil, err
+	}
+	return string(b) + "\n", bench, nil
+}
+
+// runScenarios is the benchrunner job body: sweep the library and, if
+// a baseline is given, gate per-scenario throttle counts against it.
+// A regression writes the fresh results next to the CSVs and exits
+// non-zero so CI fails with the update path in hand.
+func runScenarios(outDir, baselinePath string) string {
+	text, bench, err := runScenarioSweep(outDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: scenarios: %v\n", err)
+		os.Exit(1)
+	}
+	if baselinePath == "" {
+		return text
+	}
+	regressions, err := gateThrottles(bench, baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: scenarios: %v\n", err)
+		os.Exit(1)
+	}
+	if len(regressions) > 0 {
+		// Persist the fresh sweep so updating the baseline after an
+		// accepted regression is one copy, then fail the job.
+		fresh := filepath.Join(outDir, "BENCH_scenarios.json")
+		_ = os.WriteFile(fresh, []byte(text), 0o644)
+		fmt.Fprintf(os.Stderr, "\nthrottle regression gate FAILED against %s:\n", baselinePath)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		fmt.Fprintf(os.Stderr, "\nif the increase is intended, update the baseline:\n  cp %s BENCH_scenarios.json\nand justify it in the PR (see DESIGN.md \"Scenario DSL\" → throttle gate)\n", fresh)
+		os.Exit(1)
+	}
+	fmt.Printf("  throttle gate OK against %s (%d scenarios)\n", baselinePath, len(bench.Scenarios))
+	return text
+}
+
+// gateThrottles compares per-scenario throttle counts against the
+// committed baseline. Any increase is a regression; decreases are
+// reported as drift but pass (ratcheting down requires a deliberate
+// baseline update). Scenarios missing from the baseline fail too —
+// new scenarios must land with their baseline entry.
+func gateThrottles(bench *scenarioBench, baselinePath string) ([]string, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("read baseline: %w", err)
+	}
+	var base scenarioBench
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	baseBy := map[string]scenarioRow{}
+	for _, r := range base.Scenarios {
+		baseBy[r.Name] = r
+	}
+	var regressions []string
+	for _, r := range bench.Scenarios {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: not in baseline (add it via the update flow)", r.Name))
+			continue
+		}
+		switch {
+		case r.Throttles > b.Throttles:
+			regressions = append(regressions, fmt.Sprintf("%s: throttles %d → %d (+%d)", r.Name, b.Throttles, r.Throttles, r.Throttles-b.Throttles))
+		case r.Throttles < b.Throttles:
+			fmt.Printf("  note: %s improved, throttles %d → %d (baseline can be ratcheted down)\n", r.Name, b.Throttles, r.Throttles)
+		}
+	}
+	return regressions, nil
+}

@@ -1,0 +1,70 @@
+// Scenario campaign: compile and replay a declarative traffic campaign
+// from the embedded library. The flash-crowd scenario runs a newsroom
+// fleet through a quiet morning, a 4x surge with an emergency overflow
+// database provisioned mid-surge, and the cool-down after — all in
+// virtual time, deterministically.
+//
+//	go run ./examples/scenario_campaign
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"autodbaas/internal/scenario"
+	"autodbaas/scenarios"
+)
+
+func main() {
+	src, err := scenarios.Source("flash-crowd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := scenario.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compile validates the whole schedule against the fleet's own
+	// rules (quotas, plan legality, lifecycle ordering) by statically
+	// replaying it — a scenario that would fail at window 40 of a live
+	// run is rejected here, and the dry-run yields a capacity forecast.
+	plan, err := sc.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %q: %s\n", sc.Name, sc.Description)
+	fmt.Printf("forecast: %d windows of %s, %d actions, peak %d instances, %d provisions\n\n",
+		plan.Windows, plan.Window, len(plan.Actions), plan.PeakInstances, plan.TotalProvisions)
+
+	runner, err := scenario.NewRunner(plan, scenario.RunConfig{Parallelism: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer runner.Close()
+	res, err := runner.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("window  vmin  inst  throttles  p99(ms)  slo-viol")
+	prov, deprov := 0, 0
+	for _, p := range res.Timeline {
+		marker := ""
+		if p.Provisions > prov { // counters are cumulative
+			marker = "  <- provision"
+		}
+		if p.Deprovisions > deprov {
+			marker = "  <- deprovision"
+		}
+		prov, deprov = p.Provisions, p.Deprovisions
+		fmt.Printf("%6d  %4d  %4d  %9d  %7.1f  %8d%s\n",
+			p.Window, p.VirtualMin, p.Instances, p.Throttles, p.MaxP99Ms, p.SLOViolations, marker)
+	}
+
+	fmt.Printf("\ntotals: throttles=%d slo-violations=%d provisions=%d deprovisions=%d resizes=%d\n",
+		res.Throttles, res.SLOViolations, res.Provisions, res.Deprovisions, res.Resizes)
+	fmt.Printf("mean provision latency: %.1f windows\n", res.MeanProvisionLatency())
+	fmt.Printf("fleet fingerprint: %s   (stable across runs and parallelism)\n", res.Fingerprint)
+}

@@ -32,6 +32,7 @@ import (
 	"autodbaas/internal/shard"
 	"autodbaas/internal/tenant"
 	"autodbaas/internal/tuner"
+	"autodbaas/internal/workload"
 )
 
 // Typed errors; the REST layer maps them to status codes.
@@ -83,15 +84,16 @@ func (c Config) Sharded() bool { return len(c.Shards) > 0 || len(c.ShardHosts) >
 // JSON-serializable: the control-plane section of a snapshot is exactly
 // these records plus the onboarding order.
 type dbState struct {
-	ID        string       `json:"id"`
-	Blueprint string       `json:"blueprint"`
-	Plan      string       `json:"plan"` // current plan (tracks resizes)
-	Seed      int64        `json:"seed"` // engine seed of the last (re-)provision
-	Joins     int          `json:"joins"`
-	Phase     tenant.Phase `json:"phase"`
-	Warmup    int          `json:"warmup,omitempty"`       // windows left in WarmUp
-	Pending   string       `json:"pending_plan,omitempty"` // resize target
-	Deleting  bool         `json:"deleting,omitempty"`
+	ID        string          `json:"id"`
+	Blueprint string          `json:"blueprint"`
+	Plan      string          `json:"plan"` // current plan (tracks resizes)
+	Seed      int64           `json:"seed"` // engine seed of the last (re-)provision
+	Joins     int             `json:"joins"`
+	Phase     tenant.Phase    `json:"phase"`
+	Warmup    int             `json:"warmup,omitempty"`       // windows left in WarmUp
+	Pending   string          `json:"pending_plan,omitempty"` // resize target
+	Deleting  bool            `json:"deleting,omitempty"`
+	Shape     *workload.Shape `json:"shape,omitempty"` // load shape over the blueprint's workload
 }
 
 // tenantState is one tenant's desired state. deleted marks the tenant
@@ -278,6 +280,9 @@ type DatabaseSpec struct {
 	// Plan optionally overrides the blueprint's plan; it must be allowed
 	// by the tenant's tier either way.
 	Plan string `json:"plan,omitempty"`
+	// Shape optionally modulates the blueprint workload's offered load
+	// over scenario time (diurnal curves, flash crowds, drift).
+	Shape *workload.Shape `json:"shape,omitempty"`
 }
 
 // CreateDatabase declares a database. Provisioning happens at the next
@@ -322,11 +327,17 @@ func (s *Service) CreateDatabase(tenantID string, spec DatabaseSpec) error {
 	if _, dup := ts.DBs[spec.ID]; dup {
 		return fmt.Errorf("%w: database %q already exists", ErrConflict, spec.ID)
 	}
+	if spec.Shape != nil {
+		if err := spec.Shape.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+	}
 	ts.DBs[spec.ID] = &dbState{
 		ID:        spec.ID,
 		Blueprint: spec.Blueprint,
 		Plan:      plan,
 		Phase:     tenant.Pending,
+		Shape:     spec.Shape,
 	}
 	return nil
 }
@@ -426,15 +437,19 @@ func (s *Service) provisionLocked(ts *tenantState, db *dbState) error {
 
 // instanceSpec assembles the declarative engine spec for one database:
 // the blueprint's workload and agent settings, the record's current
-// plan and seed.
+// plan, seed and load shape.
 func instanceSpec(id string, db *dbState, bp tenant.Blueprint) shard.InstanceSpec {
+	wl := bp.Workload
+	if db.Shape != nil && !db.Shape.Empty() {
+		wl.Shape = db.Shape
+	}
 	return shard.InstanceSpec{
 		ID:       id,
 		Plan:     db.Plan,
 		Engine:   bp.Engine,
 		Slaves:   bp.Slaves,
 		Seed:     db.Seed,
-		Workload: bp.Workload,
+		Workload: wl,
 		Agent:    agentConfig(bp),
 	}
 }
@@ -547,6 +562,10 @@ func (s *Service) SetAutoCheckpoint(dir string, everyN int) { s.eng.SetAutoCheck
 
 // Windows returns the number of completed fleet steps.
 func (s *Service) Windows() int { return s.eng.Windows() }
+
+// Counters reports the engine's merged control-plane counter snapshot
+// (sharded fleets accumulate across shards).
+func (s *Service) Counters() (shard.Counters, error) { return s.eng.Counters() }
 
 // Rebalance migrates a database's backing instance onto another shard:
 // its live state is checkpointed out of the source shard and restored

@@ -1,0 +1,28 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"autodbaas/internal/scenario"
+)
+
+// ScenarioServer exposes a running scenario replay's live progress at
+// GET /v1/scenario: which window it is on, the virtual clock, and the
+// cumulative throttle/SLO counters.
+type ScenarioServer struct {
+	status func() scenario.Status
+	mux    *http.ServeMux
+}
+
+// NewScenarioServer wraps a status source (scenario.Runner.Status).
+func NewScenarioServer(status func() scenario.Status) *ScenarioServer {
+	s := &ScenarioServer{status: status, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/scenario", s.getStatus)
+	return s
+}
+
+func (s *ScenarioServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *ScenarioServer) getStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.status())
+}

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"autodbaas/scenarios"
+)
+
+// FuzzParseScenario hammers the whole front half of the pipeline:
+// whatever bytes come in, Parse and Compile must return an error or a
+// runnable plan — never panic, never hang. Seeds cover the full
+// library plus a gallery of malformed documents (bad curves, negative
+// durations, unknown fault profiles, broken YAML structure).
+func FuzzParseScenario(f *testing.F) {
+	for _, name := range scenarios.Names() {
+		src, err := scenarios.Source(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	for _, s := range []string{
+		"",
+		"name: x",
+		"name: x\nwindow: -30m\nduration: 1h\n",
+		"name: x\nwindow: 30m\nduration: -1h\n",
+		"name: x\nwindow: 30m\nduration: 1h\nfaults:\n  profile: nope\n",
+		"name: x\nwindow: 30m\nduration: 1h\ntenants:\n  - id: a\n    tier: dev\n    databases:\n      - id: d\n        blueprint: pg-oltp-small\n        load:\n          - diurnal: {peak: -1, trough: 0, peak-at: 99d}\n",
+		"name: x\nwindow: 30m\nduration: 1h\ntenants:\n  - id: a\n    tier: dev\n    databases:\n      - id: d\n        blueprint: pg-oltp-small\n        load:\n          - spike: {at: -5m, for: 0s, x: 0}\n",
+		"a: &anchor b\n",
+		"a: |\n  block\n",
+		"a: {b: {c: d}}\n",
+		"\t\ttabs\n",
+		"events:\n  - at: 1h\n",
+		strings.Repeat("a:\n  ", 50) + "b: 1\n",
+		"- just\n- a\n- list\n",
+		`name: "unterminated`,
+		"name: x\nname: y\n",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sc, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Valid parse: compiling must also never panic; errors are fine.
+		_, _ = sc.Compile()
+	})
+}

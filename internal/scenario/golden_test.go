@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden timeline files")
+
+// TestGoldenTimelines replays the two testdata fixtures and compares
+// the emitted CSV and JSON timelines byte for byte against committed
+// goldens. Regenerate with:
+//
+//	go test ./internal/scenario -run TestGoldenTimelines -update
+func TestGoldenTimelines(t *testing.T) {
+	for _, name := range []string{"golden-diurnal", "golden-churn"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", name+".yaml"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := sc.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewRunner(p, RunConfig{Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			res, err := r.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var csv, js bytes.Buffer
+			if err := res.WriteCSV(&csv); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.WriteJSON(&js); err != nil {
+				t.Fatal(err)
+			}
+			for ext, got := range map[string][]byte{".csv": csv.Bytes(), ".json": js.Bytes()} {
+				golden := filepath.Join("testdata", name+ext)
+				if *update {
+					if err := os.WriteFile(golden, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("%v (run with -update to generate)", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s diverged from golden (run with -update after an intentional change)\ngot:\n%s\nwant:\n%s",
+						golden, got, want)
+				}
+			}
+		})
+	}
+}

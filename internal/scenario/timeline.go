@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+
+	"autodbaas/internal/fleet"
+)
+
+// Point is one window of the replay timeline. Every field is derived
+// from virtual time and deterministic counters, so two runs of the
+// same (scenario, layout) produce byte-identical timelines.
+type Point struct {
+	Window        int     `json:"window"`
+	VirtualMin    int     `json:"virtual_min"`
+	Tenants       int     `json:"tenants"`
+	Instances     int     `json:"instances"`
+	Throttles     int     `json:"throttles"`
+	ThrottlesTot  int     `json:"throttles_total"`
+	SLOViolations int     `json:"slo_violations"`
+	SLOViolTot    int     `json:"slo_violations_total"`
+	Retries       int     `json:"retries"`
+	Escalations   int     `json:"escalations"`
+	Provisions    int     `json:"provisions"`
+	Deprovisions  int     `json:"deprovisions"`
+	Resizes       int     `json:"resizes"`
+	Samples       int     `json:"samples"`
+	Recs          int     `json:"recommendations"`
+	ApplyFailures int     `json:"apply_failures"`
+	PlanUpgrades  int     `json:"plan_upgrades"`
+	MaxP99Ms      float64 `json:"max_p99_ms"`
+}
+
+// Result is a finished replay: per-window timeline plus run totals.
+type Result struct {
+	Scenario      string  `json:"scenario"`
+	Seed          int64   `json:"seed"`
+	Windows       int     `json:"windows"`
+	WindowMin     int     `json:"window_min"`
+	SLOP99Ms      float64 `json:"slo_p99_ms,omitempty"`
+	Throttles     int     `json:"throttles"`
+	SLOViolations int     `json:"slo_violations"`
+	Retries       int     `json:"retries"`
+	Escalations   int     `json:"escalations"`
+	Provisions    int     `json:"provisions"`
+	Deprovisions  int     `json:"deprovisions"`
+	Resizes       int     `json:"resizes"`
+	PeakInstances int     `json:"peak_instances"`
+	// ProvisionLatency histograms create→Tuned latency in windows:
+	// key = latency, value = instances that tuned at that latency.
+	ProvisionLatency map[int]int `json:"provision_latency_windows,omitempty"`
+	Fingerprint      string      `json:"fingerprint"`
+	Timeline         []Point     `json:"timeline"`
+}
+
+func (r *Result) noteProvisionLatency(windows int) {
+	if r.ProvisionLatency == nil {
+		r.ProvisionLatency = map[int]int{}
+	}
+	r.ProvisionLatency[windows]++
+}
+
+// MeanProvisionLatency is the mean create→Tuned latency in windows
+// (0 when nothing finished provisioning).
+func (r *Result) MeanProvisionLatency() float64 {
+	n, sum := 0, 0
+	for lat, c := range r.ProvisionLatency {
+		n += c
+		sum += lat * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// csvHeader is the fixed timeline CSV column order; golden tests pin it.
+const csvHeader = "window,virtual_min,tenants,instances,throttles,throttles_total," +
+	"slo_violations,slo_violations_total,retries,escalations,provisions," +
+	"deprovisions,resizes,samples,recommendations,apply_failures,plan_upgrades,max_p99_ms"
+
+// WriteCSV emits the timeline with a fixed column order and fixed
+// float formatting, suitable for byte-exact golden comparison.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, csvHeader+"\n"); err != nil {
+		return err
+	}
+	for _, p := range r.Timeline {
+		row := fmt.Sprintf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
+			p.Window, p.VirtualMin, p.Tenants, p.Instances, p.Throttles, p.ThrottlesTot,
+			p.SLOViolations, p.SLOViolTot, p.Retries, p.Escalations, p.Provisions,
+			p.Deprovisions, p.Resizes, p.Samples, p.Recs, p.ApplyFailures, p.PlanUpgrades,
+			strconv.FormatFloat(p.MaxP99Ms, 'f', 3, 64))
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the full result as indented JSON with a trailing
+// newline, also byte-stable (map keys marshal sorted).
+func (r *Result) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// fingerprintHash reduces a fleet fingerprint to a short stable hex
+// digest: FNV-64a over the canonical JSON of the sorted member prints.
+func fingerprintHash(fp fleet.Fingerprint) string {
+	members := fp.Members
+	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	b, err := json.Marshal(fp)
+	if err != nil {
+		// Fingerprint is plain data; Marshal cannot fail on it.
+		return "marshal-error"
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

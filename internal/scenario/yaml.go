@@ -1,0 +1,407 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is a small YAML-subset parser — the module is
+// dependency-free by policy, and scenario files only need the plain
+// core of YAML: nested mappings and sequences by two-or-more-space
+// indentation, inline {k: v} maps and [a, b] lists one level deep,
+// scalars kept as strings (the decoder in decode.go converts), "#"
+// comments and blank lines. Anchors, aliases, multi-document streams,
+// block scalars, tabs and flow nesting are rejected with positioned
+// errors; FuzzParseScenario holds the parser to "error, never panic".
+
+// maxYAMLLines and maxYAMLDepth bound parser recursion for fuzzing.
+const (
+	maxYAMLLines = 20000
+	maxYAMLDepth = 24
+)
+
+// yamlLine is one significant source line.
+type yamlLine struct {
+	num    int // 1-based
+	indent int
+	text   string // content with indent and trailing comment stripped
+}
+
+// yamlErrf positions an error at a line.
+func yamlErrf(num int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", num, fmt.Sprintf(format, args...))
+}
+
+// splitLines strips comments and blanks, measures indentation, and
+// rejects tabs (YAML forbids them in indentation; allowing them inside
+// values only invites silent misparses).
+func splitLines(src string) ([]yamlLine, error) {
+	raw := strings.Split(src, "\n")
+	if len(raw) > maxYAMLLines {
+		return nil, fmt.Errorf("scenario file too large (%d lines, max %d)", len(raw), maxYAMLLines)
+	}
+	var out []yamlLine
+	for i, line := range raw {
+		line = strings.TrimRight(line, " \r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		body := line[indent:]
+		if strings.ContainsRune(body, '\t') {
+			return nil, yamlErrf(i+1, "tab character (use spaces)")
+		}
+		body = stripComment(body)
+		body = strings.TrimRight(body, " ")
+		if body == "" {
+			continue
+		}
+		if body == "---" && indent == 0 {
+			if len(out) > 0 {
+				return nil, yamlErrf(i+1, "multi-document streams are not supported")
+			}
+			continue
+		}
+		out = append(out, yamlLine{num: i + 1, indent: indent, text: body})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "# ..." comment, respecting single
+// and double quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseYAML parses src into nested map[string]any / []any / string.
+func parseYAML(src string) (any, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	v, next, err := parseBlock(lines, 0, lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next < len(lines) {
+		return nil, yamlErrf(lines[next].num, "unexpected de-indent to column %d", lines[next].indent)
+	}
+	return v, nil
+}
+
+// parseBlock parses the block starting at lines[i], whose members all
+// sit at exactly `indent` columns. It returns the value and the index
+// of the first line past the block.
+func parseBlock(lines []yamlLine, i, indent, depth int) (any, int, error) {
+	if depth > maxYAMLDepth {
+		return nil, i, yamlErrf(lines[i].num, "nesting deeper than %d levels", maxYAMLDepth)
+	}
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseSequence(lines, i, indent, depth)
+	}
+	if key, _, ok := splitKey(lines[i].text); ok && key != "" {
+		return parseMapping(lines, i, indent, depth)
+	}
+	// A lone scalar block (only valid as a whole single-line value).
+	if i+1 < len(lines) && lines[i+1].indent >= indent {
+		return nil, i, yamlErrf(lines[i].num, "scalar %q cannot be followed by more block content", lines[i].text)
+	}
+	v, _, err := parseScalar(lines[i].text, lines[i].num, depth)
+	return v, i + 1, err
+}
+
+// parseMapping parses "key: value" lines at one indent level.
+func parseMapping(lines []yamlLine, i, indent, depth int) (any, int, error) {
+	out := make(map[string]any)
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, i, yamlErrf(ln.num, "sequence item in a mapping block")
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok {
+			return nil, i, yamlErrf(ln.num, "expected \"key: value\", got %q", ln.text)
+		}
+		if _, dup := out[key]; dup {
+			return nil, i, yamlErrf(ln.num, "duplicate key %q", key)
+		}
+		if rest != "" {
+			v, _, err := parseScalar(rest, ln.num, depth+1)
+			if err != nil {
+				return nil, i, err
+			}
+			out[key] = v
+			i++
+			continue
+		}
+		// Block value: everything indented deeper on following lines.
+		i++
+		if i >= len(lines) || lines[i].indent <= indent {
+			out[key] = "" // "key:" with nothing under it → empty scalar
+			continue
+		}
+		v, next, err := parseBlock(lines, i, lines[i].indent, depth+1)
+		if err != nil {
+			return nil, i, err
+		}
+		out[key] = v
+		i = next
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, yamlErrf(lines[i].num, "unexpected indent")
+	}
+	return out, i, nil
+}
+
+// isSeqLine reports whether a line opens a sequence item.
+func isSeqLine(text string) bool { return strings.HasPrefix(text, "- ") || text == "-" }
+
+// parseSequence parses "- item" lines at one indent level.
+func parseSequence(lines []yamlLine, i, indent, depth int) (any, int, error) {
+	var out []any
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if !isSeqLine(ln.text) {
+			return nil, i, yamlErrf(ln.num, "expected \"- item\" in sequence, got %q", ln.text)
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		if rest == "" {
+			// "-" alone: the item is the deeper-indented block below.
+			i++
+			if i >= len(lines) || lines[i].indent <= indent {
+				return nil, i, yamlErrf(ln.num, "empty sequence item")
+			}
+			v, next, err := parseBlock(lines, i, lines[i].indent, depth+1)
+			if err != nil {
+				return nil, i, err
+			}
+			out = append(out, v)
+			i = next
+			continue
+		}
+		if key, after, ok := splitKey(rest); ok && key != "" {
+			// "- key: ..." starts an inline mapping item; its remaining
+			// keys sit two columns past the dash.
+			item := map[string]any{}
+			if after != "" {
+				v, _, err := parseScalar(after, ln.num, depth+1)
+				if err != nil {
+					return nil, i, err
+				}
+				item[key] = v
+				i++
+			} else {
+				i++
+				// The key's block value: anything indented past the
+				// continuation column, or a sequence starting exactly on it.
+				if i < len(lines) && (lines[i].indent > indent+2 ||
+					(lines[i].indent == indent+2 && isSeqLine(lines[i].text))) {
+					v, next, err := parseBlock(lines, i, lines[i].indent, depth+1)
+					if err != nil {
+						return nil, i, err
+					}
+					item[key] = v
+					i = next
+				} else {
+					item[key] = ""
+				}
+			}
+			for i < len(lines) && lines[i].indent == indent+2 && !isSeqLine(lines[i].text) {
+				m, next, err := parseMapping(lines, i, indent+2, depth+1)
+				if err != nil {
+					return nil, i, err
+				}
+				for k, v := range m.(map[string]any) {
+					if _, dup := item[k]; dup {
+						return nil, i, yamlErrf(lines[i].num, "duplicate key %q", k)
+					}
+					item[k] = v
+				}
+				i = next
+			}
+			out = append(out, item)
+			continue
+		}
+		v, _, err := parseScalar(rest, ln.num, depth+1)
+		if err != nil {
+			return nil, i, err
+		}
+		out = append(out, v)
+		i++
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, i, yamlErrf(lines[i].num, "unexpected indent")
+	}
+	return out, i, nil
+}
+
+// splitKey splits "key: rest" or "key:". Keys are bare identifiers
+// (letters, digits, '.', '_', '-'); anything else is not a mapping
+// line.
+func splitKey(s string) (key, rest string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ':' {
+			if i == 0 {
+				return "", "", false
+			}
+			if i+1 == len(s) {
+				return s[:i], "", true
+			}
+			if s[i+1] == ' ' {
+				return s[:i], strings.TrimLeft(s[i+1:], " "), true
+			}
+			return "", "", false
+		}
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '_' || c == '-') {
+			return "", "", false
+		}
+	}
+	return "", "", false
+}
+
+// parseScalar parses an inline value: a quoted or bare string, or a
+// one-level inline collection.
+func parseScalar(s string, num, depth int) (any, int, error) {
+	if depth > maxYAMLDepth {
+		return nil, 0, yamlErrf(num, "nesting deeper than %d levels", maxYAMLDepth)
+	}
+	switch {
+	case strings.HasPrefix(s, "{"):
+		return parseInlineMap(s, num, depth)
+	case strings.HasPrefix(s, "["):
+		return parseInlineList(s, num, depth)
+	case strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, 0, yamlErrf(num, "block scalars are not supported")
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*"):
+		return nil, 0, yamlErrf(num, "anchors and aliases are not supported")
+	}
+	return unquote(s, num)
+}
+
+// unquote strips matched single or double quotes.
+func unquote(s string, num int) (string, int, error) {
+	if len(s) >= 2 {
+		if s[0] == '"' || s[0] == '\'' {
+			if s[len(s)-1] != s[0] {
+				return "", 0, yamlErrf(num, "unterminated quote in %q", s)
+			}
+			return s[1 : len(s)-1], 0, nil
+		}
+	}
+	if s != "" && (s[0] == '"' || s[0] == '\'') {
+		return "", 0, yamlErrf(num, "unterminated quote in %q", s)
+	}
+	return s, 0, nil
+}
+
+// splitInline splits the comma-separated body of an inline collection,
+// respecting quotes. Nested inline collections are rejected — scenario
+// files never need them and flow nesting is where hand-rolled parsers
+// go wrong.
+func splitInline(body string, num int) ([]string, error) {
+	var parts []string
+	start, inS, inD := 0, false, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '{', '[':
+			if !inS && !inD {
+				return nil, yamlErrf(num, "nested inline collections are not supported")
+			}
+		case ',':
+			if !inS && !inD {
+				parts = append(parts, strings.TrimSpace(body[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if inS || inD {
+		return nil, yamlErrf(num, "unterminated quote in inline collection")
+	}
+	parts = append(parts, strings.TrimSpace(body[start:]))
+	return parts, nil
+}
+
+// parseInlineMap parses "{k: v, k2: v2}".
+func parseInlineMap(s string, num, depth int) (any, int, error) {
+	if !strings.HasSuffix(s, "}") {
+		return nil, 0, yamlErrf(num, "unterminated inline map %q", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	out := make(map[string]any)
+	if body == "" {
+		return out, 0, nil
+	}
+	parts, err := splitInline(body, num)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, p := range parts {
+		key, rest, ok := splitKey(p)
+		if !ok || key == "" {
+			return nil, 0, yamlErrf(num, "inline map entry %q is not \"key: value\"", p)
+		}
+		if _, dup := out[key]; dup {
+			return nil, 0, yamlErrf(num, "duplicate key %q", key)
+		}
+		v, _, err := unquote(rest, num)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[key] = v
+	}
+	return out, 0, nil
+}
+
+// parseInlineList parses "[a, b, c]".
+func parseInlineList(s string, num, depth int) (any, int, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, 0, yamlErrf(num, "unterminated inline list %q", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	if body == "" {
+		return []any{}, 0, nil
+	}
+	parts, err := splitInline(body, num)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]any, 0, len(parts))
+	for _, p := range parts {
+		v, _, err := unquote(p, num)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, v)
+	}
+	return out, 0, nil
+}

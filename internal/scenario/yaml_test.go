@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want any
+	}{
+		{"scalar map", "a: 1\nb: two\n", map[string]any{"a": "1", "b": "two"}},
+		{"nested map", "a:\n  b: 1\n", map[string]any{"a": map[string]any{"b": "1"}}},
+		{"list of scalars", "xs:\n  - 1\n  - 2\n", map[string]any{"xs": []any{"1", "2"}}},
+		{"list of maps", "xs:\n  - k: 1\n  - k: 2\n",
+			map[string]any{"xs": []any{map[string]any{"k": "1"}, map[string]any{"k": "2"}}}},
+		{"inline map", "m: {a: 1, b: 2}\n", map[string]any{"m": map[string]any{"a": "1", "b": "2"}}},
+		{"inline list", "l: [1, 2]\n", map[string]any{"l": []any{"1", "2"}}},
+		{"quoted scalar", `s: "a: b"` + "\n", map[string]any{"s": "a: b"}},
+		{"comment stripped", "a: 1 # trailing\n# full line\nb: 2\n", map[string]any{"a": "1", "b": "2"}},
+		{"doc marker", "---\na: 1\n", map[string]any{"a": "1"}},
+		{"seq item with nested block", "xs:\n  - k:\n      a: 1\n    j: 2\n",
+			map[string]any{"xs": []any{map[string]any{"k": map[string]any{"a": "1"}, "j": "2"}}}},
+		{"seq item key with seq value", "xs:\n  - k:\n      - 1\n      - 2\n",
+			map[string]any{"xs": []any{map[string]any{"k": []any{"1", "2"}}}}},
+		{"empty value", "a:\nb: 1\n", map[string]any{"a": "", "b": "1"}},
+		{"indented scalar value", "a:\n  plain scalar!\n", map[string]any{"a": "plain scalar!"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseYAML(tc.src)
+			if err != nil {
+				t.Fatalf("parseYAML(%q): %v", tc.src, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parseYAML(%q)\n got %#v\nwant %#v", tc.src, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"tab indent", "a:\n\tb: 1\n", "tab"},
+		{"block scalar", "a: |\n  x\n", "block scalar"},
+		{"anchor", "a: &x 1\n", "anchor"},
+		{"alias", "a: *x\n", "anchor"},
+		{"nested inline", "a: {b: {c: 1}}\n", "nested inline"},
+		{"bad indent", "a:\n  b: 1\n c: 2\n", "indent"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"seq where map", "a: 1\n- b\n", "sequence item"},
+		{"unclosed quote", `a: "oops` + "\n", "quote"},
+		{"second document", "a: 1\n---\nb: 2\n", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML(tc.src)
+			if err == nil {
+				t.Fatalf("parseYAML(%q): expected error", tc.src)
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseYAML(%q): error %q does not mention %q", tc.src, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"30m", "30m0s", false},
+		{"2h", "2h0m0s", false},
+		{"1d", "24h0m0s", false},
+		{"2d12h", "60h0m0s", false},
+		{"1d30m", "24h30m0s", false},
+		{"bogus", "", true},
+		{"-5m", "-5m0s", false},
+	}
+	for _, tc := range cases {
+		got, err := parseDuration(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("parseDuration(%q): expected error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseDuration(%q): %v", tc.in, err)
+			continue
+		}
+		if got.String() != tc.want {
+			t.Errorf("parseDuration(%q) = %v, want %s", tc.in, got, tc.want)
+		}
+	}
+}

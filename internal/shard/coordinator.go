@@ -360,6 +360,12 @@ func (c *Coordinator) Step(dur time.Duration) (StepResult, error) {
 			}
 			out.Events[kind] += n
 		}
+		for id, p99 := range results[i].P99Ms {
+			if out.P99Ms == nil {
+				out.P99Ms = make(map[string]float64)
+			}
+			out.P99Ms[id] = p99
+		}
 		for id, msg := range results[i].Errors {
 			if out.Errors == nil {
 				out.Errors = make(map[string]string)

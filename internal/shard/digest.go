@@ -64,6 +64,12 @@ func (sp InstanceSpec) CoreSpec() (core.InstanceSpec, error) {
 // which JSON cannot.
 func StepDigest(window int, res core.StepResult) StepResult {
 	out := StepResult{Window: window, Throttles: res.Throttles}
+	for id, ws := range res.Windows {
+		if out.P99Ms == nil {
+			out.P99Ms = make(map[string]float64, len(res.Windows))
+		}
+		out.P99Ms[id] = ws.P99Ms
+	}
 	for _, evs := range res.Events {
 		for _, ev := range evs {
 			if out.Events == nil {
@@ -90,6 +96,8 @@ func CountersOf(sys *core.System) Counters {
 		Samples:      sys.Repository.Len(),
 		CircuitSkips: sys.Director.CircuitSkips(),
 		CircuitTrips: sys.Director.CircuitTrips(),
+		Retries:      sys.Orchestrator.Retries(),
+		Escalations:  sys.Orchestrator.Escalations(),
 		Repository:   sys.Repository.Stats(),
 	}
 	c.TuningRequests, c.Recommendations, c.ApplyFailures, c.PlanUpgrades = sys.Director.Counters()

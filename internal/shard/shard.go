@@ -115,13 +115,15 @@ type Config struct {
 
 // StepResult is one shard's serializable outcome of stepping a window:
 // the shard's window counter after the step, the throttle count, TDE
-// event counts by kind, and per-instance errors (as strings — errors
-// cross the RPC boundary by message).
+// event counts by kind, per-instance window P99 latency (what scenario
+// SLO tracking is scored on), and per-instance errors (as strings —
+// errors cross the RPC boundary by message).
 type StepResult struct {
-	Window    int               `json:"window"`
-	Throttles int               `json:"throttles"`
-	Events    map[string]int    `json:"events,omitempty"`
-	Errors    map[string]string `json:"errors,omitempty"`
+	Window    int                `json:"window"`
+	Throttles int                `json:"throttles"`
+	Events    map[string]int     `json:"events,omitempty"`
+	P99Ms     map[string]float64 `json:"p99_ms,omitempty"`
+	Errors    map[string]string  `json:"errors,omitempty"`
 }
 
 // Counters is a shard's control-plane counter snapshot.
@@ -136,6 +138,8 @@ type Counters struct {
 	PlanUpgrades    int `json:"plan_upgrades"`
 	CircuitSkips    int `json:"circuit_skips"`
 	CircuitTrips    int `json:"circuit_trips"`
+	Retries         int `json:"retries"`
+	Escalations     int `json:"escalations"`
 
 	Repository repository.Stats `json:"repository"`
 }
@@ -154,6 +158,8 @@ func (c *Counters) Accumulate(o Counters) {
 	c.PlanUpgrades += o.PlanUpgrades
 	c.CircuitSkips += o.CircuitSkips
 	c.CircuitTrips += o.CircuitTrips
+	c.Retries += o.Retries
+	c.Escalations += o.Escalations
 	c.Repository.Samples += o.Repository.Samples
 	c.Repository.Enqueued += o.Repository.Enqueued
 	c.Repository.Delivered += o.Repository.Delivered

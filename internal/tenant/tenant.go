@@ -31,12 +31,16 @@ func ValidID(s string) bool { return idPattern.MatchString(s) }
 
 // WorkloadSpec names one of the synthetic workload classes and its
 // parameters. Mix is class-specific: the adulteration probability for
-// "adulterated-tpcc", ignored elsewhere.
+// "adulterated-tpcc", ignored elsewhere. Shape optionally modulates
+// the offered load over scenario time (diurnal curves, flash crowds,
+// drift); it rides the spec across the shard RPC boundary and through
+// checkpoints like every other field.
 type WorkloadSpec struct {
-	Class   string  `json:"class"`
-	SizeGiB float64 `json:"size_gib,omitempty"`
-	Rate    float64 `json:"rate,omitempty"`
-	Mix     float64 `json:"mix,omitempty"`
+	Class   string          `json:"class"`
+	SizeGiB float64         `json:"size_gib,omitempty"`
+	Rate    float64         `json:"rate,omitempty"`
+	Mix     float64         `json:"mix,omitempty"`
+	Shape   *workload.Shape `json:"shape,omitempty"`
 }
 
 // WorkloadClasses lists the accepted WorkloadSpec.Class values.
@@ -45,8 +49,23 @@ func WorkloadClasses() []string {
 }
 
 // Build materializes the workload generator. Size and rate default per
-// class when zero.
+// class when zero; a non-empty Shape wraps the generator so its offered
+// load follows the scenario curve.
 func (w WorkloadSpec) Build() (workload.Generator, error) {
+	base, err := w.buildBase()
+	if err != nil {
+		return nil, err
+	}
+	if w.Shape == nil || w.Shape.Empty() {
+		return base, nil
+	}
+	if err := w.Shape.Validate(); err != nil {
+		return nil, err
+	}
+	return workload.Shaped{Generator: base, Shape: *w.Shape}, nil
+}
+
+func (w WorkloadSpec) buildBase() (workload.Generator, error) {
 	size := w.SizeGiB * GiB
 	if size <= 0 {
 		size = 8 * GiB

@@ -13,12 +13,12 @@ func FuzzTraceParse(f *testing.F) {
 	f.Add([]byte(`{"sql":"SELECT 1","class":"memory","mem_mb":4,"read_mb":1,"write_mb":0}`))
 	f.Add([]byte(`{"sql":"SELECT 1","class":"memory","read_mb":1,"write_mb":0}
 {"sql":"UPDATE t SET x=1","class":"bgwriter","read_mb":0.5,"write_mb":2,"parallelizable":true}`))
-	f.Add([]byte(""))              // empty trace must error, not panic
-	f.Add([]byte(`{"sql":`))       // truncated JSON
-	f.Add([]byte(`[1,2,3]`))       // wrong JSON shape
-	f.Add([]byte(`{"class":42}`))  // wrong field type
-	f.Add([]byte("\x00\xff\xfe"))  // binary garbage
-	f.Add([]byte(`{}` + "\n{}"))   // records with every field defaulted
+	f.Add([]byte(""))             // empty trace must error, not panic
+	f.Add([]byte(`{"sql":`))      // truncated JSON
+	f.Add([]byte(`[1,2,3]`))      // wrong JSON shape
+	f.Add([]byte(`{"class":42}`)) // wrong field type
+	f.Add([]byte("\x00\xff\xfe")) // binary garbage
+	f.Add([]byte(`{}` + "\n{}"))  // records with every field defaulted
 	f.Add([]byte(`{"sql":"SELECT * FROM big","class":"planner","temp_mb":1e308,"read_mb":-5,"write_mb":1e-300}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
