@@ -27,6 +27,14 @@ func point(r testing.BenchmarkResult) benchPoint {
 	return benchPoint{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
 }
 
+// gpRefitPoint is a benchPoint stamped with the GP history size the
+// operation ran against — without it the ns/op numbers are not
+// comparable across runs that change the benchmark's n.
+type gpRefitPoint struct {
+	N int `json:"n"`
+	benchPoint
+}
+
 // cacheRates is one cache's hit/miss/eviction counts over the fleet run.
 type cacheRates struct {
 	Hits      float64 `json:"hits"`
@@ -63,10 +71,9 @@ type hotpathReport struct {
 			Speedup  float64    `json:"speedup"`
 		} `json:"template_of"`
 		GPRefit struct {
-			N           int        `json:"n"`
-			Full        benchPoint `json:"full"`
-			Incremental benchPoint `json:"incremental"`
-			Speedup     float64    `json:"speedup"`
+			Full        gpRefitPoint `json:"full"`
+			Incremental gpRefitPoint `json:"incremental"`
+			Speedup     float64      `json:"speedup"`
 		} `json:"gp_refit"`
 	} `json:"benchmarks"`
 	FleetCacheRates struct {
@@ -194,9 +201,11 @@ func runHotpath(quick bool, seed int64, parallelism int) string {
 			}
 		}
 	})
-	rep.Benchmarks.GPRefit.N = n
-	rep.Benchmarks.GPRefit.Full = point(full)
-	rep.Benchmarks.GPRefit.Incremental = point(incr)
+	// Each entry records the history size its op ran against: the full
+	// refit absorbs the new sample into an n+1 posterior; the rank-1
+	// updates extend an n-point base (n..n+63 across the loop).
+	rep.Benchmarks.GPRefit.Full = gpRefitPoint{N: n + 1, benchPoint: point(full)}
+	rep.Benchmarks.GPRefit.Incremental = gpRefitPoint{N: n, benchPoint: point(incr)}
 	if incr.NsPerOp() > 0 {
 		rep.Benchmarks.GPRefit.Speedup = float64(full.NsPerOp()) / float64(incr.NsPerOp())
 	}

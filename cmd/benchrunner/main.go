@@ -37,6 +37,7 @@ func main() {
 	resume := flag.Bool("resume", false, "restore the checkpoint job's fleets from -checkpoint-dir instead of re-running the warm-up")
 	shardWorker := flag.String("shard-worker", "", "internal: serve the shard RPC protocol on this address (the shards job re-execs itself with it)")
 	scenarioBaseline := flag.String("scenario-baseline", "", "gate the scenarios job's per-scenario throttle counts against this committed BENCH_scenarios.json")
+	tunerBaseline := flag.String("tuner-baseline", "", "gate the tuner job's sparse-path latency growth against this committed BENCH_tuner.json")
 	flag.Parse()
 
 	if *shardWorker != "" {
@@ -109,6 +110,7 @@ func main() {
 			return experiments.ChaosSoak(scale(20, 6), scale(24, 4), *parallelism, *seed, *faultsProfile).Render()
 		}},
 		{"hotpath", "BENCH_hotpath.json", func() string { return runHotpath(q, *seed, *parallelism) }},
+		{"tuner", "BENCH_tuner.json", func() string { return runTuner(q, *seed, *tunerBaseline) }},
 		{"checkpoint", "BENCH_checkpoint.json", func() string {
 			return runCheckpointBench(q, *seed, *parallelism, *ckptDir, *ckptEvery, *resume)
 		}},

@@ -42,6 +42,14 @@ type scenarioBench struct {
 // contract), so this only affects wall time.
 const scenarioParallelism = 4
 
+// warmColdScenario is replayed twice — cold (library default) and with
+// fleet warm starts on — so the throttle gap between the two rows pins
+// the warm-start win in the committed baseline.
+const (
+	warmColdScenario = "cold-start-wave"
+	warmRowSuffix    = "+warm"
+)
+
 // runScenarioSweep replays every library scenario flat, writes one
 // timeline CSV per scenario into outDir, and returns the
 // BENCH_scenarios.json text. Scenario seeds come from the files — the
@@ -49,47 +57,47 @@ const scenarioParallelism = 4
 // sweep is comparable across invocations.
 func runScenarioSweep(outDir string) (string, *scenarioBench, error) {
 	bench := &scenarioBench{
-		Note: "per-scenario totals from the library sweep; throttles are gated in CI against the committed baseline (see DESIGN.md \"Scenario DSL\")",
+		Note: "per-scenario totals from the library sweep; throttles are gated in CI against the committed baseline (see DESIGN.md \"Scenario DSL\"); the +warm row replays the same file with fleet warm starts on and must throttle strictly less than its cold twin",
 	}
-	for _, name := range scenarios.Names() {
+	runOne := func(name, rowName string, cfg scenario.RunConfig) error {
 		src, err := scenarios.Source(name)
 		if err != nil {
-			return "", nil, err
+			return err
 		}
 		sc, err := scenario.Parse(src)
 		if err != nil {
-			return "", nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", rowName, err)
 		}
 		plan, err := sc.Compile()
 		if err != nil {
-			return "", nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", rowName, err)
 		}
 		start := time.Now()
-		r, err := scenario.NewRunner(plan, scenario.RunConfig{Parallelism: scenarioParallelism})
+		r, err := scenario.NewRunner(plan, cfg)
 		if err != nil {
-			return "", nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", rowName, err)
 		}
 		res, err := r.Run(context.Background())
 		r.Close()
 		if err != nil {
-			return "", nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", rowName, err)
 		}
 
-		csvPath := filepath.Join(outDir, "scenario_"+name+".csv")
+		csvPath := filepath.Join(outDir, "scenario_"+rowName+".csv")
 		f, err := os.Create(csvPath)
 		if err != nil {
-			return "", nil, err
+			return err
 		}
 		if err := res.WriteCSV(f); err != nil {
 			f.Close()
-			return "", nil, err
+			return err
 		}
 		if err := f.Close(); err != nil {
-			return "", nil, err
+			return err
 		}
 
 		bench.Scenarios = append(bench.Scenarios, scenarioRow{
-			Name:             res.Scenario,
+			Name:             rowName,
 			Seed:             res.Seed,
 			Windows:          res.Windows,
 			Throttles:        res.Throttles,
@@ -104,7 +112,18 @@ func runScenarioSweep(outDir string) (string, *scenarioBench, error) {
 			Fingerprint:      res.Fingerprint,
 			WallMilliseconds: time.Since(start).Milliseconds(),
 		})
-		fmt.Printf("  %-20s throttles=%-4d slo=%-4d → %s\n", name, res.Throttles, res.SLOViolations, csvPath)
+		fmt.Printf("  %-20s throttles=%-4d slo=%-4d → %s\n", rowName, res.Throttles, res.SLOViolations, csvPath)
+		return nil
+	}
+	for _, name := range scenarios.Names() {
+		if err := runOne(name, name, scenario.RunConfig{Parallelism: scenarioParallelism}); err != nil {
+			return "", nil, err
+		}
+		if name == warmColdScenario {
+			if err := runOne(name, name+warmRowSuffix, scenario.RunConfig{Parallelism: scenarioParallelism, WarmStart: true}); err != nil {
+				return "", nil, err
+			}
+		}
 	}
 	sort.Slice(bench.Scenarios, func(i, j int) bool { return bench.Scenarios[i].Name < bench.Scenarios[j].Name })
 	b, err := json.MarshalIndent(bench, "", "  ")
@@ -167,7 +186,9 @@ func gateThrottles(bench *scenarioBench, baselinePath string) ([]string, error) 
 		baseBy[r.Name] = r
 	}
 	var regressions []string
+	freshBy := map[string]scenarioRow{}
 	for _, r := range bench.Scenarios {
+		freshBy[r.Name] = r
 		b, ok := baseBy[r.Name]
 		if !ok {
 			regressions = append(regressions, fmt.Sprintf("%s: not in baseline (add it via the update flow)", r.Name))
@@ -178,6 +199,14 @@ func gateThrottles(bench *scenarioBench, baselinePath string) ([]string, error) 
 			regressions = append(regressions, fmt.Sprintf("%s: throttles %d → %d (+%d)", r.Name, b.Throttles, r.Throttles, r.Throttles-b.Throttles))
 		case r.Throttles < b.Throttles:
 			fmt.Printf("  note: %s improved, throttles %d → %d (baseline can be ratcheted down)\n", r.Name, b.Throttles, r.Throttles)
+		}
+	}
+	// Warm-start efficacy gate: the warm replay of the cold-start wave
+	// must throttle strictly less than the cold replay, or the
+	// warm-start path has stopped helping.
+	if cold, ok := freshBy[warmColdScenario]; ok {
+		if warm, ok := freshBy[warmColdScenario+warmRowSuffix]; ok && warm.Throttles >= cold.Throttles {
+			regressions = append(regressions, fmt.Sprintf("%s: warm replay throttled %d, not strictly below the cold replay's %d — warm starts no longer pay off", warmColdScenario+warmRowSuffix, warm.Throttles, cold.Throttles))
 		}
 	}
 	return regressions, nil

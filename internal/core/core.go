@@ -20,6 +20,7 @@ import (
 	"autodbaas/internal/dfa"
 	"autodbaas/internal/director"
 	"autodbaas/internal/faults"
+	"autodbaas/internal/knobs"
 	"autodbaas/internal/monitor"
 	"autodbaas/internal/obs"
 	"autodbaas/internal/orchestrator"
@@ -297,6 +298,38 @@ func (s *System) ResizeInstance(id, plan string, seed int64, opts agent.Options)
 		return nil, err
 	}
 	return a, nil
+}
+
+// SeedConfig applies a starting configuration to a freshly provisioned
+// instance — the fleet warm start's second half, alongside seeding the
+// repository with donor history. The config is clamped to the engine's
+// catalogue and re-fitted to the instance's memory budget (a donor may
+// have run on a bigger plan), staged via the DFA, and made fully live
+// with a node restart — the instance has served no traffic yet, so the
+// restart is free — then persisted as the orchestrator's source of
+// truth so reconciliation and redeploys keep it.
+func (s *System) SeedConfig(id string, cfg knobs.Config) error {
+	s.mu.Lock()
+	a, ok := s.agents[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: no agent for %s", id)
+	}
+	inst := a.Instance()
+	master := inst.Replica.Master()
+	kcat := master.KnobCatalog()
+	fitted := kcat.FitMemoryBudget(kcat.Clamp(cfg), knobs.MemoryBudget{
+		TotalBytes: master.Resources().MemoryBytes, WorkMemSessions: 4,
+	})
+	if err := s.DFA.Apply(inst, fitted, simdb.ApplyReload); err != nil {
+		return err
+	}
+	for _, node := range inst.Replica.Nodes() {
+		if err := node.Restart(); err != nil {
+			return fmt.Errorf("core: seed-config restart: %w", err)
+		}
+	}
+	return s.Orchestrator.PersistConfig(id, inst.Replica.Master().Config())
 }
 
 // Member is one row of the membership table.

@@ -33,6 +33,9 @@ type controlState struct {
 	Provisions   int64          `json:"provisions_total"`
 	Deprovisions int64          `json:"deprovisions_total"`
 	Resizes      int64          `json:"resizes_total"`
+	WarmHits     int64          `json:"warmstart_hits_total,omitempty"`
+	WarmMisses   int64          `json:"warmstart_misses_total,omitempty"`
+	WarmSeeded   int64          `json:"warmstart_samples_seeded_total,omitempty"`
 }
 
 // saveControlState is the Extra hook the engine's checkpoint calls
@@ -51,6 +54,9 @@ func (s *Service) saveControlState() ([]byte, error) {
 		Provisions:   s.provisions,
 		Deprovisions: s.deprovisions,
 		Resizes:      s.resizes,
+		WarmHits:     s.warmHits,
+		WarmMisses:   s.warmMisses,
+		WarmSeeded:   s.warmSeeded,
 	}
 	for _, m := range members {
 		ctl.Order = append(ctl.Order, m.ID)
@@ -128,6 +134,7 @@ func (s *Service) RestoreFrom(path string) error {
 		s.tenants[rec.Tenant.ID] = ts
 	}
 	s.provisions, s.deprovisions, s.resizes = ctl.Provisions, ctl.Deprovisions, ctl.Resizes
+	s.warmHits, s.warmMisses, s.warmSeeded = ctl.WarmHits, ctl.WarmMisses, ctl.WarmSeeded
 
 	if !s.eng.SelfContainedSnapshots() {
 		// Rebuild the cohort in recorded onboarding order with the

@@ -75,6 +75,13 @@ type Config struct {
 	// proxies to `autodbaas -worker` processes. Takes precedence over
 	// Shards. The service owns them: Close releases them.
 	ShardHosts []shard.Shard
+
+	// WarmStart, when non-nil, seeds every newly provisioned database's
+	// tuner from the repository history of workload-similar instances
+	// and applies the donor's best configuration as the starting point
+	// (see warmstart.go). Nil (the default) keeps cold starts — and
+	// every existing timeline — byte-identical. Flat engine only.
+	WarmStart *WarmStartConfig
 }
 
 // Sharded reports whether the config selects the sharded engine.
@@ -121,6 +128,9 @@ type Service struct {
 	provisions   int64
 	deprovisions int64
 	resizes      int64
+	warmHits     int64
+	warmMisses   int64
+	warmSeeded   int64
 
 	m fleetMetrics
 }
@@ -132,6 +142,7 @@ type fleetMetrics struct {
 	deprovisions *obs.Counter
 	resizes      *obs.Counter
 	reconcile    *obs.Histogram
+	warmstart    warmStartMetrics
 }
 
 func newFleetMetrics(r *obs.Registry) fleetMetrics {
@@ -142,6 +153,7 @@ func newFleetMetrics(r *obs.Registry) fleetMetrics {
 		deprovisions: r.Counter("autodbaas_fleet_deprovisions_total", "Database services deprovisioned by the reconciler."),
 		resizes:      r.Counter("autodbaas_fleet_resizes_total", "Database service resizes applied by the reconciler."),
 		reconcile:    r.Histogram("autodbaas_fleet_reconcile_seconds", "Wall-clock latency of one reconcile pass (desired vs observed).", nil),
+		warmstart:    newWarmStartMetrics(r),
 	}
 }
 
@@ -169,6 +181,9 @@ func New(cfg Config) (*Service, error) {
 		m:       newFleetMetrics(obs.Default()),
 	}
 	if cfg.Sharded() {
+		if cfg.WarmStart != nil {
+			return nil, fmt.Errorf("%w: warm starts need the flat engine's fleet-scope repository (shards partition it)", ErrInvalid)
+		}
 		shards := cfg.ShardHosts
 		if len(shards) == 0 {
 			for _, sc := range cfg.Shards {
@@ -427,6 +442,9 @@ func (s *Service) provisionLocked(ts *tenantState, db *dbState) error {
 	if err := s.eng.AddInstance(instanceSpec(id, db, bp)); err != nil {
 		return err
 	}
+	if err := s.warmStartLocked(id, bp); err != nil {
+		return err
+	}
 	tier := s.cfg.Tiers[ts.Tenant.Tier]
 	db.Phase = tenant.WarmUp
 	db.Warmup = tier.WarmupWindows
@@ -501,6 +519,12 @@ func (s *Service) reconcileLocked() error {
 				db.Seed = s.instSeed(id, db.Joins)
 				if err := s.eng.ResizeInstance(id, db.Pending, db.Seed, agentConfig(bp)); err != nil {
 					return fmt.Errorf("fleet: resize %s/%s: %w", tid, did, err)
+				}
+				// A resized workload normally keeps its own history (the
+				// warm start the paper already gets from shared tuners);
+				// the hook only seeds when the history is empty.
+				if err := s.warmStartLocked(id, bp); err != nil {
+					return err
 				}
 				db.Plan = db.Pending
 				db.Pending = ""

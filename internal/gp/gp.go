@@ -74,8 +74,19 @@ type Regressor struct {
 	// that many consecutive incremental updates — a drift backstop so
 	// accumulated rounding from long Add chains cannot survive forever.
 	// Zero means incremental updates are never force-refitted (they are
-	// bit-identical to a full Fit anyway; see CholeskyAppendRow).
+	// bit-identical to a full Fit anyway; see CholeskyAppendRow). The
+	// sparse path ignores it: its refresh cadence is the doubling rule
+	// described in sparse.go, which keeps amortized Add cost flat in n.
 	FullRefitEvery int
+
+	// SparseThreshold, when positive, switches the model to the sparse
+	// inducing-point path (see sparse.go) once the training set reaches
+	// that many samples. Zero (the default) keeps the exact path
+	// regardless of size — existing models stay bit-for-bit unchanged.
+	SparseThreshold int
+	// InducingPoints is the sparse path's inducing-set size m (default
+	// 64). Only consulted when SparseThreshold is positive.
+	InducingPoints int
 
 	x     [][]float64
 	ys    []float64 // stored targets (owned copy), enabling incremental refits
@@ -89,6 +100,10 @@ type Regressor struct {
 	jittered bool
 	// addsSinceFit counts incremental updates since the last full Fit.
 	addsSinceFit int
+
+	// sparse is the inducing-point state; non-nil iff the model is on
+	// the sparse path.
+	sparse *sparseState
 
 	// Predict scratch (kernel row and triangular-solve vector).
 	kbuf, vbuf []float64
@@ -112,6 +127,9 @@ func (g *Regressor) Fit(x [][]float64, y []float64) error {
 	}
 	if len(x) != len(y) {
 		return fmt.Errorf("gp: %d inputs but %d targets", len(x), len(y))
+	}
+	if g.sparseActive(len(x)) {
+		return g.fitSparse(x, y)
 	}
 	n := len(x)
 	mean := linalg.Mean(y)
@@ -152,6 +170,7 @@ func (g *Regressor) Fit(x [][]float64, y []float64) error {
 	g.ys = append(g.ys[:0:0], y...)
 	g.jittered = jittered
 	g.addsSinceFit = 0
+	g.sparse = nil
 	return nil
 }
 
@@ -173,6 +192,14 @@ func (g *Regressor) Fit(x [][]float64, y []float64) error {
 func (g *Regressor) Add(x []float64, y float64) error {
 	if !g.Fitted() {
 		return g.Fit([][]float64{x}, []float64{y})
+	}
+	if g.sparse != nil {
+		return g.addSparse(x, y)
+	}
+	if g.sparseActive(len(g.x) + 1) {
+		// Crossing the threshold: refitPlus routes through Fit, which
+		// selects the sparse path for the extended set.
+		return g.refitPlus(x, y)
 	}
 	if g.jittered || (g.FullRefitEvery > 0 && g.addsSinceFit >= g.FullRefitEvery) {
 		return g.refitPlus(x, y)
@@ -217,7 +244,7 @@ func (g *Regressor) refitPlus(x []float64, y float64) error {
 }
 
 // Fitted reports whether the model has been trained.
-func (g *Regressor) Fitted() bool { return g.chol != nil }
+func (g *Regressor) Fitted() bool { return g.chol != nil || g.sparse != nil }
 
 // NumSamples returns the training-set size (0 before Fit).
 func (g *Regressor) NumSamples() int { return len(g.x) }
@@ -230,6 +257,9 @@ func (g *Regressor) NumSamples() int { return len(g.x) }
 func (g *Regressor) Predict(q []float64) (mean, variance float64, err error) {
 	if !g.Fitted() {
 		return 0, 0, ErrNotFitted
+	}
+	if g.sparse != nil {
+		return g.predictSparse(q)
 	}
 	n := len(g.x)
 	if cap(g.kbuf) < n {
@@ -260,6 +290,9 @@ func (g *Regressor) LogMarginalLikelihood(y []float64) (float64, error) {
 	}
 	if len(y) != len(g.x) {
 		return 0, fmt.Errorf("gp: %d targets for %d samples", len(y), len(g.x))
+	}
+	if g.sparse != nil {
+		return g.sparseLogMarginalLikelihood(y), nil
 	}
 	n := float64(len(y))
 	resid := make([]float64, len(y))

@@ -21,8 +21,13 @@ import (
 // rather than a lossy snapshot.
 
 // gpMagic identifies the serialized form; the trailing byte is the
-// format version.
-var gpMagic = []byte{'G', 'P', 'R', 1}
+// format version. Version 2 added the sparse inducing-point section
+// (configuration and, when fitted sparse, the accumulator state) —
+// written unconditionally, because a restored model that silently
+// dropped its sparse configuration would diverge from a never-restored
+// run the moment the training set crossed the threshold. Other versions
+// are rejected outright.
+var gpMagic = []byte{'G', 'P', 'R', 2}
 
 // errNotSEARD rejects kernels the codec cannot capture.
 var errNotSEARD = errors.New("gp: only SE-ARD kernels are serializable")
@@ -75,6 +80,38 @@ func (g *Regressor) MarshalBinary() ([]byte, error) {
 		putInt(g.chol.Cols)
 		putVec(g.chol.Data)
 	}
+	putMat := func(m *linalg.Matrix) {
+		if m == nil {
+			putInt(-1)
+			return
+		}
+		putInt(m.Rows)
+		putInt(m.Cols)
+		putVec(m.Data)
+	}
+	// Version-2 sparse section: configuration always, state when fitted
+	// sparse. Inducing inputs are stored as indices into x, which the
+	// exact section above already carries.
+	putInt(g.SparseThreshold)
+	putInt(g.InducingPoints)
+	if g.sparse == nil {
+		putInt(0)
+		return b.Bytes(), nil
+	}
+	st := g.sparse
+	putInt(1)
+	putInt(len(st.zidx))
+	for _, id := range st.zidx {
+		putInt(id)
+	}
+	putMat(st.cholKuu)
+	putMat(st.b)
+	putMat(st.cholB)
+	putVec(st.alpha)
+	putVec(st.sky)
+	putVec(st.sk)
+	putF64(st.sumY)
+	putInt(st.fitN)
 	return b.Bytes(), nil
 }
 
@@ -140,25 +177,69 @@ func (g *Regressor) UnmarshalBinary(data []byte) error {
 	}
 	ys := getVec()
 	alpha := getVec()
-	cholRows := getInt()
-	var chol *linalg.Matrix
-	if cholRows >= 0 {
-		cholCols := getInt()
-		cholData := getVec()
-		if err == nil && len(cholData) != cholRows*cholCols {
-			err = errors.New("gp: corrupt Cholesky factor in serialized regressor")
+	getMat := func(what string) *linalg.Matrix {
+		rows := getInt()
+		if rows < 0 {
+			return nil
 		}
-		chol = &linalg.Matrix{Rows: cholRows, Cols: cholCols, Data: cholData}
+		cols := getInt()
+		data := getVec()
+		if err == nil && len(data) != rows*cols {
+			err = fmt.Errorf("gp: corrupt %s in serialized regressor", what)
+		}
+		return &linalg.Matrix{Rows: rows, Cols: cols, Data: data}
 	}
+	chol := getMat("Cholesky factor")
 	if err != nil {
 		return err
 	}
 	if len(x) != len(ys) {
 		return fmt.Errorf("gp: serialized regressor has %d inputs but %d targets", len(x), len(ys))
 	}
+	sparseThreshold := getInt()
+	inducingPoints := getInt()
+	hasSparse := getInt() != 0
+	var sparse *sparseState
+	if hasSparse {
+		m := getInt()
+		if err != nil || m < 0 || m > len(x) {
+			if err == nil {
+				err = errors.New("gp: corrupt inducing-set size in serialized regressor")
+			}
+			return err
+		}
+		zidx := make([]int, m)
+		z := make([][]float64, m)
+		for i := range zidx {
+			zidx[i] = getInt()
+			if err == nil && (zidx[i] < 0 || zidx[i] >= len(x)) {
+				err = errors.New("gp: inducing index out of range in serialized regressor")
+			}
+			if err == nil {
+				z[i] = x[zidx[i]]
+			}
+		}
+		sparse = &sparseState{
+			zidx:    zidx,
+			z:       z,
+			cholKuu: getMat("sparse K_uu factor"),
+			b:       getMat("sparse B accumulator"),
+			cholB:   getMat("sparse B factor"),
+			alpha:   getVec(),
+			sky:     getVec(),
+			sk:      getVec(),
+			sumY:    getF64(),
+			fitN:    getInt(),
+		}
+	}
+	if err != nil {
+		return err
+	}
 	g.Kernel = &SEARD{Variance: variance, LengthScales: scales}
 	g.Noise = noise
 	g.FullRefitEvery = refitEvery
+	g.SparseThreshold = sparseThreshold
+	g.InducingPoints = inducingPoints
 	g.addsSinceFit = adds
 	g.jittered = jittered
 	g.mean = mean
@@ -166,6 +247,7 @@ func (g *Regressor) UnmarshalBinary(data []byte) error {
 		x = nil
 	}
 	g.x, g.ys, g.alpha, g.chol = x, ys, alpha, chol
+	g.sparse = sparse
 	g.kbuf, g.vbuf = nil, nil
 	return nil
 }

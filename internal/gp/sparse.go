@@ -1,0 +1,338 @@
+package gp
+
+import (
+	"math"
+
+	"autodbaas/internal/linalg"
+)
+
+// Sparse inducing-point path: a deterministic-training-conditional (DTC,
+// a.k.a. subset-of-regressors with the Titsias-style variance correction)
+// approximation over m ≪ n inducing points. The exact path factorizes the
+// full n×n kernel matrix — O(n³) fit, O(n²) predict — which caps how much
+// tuning history one model can absorb; the sparse path factorizes only
+// m×m systems built from running sums over the data, giving an O(nm²)
+// fit, O(m²) amortized Add and O(m²) Predict, flat in n.
+//
+// The state the approximation needs is a set of running accumulators in
+// sample order:
+//
+//	B    = σ²·K_uu + Σᵢ kᵢkᵢᵀ     (m×m, kᵢ = K_u(xᵢ))
+//	sky  = Σᵢ kᵢ·yᵢ               (m-vector)
+//	sk   = Σᵢ kᵢ                  (m-vector)
+//	sumY = Σᵢ yᵢ
+//
+// from which mean* (q) = ȳ + k_quᵀ·B⁻¹·(sky − ȳ·sk) and the DTC
+// variance is k(q,q) + σ² − k_quᵀK_uu⁻¹k_qu + σ²·k_quᵀB⁻¹k_qu. Because
+// Add extends the very same accumulators by one term — in the same
+// sample order a from-scratch accumulation would use — an incremental
+// update is bit-for-bit identical to rebuilding the sums over the full
+// training set with the same inducing set, the analogue of the exact
+// path's CholeskyAppendRow determinism contract.
+//
+// The inducing set is chosen by greedy farthest-point selection (ties to
+// the lowest index — fully deterministic) and refreshed on a doubling
+// cadence: whenever the training set has doubled since the set was last
+// chosen, Fit runs again over everything and reselects. Doubling keeps
+// the amortized per-Add cost at O(m²) regardless of n; any fixed
+// refresh period would reintroduce an O(n) term.
+
+// defaultInducingPoints is the inducing-set size when SparseThreshold is
+// set but InducingPoints is not.
+const defaultInducingPoints = 64
+
+// sparseJitter stabilizes the K_uu factorization; inducing points are
+// farthest-point spread so near-duplicates are rare, but duplicate
+// configs in small training sets can still collide.
+const sparseJitter = 1e-8
+
+// sparseState is the fitted sparse model. The inducing inputs are
+// referenced by index into the Regressor's stored training set, so the
+// serialized form only carries indices.
+type sparseState struct {
+	zidx    []int          // indices of inducing points into g.x
+	z       [][]float64    // g.x rows at zidx (aliases, not copies)
+	cholKuu *linalg.Matrix // chol(K_uu + jitter·I), m×m
+	b       *linalg.Matrix // running B = σ²·K_uu + Σ kᵢkᵢᵀ
+	cholB   *linalg.Matrix // chol(B), rebuilt after every update
+	alpha   []float64      // B⁻¹·(sky − mean·sk)
+	sky     []float64      // Σ kᵢyᵢ, sample order
+	sk      []float64      // Σ kᵢ, sample order
+	sumY    float64        // Σ yᵢ, sample order
+	// fitN is the training-set size when the inducing set was last
+	// (re)selected; Add refreshes once len(x) ≥ 2·fitN.
+	fitN int
+}
+
+// Sparse reports whether the model is currently on the sparse
+// inducing-point path (false before Fit or while exact).
+func (g *Regressor) Sparse() bool { return g.sparse != nil }
+
+// InducingSetSize returns the current inducing-set size (0 when exact).
+func (g *Regressor) InducingSetSize() int {
+	if g.sparse == nil {
+		return 0
+	}
+	return len(g.sparse.zidx)
+}
+
+// sparseActive reports whether a training set of size n should use the
+// sparse path under the configured threshold.
+func (g *Regressor) sparseActive(n int) bool {
+	return g.SparseThreshold > 0 && n >= g.SparseThreshold
+}
+
+// inducingCount returns m for a training set of size n.
+func (g *Regressor) inducingCount(n int) int {
+	m := g.InducingPoints
+	if m <= 0 {
+		m = defaultInducingPoints
+	}
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// selectInducing picks m spread-out training points by greedy
+// farthest-point traversal: start from index 0, then repeatedly take the
+// point whose squared distance to the chosen set is largest, breaking
+// ties toward the lowest index. Deterministic in the sample order.
+func selectInducing(x [][]float64, m int) []int {
+	n := len(x)
+	idx := make([]int, 0, m)
+	idx = append(idx, 0)
+	// minDist[i] tracks the squared distance from x[i] to the nearest
+	// chosen inducing point so each round is O(n·dim).
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDist(x[i], x[0])
+	}
+	for len(idx) < m {
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		idx = append(idx, best)
+		for i := 0; i < n; i++ {
+			if d := sqDist(x[i], x[best]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return idx
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// fitSparse trains the sparse model from scratch on x, y: select the
+// inducing set, factorize K_uu, then accumulate B/sky/sk/sumY over the
+// samples in order. Cost O(nm² + nm·d). On success it replaces both the
+// sparse and exact state (the exact factor is dropped; the raw training
+// set is kept for refreshes and for falling back to exact marshalling).
+func (g *Regressor) fitSparse(x [][]float64, y []float64) error {
+	n := len(x)
+	m := g.inducingCount(n)
+	zidx := selectInducing(x, m)
+	z := make([][]float64, m)
+	for i, id := range zidx {
+		z[i] = x[id]
+	}
+	kuu := linalg.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			v := g.Kernel.Eval(z[i], z[j])
+			kuu.Set(i, j, v)
+			kuu.Set(j, i, v)
+		}
+	}
+	if err := linalg.AddDiag(kuu, sparseJitter); err != nil {
+		return err
+	}
+	cholKuu, err := linalg.Cholesky(kuu)
+	if err != nil {
+		// Duplicate inducing inputs: retry with the same enlarged jitter
+		// the exact path uses.
+		if err2 := linalg.AddDiag(kuu, 1e-6*float64(m)); err2 != nil {
+			return err2
+		}
+		if cholKuu, err = linalg.Cholesky(kuu); err != nil {
+			return err
+		}
+	}
+	// B starts at σ²·K_uu (the jittered copy, keeping B safely PD) and
+	// absorbs one kᵢkᵢᵀ per sample in order.
+	b := kuu.Clone()
+	for i := range b.Data {
+		b.Data[i] *= g.Noise
+	}
+	sky := make([]float64, m)
+	sk := make([]float64, m)
+	sumY := 0.0
+	k := make([]float64, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			k[j] = g.Kernel.Eval(z[j], x[i])
+		}
+		accumulateSample(b, sky, sk, k, y[i])
+		sumY += y[i]
+	}
+	st := &sparseState{
+		zidx: zidx, z: z,
+		cholKuu: cholKuu, b: b,
+		sky: sky, sk: sk, sumY: sumY,
+		fitN: n,
+	}
+	mean := sumY / float64(n)
+	if err := st.refreshPosterior(mean); err != nil {
+		return err
+	}
+	g.x = x
+	g.ys = append(g.ys[:0:0], y...)
+	g.mean = mean
+	g.chol, g.alpha = nil, nil
+	g.jittered = false
+	g.addsSinceFit = 0
+	g.sparse = st
+	return nil
+}
+
+// addSparse extends the running accumulators by one sample and rebuilds
+// the m×m posterior — O(m² ·d + m³) with m fixed, so flat in n. The
+// resulting state is bit-identical to re-accumulating the full extended
+// training set against the same inducing set. When the training set has
+// doubled since the inducing set was chosen, the set is refreshed with a
+// full fitSparse instead.
+func (g *Regressor) addSparse(x []float64, y float64) error {
+	st := g.sparse
+	if len(g.x)+1 >= 2*st.fitN {
+		xs := make([][]float64, len(g.x), len(g.x)+1)
+		copy(xs, g.x)
+		xs = append(xs, x)
+		ys := append(g.ys[:0:0], g.ys...)
+		ys = append(ys, y)
+		return g.fitSparse(xs, ys)
+	}
+	m := len(st.zidx)
+	k := make([]float64, m)
+	for j := 0; j < m; j++ {
+		k[j] = g.Kernel.Eval(st.z[j], x)
+	}
+	accumulateSample(st.b, st.sky, st.sk, k, y)
+	st.sumY += y
+	g.x = append(g.x, x)
+	g.ys = append(g.ys, y)
+	g.mean = st.sumY / float64(len(g.x))
+	if err := st.refreshPosterior(g.mean); err != nil {
+		// Roll the accumulators back is not possible cheaply; refit from
+		// scratch instead so a numerical failure cannot wedge the model.
+		xs := g.x
+		ys := append(g.ys[:0:0], g.ys...)
+		return g.fitSparse(xs, ys)
+	}
+	g.addsSinceFit++
+	return nil
+}
+
+// accumulateSample folds one sample's kernel column into the running
+// sums: B += k·kᵀ, sky += y·k, sk += k.
+func accumulateSample(b *linalg.Matrix, sky, sk, k []float64, y float64) {
+	m := len(k)
+	for i := 0; i < m; i++ {
+		ki := k[i]
+		row := b.Data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			row[j] += ki * k[j]
+		}
+		sky[i] += y * ki
+		sk[i] += ki
+	}
+}
+
+// refreshPosterior refactorizes B and re-solves alpha against the
+// current accumulators and mean.
+func (st *sparseState) refreshPosterior(mean float64) error {
+	cholB, err := linalg.Cholesky(st.b)
+	if err != nil {
+		return err
+	}
+	m := len(st.sky)
+	c := make([]float64, m)
+	for i := 0; i < m; i++ {
+		c[i] = st.sky[i] - mean*st.sk[i]
+	}
+	alpha, err := linalg.CholSolve(cholB, c)
+	if err != nil {
+		return err
+	}
+	st.cholB, st.alpha = cholB, alpha
+	return nil
+}
+
+// predictSparse returns the DTC posterior at q in O(m²), independent of
+// the stored history size. Scratch buffers are shared with the exact
+// path, so the no-allocation property of the candidate-search loop
+// holds here too.
+func (g *Regressor) predictSparse(q []float64) (mean, variance float64, err error) {
+	st := g.sparse
+	m := len(st.zidx)
+	if cap(g.kbuf) < m {
+		g.kbuf = make([]float64, m)
+		g.vbuf = make([]float64, m)
+	}
+	kq := g.kbuf[:m]
+	for j := 0; j < m; j++ {
+		kq[j] = g.Kernel.Eval(st.z[j], q)
+	}
+	mean = g.mean + linalg.Dot(kq, st.alpha)
+	v := g.vbuf[:m]
+	if err := linalg.SolveLowerInto(st.cholKuu, kq, v); err != nil {
+		return 0, 0, err
+	}
+	prior := linalg.Dot(v, v) // k_quᵀ·K_uu⁻¹·k_qu
+	if err := linalg.SolveLowerInto(st.cholB, kq, v); err != nil {
+		return 0, 0, err
+	}
+	post := linalg.Dot(v, v) // k_quᵀ·B⁻¹·k_qu
+	variance = g.Kernel.Eval(q, q) + g.Noise - prior + g.Noise*post
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance, nil
+}
+
+// sparseLogMarginalLikelihood is the DTC evidence — used only by model
+// selection, which the tuners run on the exact path; provided for
+// completeness so LogMarginalLikelihood keeps working above threshold.
+func (g *Regressor) sparseLogMarginalLikelihood(y []float64) float64 {
+	// Evidence of the projected process: y ~ N(ȳ·1, Q + σ²I) with
+	// Q = K_fu·K_uu⁻¹·K_uf. Using the matrix determinant lemma and the
+	// Woodbury identity everything reduces to the m×m factors we hold:
+	//	log|Q+σ²I| = log|B| − log|K_uu| + (n−m)·log σ²
+	//	residᵀ(Q+σ²I)⁻¹resid = (residᵀresid − cᵀB⁻¹c)/σ²
+	// with c = Σ kᵢ·residᵢ = sky − ȳ·sk.
+	st := g.sparse
+	n := float64(len(y))
+	var rss float64
+	for _, yi := range y {
+		r := yi - g.mean
+		rss += r * r
+	}
+	m := len(st.sky)
+	c := make([]float64, m)
+	for i := 0; i < m; i++ {
+		c[i] = st.sky[i] - g.mean*st.sk[i]
+	}
+	quad := (rss - linalg.Dot(c, st.alpha)) / g.Noise
+	logdet := linalg.LogDetFromChol(st.cholB) - linalg.LogDetFromChol(st.cholKuu) + (n-float64(m))*math.Log(g.Noise)
+	return -0.5*quad - 0.5*logdet - 0.5*n*math.Log(2*math.Pi)
+}

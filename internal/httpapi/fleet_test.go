@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -32,8 +33,9 @@ func newFleetService(t *testing.T, maxInstances int) *fleet.Service {
 		},
 		Blueprints: map[string]tenant.Blueprint{
 			"oltp": {Name: "oltp", Engine: "postgres", Plan: "t2.medium",
-				Workload: tenant.WorkloadSpec{Class: "tpcc", SizeGiB: 2, Rate: 1000}},
+				Workload: tenant.WorkloadSpec{Class: "tpcc", SizeGiB: 2, Rate: 1200}},
 		},
+		WarmStart: &fleet.WarmStartConfig{MinDonorSamples: 2},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +154,7 @@ func TestFleetAPIGrowth(t *testing.T) {
 	srv := NewFleetServer(svc)
 
 	const tenants, dbs = 12, 9 // 108 instances
-	for ti := 0; ti < tenants; ti++ {
+	createTenant := func(ti int) {
 		tid := fmt.Sprintf("tenant-%02d", ti)
 		if rec := call(t, srv, "POST", "/v1/tenants", fmt.Sprintf(`{"id":%q,"tier":"std"}`, tid)); rec.Code != http.StatusCreated {
 			t.Fatalf("create %s: %d %s", tid, rec.Code, rec.Body)
@@ -163,6 +165,18 @@ func TestFleetAPIGrowth(t *testing.T) {
 				t.Fatalf("create %s/db-%02d: %d %s", tid, di, rec.Code, rec.Body)
 			}
 		}
+	}
+	// Wave 1: one anchor tenant provisions cold and runs long enough to
+	// bank donor history; wave 2 joins against those donors, so every
+	// later provision warm-starts.
+	createTenant(0)
+	for i := 0; i < 5; i++ {
+		if _, err := svc.Step(5 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ti := 1; ti < tenants; ti++ {
+		createTenant(ti)
 	}
 	if _, err := svc.Step(5 * time.Minute); err != nil {
 		t.Fatal(err)
@@ -183,6 +197,25 @@ func TestFleetAPIGrowth(t *testing.T) {
 	}
 	if !strings.Contains(metrics, fmt.Sprintf("autodbaas_fleet_tenants %d", tenants)) {
 		t.Fatalf("/metrics missing tenant gauge")
+	}
+
+	// Warm-start accounting: the anchor's 9 databases started cold, the
+	// 99 that followed all found donors, and the seeded-sample counter
+	// moved. The /metrics families must carry (at least) this service's
+	// totals — the registry is process-global, so other tests may have
+	// added on top.
+	hits, misses, seeded := svc.WarmStartCounts()
+	if misses != dbs || hits != (tenants-1)*dbs || seeded <= 0 {
+		t.Fatalf("warm-start counts hits=%d misses=%d seeded=%d, want %d/%d/>0", hits, misses, seeded, (tenants-1)*dbs, dbs)
+	}
+	for name, min := range map[string]float64{
+		"autodbaas_tuner_warmstart_hits":           float64(hits),
+		"autodbaas_tuner_warmstart_misses":         float64(misses),
+		"autodbaas_tuner_warmstart_samples_seeded": float64(seeded),
+	} {
+		if v := metricValue(t, metrics, name); v < min {
+			t.Fatalf("/metrics %s = %v, want >= %v", name, v, min)
+		}
 	}
 
 	// Tear everything back down through the API.
@@ -208,6 +241,23 @@ func TestFleetAPIGrowth(t *testing.T) {
 	if !strings.Contains(metrics, "autodbaas_fleet_instances 0") {
 		t.Fatalf("/metrics missing drained instance gauge")
 	}
+}
+
+// metricValue pulls one unlabelled family's value out of Prometheus
+// text exposition.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("/metrics %s: unparsable value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("/metrics missing %s", name)
+	return 0
 }
 
 // srv2 mounts the fleet API next to /metrics the way -serve does.

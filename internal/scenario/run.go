@@ -38,6 +38,11 @@ type RunConfig struct {
 	// (e.g. 120 replays a 24h scenario in 12 wall minutes). 0 runs
 	// flat out.
 	TimeScale float64
+	// WarmStart turns on fleet warm starts: new instances seed their
+	// tuner history and starting config from workload-similar donors
+	// already in the repository. Flat layout only — a sharded layout
+	// with WarmStart set fails fleet validation.
+	WarmStart bool
 }
 
 // Status is the runner's live snapshot, served at GET /v1/scenario.
@@ -104,6 +109,12 @@ func NewRunner(p *Plan, cfg RunConfig) (*Runner, error) {
 		Parallelism: cfg.Parallelism,
 		Tiers:       p.Tiers,
 		Blueprints:  p.Blueprints,
+	}
+	if cfg.WarmStart {
+		// Donor history is thin early in a replay (one sample per
+		// window per instance) — a couple of windows is enough to beat
+		// a cold start, so don't demand the library default's six.
+		fcfg.WarmStart = &fleet.WarmStartConfig{MinDonorSamples: 2}
 	}
 	if len(cfg.Shards) > 0 {
 		for _, scfg := range cfg.Shards {

@@ -49,6 +49,14 @@ type Options struct {
 	// target workload's own samples only. Exists for the ablation of the
 	// OtterTune experience-transfer stage.
 	DisableMapping bool
+	// SparseThreshold switches the GP surrogate to its sparse
+	// inducing-point path once a training set reaches this many samples
+	// (see gp/sparse.go). Zero keeps the exact path at every size —
+	// the default, so existing tuners are bit-for-bit unchanged. Only
+	// useful when MaxSamplesPerFit is raised past the threshold.
+	SparseThreshold int
+	// InducingPoints is the sparse path's inducing-set size (default 64).
+	InducingPoints int
 	Seed           int64
 }
 
@@ -87,6 +95,8 @@ type Tuner struct {
 	trainingSamples  *obs.Gauge
 	refitIncremental *obs.Counter
 	refitFull        *obs.Counter
+	refitSparse      *obs.Counter
+	refitSparseInc   *obs.Counter
 
 	// fitCache carries the previous recommendation's fitted GP so that a
 	// request whose training set merely extends the previous one refits
@@ -167,6 +177,10 @@ func New(opts Options) (*Tuner, error) {
 			"GPR refits by mode (incremental rank-1 update vs full O(n³) fit).", obs.L("mode", "incremental")),
 		refitFull: reg.Counter("autodbaas_tuner_gpr_refit_total",
 			"GPR refits by mode (incremental rank-1 update vs full O(n³) fit).", obs.L("mode", "full")),
+		refitSparse: reg.Counter("autodbaas_tuner_gpr_refit_total",
+			"GPR refits by mode (incremental rank-1 update vs full O(n³) fit).", obs.L("mode", "sparse")),
+		refitSparseInc: reg.Counter("autodbaas_tuner_gpr_refit_total",
+			"GPR refits by mode (incremental rank-1 update vs full O(n³) fit).", obs.L("mode", "sparse-incremental")),
 	}, nil
 }
 
@@ -419,7 +433,11 @@ func (t *Tuner) fitModelLocked(mappedID, workloadID string, names []string, trai
 				}
 			}
 			if ok {
-				t.refitIncremental.Inc()
+				if c.model.Sparse() {
+					t.refitSparseInc.Inc()
+				} else {
+					t.refitIncremental.Inc()
+				}
 				c.training = training
 				return c.model, nil
 			}
@@ -429,11 +447,17 @@ func (t *Tuner) fitModelLocked(mappedID, workloadID string, names []string, trai
 	}
 	model := gp.NewRegressor(gp.NewSEARD(len(names), 0.35, 1.0), 1e-3)
 	model.FullRefitEvery = fullRefitEvery
+	model.SparseThreshold = t.opts.SparseThreshold
+	model.InducingPoints = t.opts.InducingPoints
 	if err := model.Fit(x, yn); err != nil {
 		t.fitCache = fitCacheEntry{}
 		return nil, err
 	}
-	t.refitFull.Inc()
+	if model.Sparse() {
+		t.refitSparse.Inc()
+	} else {
+		t.refitFull.Inc()
+	}
 	t.fitCache = fitCacheEntry{key: key, ymax: ymax, model: model, training: training}
 	return model, nil
 }

@@ -1,0 +1,110 @@
+package bo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"autodbaas/internal/knobs"
+	"autodbaas/internal/tuner"
+)
+
+// TestSparseSurrogateEngagesAboveThreshold drives a tuner configured
+// with a sparse threshold through the control plane's observe/recommend
+// pattern and checks the surrogate switches paths once the training set
+// is large enough — visible through the refit counter modes.
+func TestSparseSurrogateEngagesAboveThreshold(t *testing.T) {
+	tn, err := New(Options{
+		Engine: knobs.Postgres, Candidates: 30, MaxSamplesPerFit: 200,
+		UCBBeta: 0.5, TopKnobs: 6, Seed: 7,
+		SparseThreshold: 40, InducingPoints: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	base := tn.refitSparse.Value() + tn.refitSparseInc.Value()
+	var last tuner.Sample
+	for i := 0; i < 80; i++ {
+		s := synthSample(t, tn.kcat, tn.mcat, rng, "wl-sparse", i)
+		if err := tn.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+		last = s
+		if i >= 4 && i%5 == 0 {
+			if _, err := tn.Recommend(tuner.Request{
+				WorkloadID: "wl-sparse", Metrics: s.Metrics, Current: s.Config,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := tn.Recommend(tuner.Request{
+		WorkloadID: "wl-sparse", Metrics: last.Metrics, Current: last.Config,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tn.fitCache.model == nil || !tn.fitCache.model.Sparse() {
+		t.Fatal("surrogate did not switch to the sparse path above the threshold")
+	}
+	if tn.refitSparse.Value()+tn.refitSparseInc.Value() <= base {
+		t.Fatal("sparse refit counters did not advance")
+	}
+}
+
+// TestSparseTunerCheckpointRoundTrip pins that the sparse surrogate —
+// including its fit-cache model — survives a tuner checkpoint cycle and
+// keeps recommending identically.
+func TestSparseTunerCheckpointRoundTrip(t *testing.T) {
+	mk := func() *Tuner {
+		tn, err := New(Options{
+			Engine: knobs.Postgres, Candidates: 30, MaxSamplesPerFit: 200,
+			UCBBeta: 0.5, TopKnobs: 6, Seed: 9,
+			SparseThreshold: 40, InducingPoints: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tn
+	}
+	tn := mk()
+	rng := rand.New(rand.NewSource(33))
+	var last tuner.Sample
+	for i := 0; i < 60; i++ {
+		s := synthSample(t, tn.kcat, tn.mcat, rng, "wl-ckpt", i)
+		if err := tn.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+		last = s
+	}
+	req := tuner.Request{WorkloadID: "wl-ckpt", Metrics: last.Metrics, Current: last.Config}
+	if _, err := tn.Recommend(req); err != nil {
+		t.Fatal(err)
+	}
+	if tn.fitCache.model == nil || !tn.fitCache.model.Sparse() {
+		t.Fatal("precondition: fit cache should hold a sparse model")
+	}
+	st, err := tn.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn2 := mk()
+	if err := tn2.RestoreCheckpointState(st); err != nil {
+		t.Fatal(err)
+	}
+	if tn2.fitCache.model == nil || !tn2.fitCache.model.Sparse() {
+		t.Fatal("restored fit cache lost the sparse path")
+	}
+	r1, err := tn.Recommend(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tn2.Recommend(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Cost, r2.Cost = 0, 0
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("restored tuner diverged:\n%v\nvs\n%v", r1, r2)
+	}
+}
