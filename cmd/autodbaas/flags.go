@@ -37,6 +37,8 @@ type cliConfig struct {
 	Scenario    string
 	TimeScale   float64
 	TimelineOut string
+
+	Safety bool
 }
 
 // shardMapEntry is one "name=addr" pair from -shard-map, in flag
@@ -86,7 +88,7 @@ func validateFlags(c cliConfig, isSet func(string) bool) error {
 			"fleet", "hours", "tuners", "periodic", "seed", "parallelism",
 			"faults", "fault-seed", "checkpoint-dir", "checkpoint-every",
 			"resume", "serve", "tick", "shards", "shard-map",
-			"scenario", "time-scale", "timeline-out",
+			"scenario", "time-scale", "timeline-out", "safety",
 		} {
 			if isSet(name) {
 				return fmt.Errorf("-%s conflicts with -worker: the worker's shard is configured by the coordinator over RPC", name)

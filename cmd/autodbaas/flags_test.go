@@ -261,6 +261,27 @@ func TestValidateFlags(t *testing.T) {
 			set:     []string{"worker", "scenario"},
 			wantErr: "-scenario conflicts with -worker",
 		},
+		{
+			name:    "worker with safety",
+			mutate:  func(c *cliConfig) { c.Worker = true; c.Safety = true },
+			set:     []string{"worker", "safety"},
+			wantErr: "-safety conflicts with -worker",
+		},
+		{
+			name:   "safety with scenario",
+			mutate: func(c *cliConfig) { c.Scenario = "tuning-regression"; c.Safety = true },
+			set:    []string{"scenario", "safety"},
+		},
+		{
+			name:   "safety with serve",
+			mutate: func(c *cliConfig) { c.Serve = true; c.Safety = true },
+			set:    []string{"serve", "safety"},
+		},
+		{
+			name:   "safety in fixed-fleet mode",
+			mutate: func(c *cliConfig) { c.Safety = true },
+			set:    []string{"safety"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -52,6 +52,7 @@ func main() {
 	scenarioFlag := flag.String("scenario", "", "replay a scenario: a YAML file path or a library name (see scenarios/); with -serve the fleet is also served read-only over HTTP")
 	timeScale := flag.Float64("time-scale", 0, "virtual seconds per wall second for -scenario (0: flat out; 120 replays 24h in 12 minutes)")
 	timelineOut := flag.String("timeline-out", "", "directory for the -scenario timeline artifacts (<name>.csv and <name>.json)")
+	safetyFlag := flag.Bool("safety", false, "arm the safe-tuning gate: shadow canary, trust region and automatic rollback in front of every tuning apply")
 	flag.Parse()
 
 	cfg := cliConfig{
@@ -62,6 +63,7 @@ func main() {
 		Serve: *serve, Tick: *tick,
 		Worker: *worker, Shards: *shards, ShardMap: *shardMap,
 		Scenario: *scenarioFlag, TimeScale: *timeScale, TimelineOut: *timelineOut,
+		Safety: *safetyFlag,
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -96,7 +98,7 @@ func run(c cliConfig) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: c.Parallelism, Faults: injector}, tuners...)
+	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: c.Parallelism, Faults: injector, Safety: safetyOpts(c)}, tuners...)
 	if err != nil {
 		return err
 	}

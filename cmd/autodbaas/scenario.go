@@ -51,6 +51,7 @@ func runScenario(c cliConfig) error {
 		Tuners:       c.Tuners,
 		FaultProfile: c.FaultsProfile,
 		TimeScale:    c.TimeScale,
+		Safety:       c.Safety,
 	})
 	if err != nil {
 		return err

@@ -12,6 +12,7 @@ import (
 
 	"autodbaas/internal/faults"
 	"autodbaas/internal/fleet"
+	"autodbaas/internal/safety"
 	"autodbaas/internal/httpapi"
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/shard"
@@ -31,6 +32,15 @@ func buildTuners(n int, seed int64) ([]tuner.Tuner, error) {
 		tuners = append(tuners, t)
 	}
 	return tuners, nil
+}
+
+// safetyOpts returns the gate options implied by -safety (nil when off).
+func safetyOpts(c cliConfig) *safety.Options {
+	if !c.Safety {
+		return nil
+	}
+	o := safety.DefaultOptions()
+	return &o
 }
 
 // buildInjector constructs the fault injector, or nil with no profile.
@@ -91,6 +101,7 @@ func shardConfig(name string, idx int, c cliConfig) shard.Config {
 		},
 		FaultProfile: c.FaultsProfile,
 		FaultSeed:    c.FaultSeed,
+		Safety:       safetyOpts(c),
 	}
 }
 
@@ -135,7 +146,7 @@ func buildShardHosts(c cliConfig) ([]shard.Shard, error) {
 // or -shard-map the fleet is split across shard deployments — in-process
 // or one worker process each — behind a coordinator.
 func runServe(c cliConfig) error {
-	fcfg := fleet.Config{Seed: c.Seed, Parallelism: c.Parallelism}
+	fcfg := fleet.Config{Seed: c.Seed, Parallelism: c.Parallelism, Safety: safetyOpts(c)}
 	switch {
 	case c.ShardMap != "":
 		hosts, err := buildShardHosts(c)

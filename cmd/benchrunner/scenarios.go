@@ -30,6 +30,13 @@ type scenarioRow struct {
 	MeanProvLatWin   float64 `json:"mean_provision_latency_windows"`
 	Fingerprint      string  `json:"fingerprint"`
 	WallMilliseconds int64   `json:"wall_ms"`
+
+	// Safe-tuning gate totals; only the +safe row populates them, so
+	// every ungated row stays byte-identical to its pre-gate baseline.
+	SafetyVetoes     int `json:"safety_vetoes,omitempty"`
+	SafetyCanaryRuns int `json:"safety_canary_runs,omitempty"`
+	SafetyRollbacks  int `json:"safety_rollbacks,omitempty"`
+	SafetyRegressing int `json:"safety_regressing_applies,omitempty"`
 }
 
 type scenarioBench struct {
@@ -50,6 +57,14 @@ const (
 	warmRowSuffix    = "+warm"
 )
 
+// safetyScenario is replayed twice — ungated (library default) and with
+// the safe-tuning gate armed — so the committed baseline pins both the
+// gate's zero-regression guarantee and its throttle cost.
+const (
+	safetyScenario  = "tuning-regression"
+	safetyRowSuffix = "+safe"
+)
+
 // runScenarioSweep replays every library scenario flat, writes one
 // timeline CSV per scenario into outDir, and returns the
 // BENCH_scenarios.json text. Scenario seeds come from the files — the
@@ -57,7 +72,7 @@ const (
 // sweep is comparable across invocations.
 func runScenarioSweep(outDir string) (string, *scenarioBench, error) {
 	bench := &scenarioBench{
-		Note: "per-scenario totals from the library sweep; throttles are gated in CI against the committed baseline (see DESIGN.md \"Scenario DSL\"); the +warm row replays the same file with fleet warm starts on and must throttle strictly less than its cold twin",
+		Note: "per-scenario totals from the library sweep; throttles are gated in CI against the committed baseline (see DESIGN.md \"Scenario DSL\"); the +warm row replays the same file with fleet warm starts on and must throttle strictly less than its cold twin; the +safe row replays with the safe-tuning gate armed and must report zero regressing applies without throttling more than its ungated twin",
 	}
 	runOne := func(name, rowName string, cfg scenario.RunConfig) error {
 		src, err := scenarios.Source(name)
@@ -111,6 +126,10 @@ func runScenarioSweep(outDir string) (string, *scenarioBench, error) {
 			MeanProvLatWin:   res.MeanProvisionLatency(),
 			Fingerprint:      res.Fingerprint,
 			WallMilliseconds: time.Since(start).Milliseconds(),
+			SafetyVetoes:     res.SafetyVetoes,
+			SafetyCanaryRuns: res.SafetyCanaryRuns,
+			SafetyRollbacks:  res.SafetyRollbacks,
+			SafetyRegressing: res.SafetyRegressing,
 		})
 		fmt.Printf("  %-20s throttles=%-4d slo=%-4d → %s\n", rowName, res.Throttles, res.SLOViolations, csvPath)
 		return nil
@@ -121,6 +140,11 @@ func runScenarioSweep(outDir string) (string, *scenarioBench, error) {
 		}
 		if name == warmColdScenario {
 			if err := runOne(name, name+warmRowSuffix, scenario.RunConfig{Parallelism: scenarioParallelism, WarmStart: true}); err != nil {
+				return "", nil, err
+			}
+		}
+		if name == safetyScenario {
+			if err := runOne(name, name+safetyRowSuffix, scenario.RunConfig{Parallelism: scenarioParallelism, Safety: true}); err != nil {
 				return "", nil, err
 			}
 		}
@@ -207,6 +231,26 @@ func gateThrottles(bench *scenarioBench, baselinePath string) ([]string, error) 
 	if cold, ok := freshBy[warmColdScenario]; ok {
 		if warm, ok := freshBy[warmColdScenario+warmRowSuffix]; ok && warm.Throttles >= cold.Throttles {
 			regressions = append(regressions, fmt.Sprintf("%s: warm replay throttled %d, not strictly below the cold replay's %d — warm starts no longer pay off", warmColdScenario+warmRowSuffix, warm.Throttles, cold.Throttles))
+		}
+	}
+	// Safety efficacy gate: the gated replay of the tuning-regression
+	// campaign must be engaged (canaries ran) and must report zero
+	// regressing applies. Its throttle count is ratcheted by the
+	// per-row baseline above like any other scenario; the twin check
+	// here only catches the pathological case of the gate vetoing so
+	// much that protection overhead becomes runaway (>50% + slack over
+	// the ungated twin).
+	if ungated, ok := freshBy[safetyScenario]; ok {
+		if safe, ok := freshBy[safetyScenario+safetyRowSuffix]; ok {
+			if safe.SafetyCanaryRuns == 0 {
+				regressions = append(regressions, fmt.Sprintf("%s: the gate never ran a canary — not engaged", safetyScenario+safetyRowSuffix))
+			}
+			if safe.SafetyRegressing != 0 {
+				regressions = append(regressions, fmt.Sprintf("%s: safety_regressing_applies = %d, want 0 — an admitted config regressed a live instance", safetyScenario+safetyRowSuffix, safe.SafetyRegressing))
+			}
+			if limit := ungated.Throttles*3/2 + 5; safe.Throttles > limit {
+				regressions = append(regressions, fmt.Sprintf("%s: gated replay throttled %d, above %d (ungated %d + 50%% + 5) — the gate is vetoing good configs wholesale", safetyScenario+safetyRowSuffix, safe.Throttles, limit, ungated.Throttles))
+			}
 		}
 	}
 	return regressions, nil

@@ -25,6 +25,7 @@ import (
 	"autodbaas/internal/obs"
 	"autodbaas/internal/orchestrator"
 	"autodbaas/internal/repository"
+	"autodbaas/internal/safety"
 	"autodbaas/internal/simdb"
 	"autodbaas/internal/tde"
 	"autodbaas/internal/tuner"
@@ -45,6 +46,12 @@ type Options struct {
 	// The injector's per-site PRNG streams keep chaos runs bit-for-bit
 	// reproducible from (seed, profile) at every parallelism level.
 	Faults *faults.Injector
+	// Safety, when non-nil, wires the safe-tuning gate (internal/safety)
+	// between tuner recommendations and the director's apply: shadow
+	// canary evaluation, trust regions around known-good configs, and
+	// automatic rollback on post-apply regression. Gate state rides
+	// checkpoints in the "extra/safety" section. Zero fields default.
+	Safety *safety.Options
 }
 
 // System is one AutoDBaaS deployment.
@@ -71,6 +78,7 @@ type System struct {
 
 	parallelism int
 	faults      *faults.Injector
+	safety      *safety.Gate
 	m           coreMetrics
 
 	// windows counts completed Steps; it rides the snapshot manifest so
@@ -153,9 +161,22 @@ func NewSystemWithOptions(opts Options, tuners ...tuner.Tuner) (*System, error) 
 		faults:       opts.Faults,
 		m:            newCoreMetrics(obs.Default()),
 	}
+	if opts.Safety != nil {
+		g := safety.NewGate(*opts.Safety)
+		s.safety = g
+		dir.SetSafetyGate(g)
+		// Gate state rides snapshots as "extra/safety" so kill/restore
+		// resumes baselines, trust radii and in-flight watches exactly.
+		s.RegisterCheckpointExtra(safety.SectionName,
+			g.MarshalState, g.RestoreState)
+	}
 	s.m.parallelism.Set(float64(par))
 	return s, nil
 }
+
+// SafetyGate returns the wired safe-tuning gate (nil when safety is
+// off).
+func (s *System) SafetyGate() *safety.Gate { return s.safety }
 
 // Parallelism returns the configured fleet-step parallelism.
 func (s *System) Parallelism() int { return s.parallelism }
@@ -210,6 +231,9 @@ func (s *System) AddInstance(spec InstanceSpec) (*agent.Agent, error) {
 	s.monitors[inst.ID] = monitor.NewAgent(100_000)
 	s.generation++
 	s.memberGens[inst.ID] = s.generation
+	if s.safety != nil {
+		s.safety.RegisterWorkload(inst.ID, spec.Workload)
+	}
 	return a, nil
 }
 
@@ -294,6 +318,12 @@ func (s *System) ResizeInstance(id, plan string, seed int64, opts agent.Options)
 	s.generation++
 	s.memberGens[id] = s.generation
 	s.mu.Unlock()
+	if s.safety != nil {
+		// New plan, new performance envelope: baselines and the
+		// known-good config no longer describe this instance.
+		s.safety.Forget(id)
+		s.safety.RegisterWorkload(id, gen)
+	}
 	if err := s.Orchestrator.PersistConfig(id, inst.Replica.Master().Config()); err != nil {
 		return nil, err
 	}
@@ -328,6 +358,11 @@ func (s *System) SeedConfig(id string, cfg knobs.Config) error {
 		if err := node.Restart(); err != nil {
 			return fmt.Errorf("core: seed-config restart: %w", err)
 		}
+	}
+	if s.safety != nil {
+		// A donor's proven config is the best known-good starting point
+		// the gate can center its trust region on.
+		s.safety.RecordKnownGood(id, inst.Replica.Master().Config())
 	}
 	return s.Orchestrator.PersistConfig(id, inst.Replica.Master().Config())
 }
@@ -513,6 +548,13 @@ func (s *System) Step(dur time.Duration) StepResult {
 		case dispatchErr != nil:
 			res.Errors[id] = dispatchErr
 		}
+		// Safety gate window intake: still inside the ordered merge, right
+		// after this instance's dispatch (which may have applied a config),
+		// so the gate sees windows and applies in the exact sequential
+		// order at every parallelism level. Rollbacks happen here.
+		if s.safety != nil {
+			s.Director.SafetyObserve(a.Instance(), out.Stats, out.Err == nil)
+		}
 		// External monitoring (the Dynatrace substitute), sampled after
 		// dispatch as in the sequential schedule. An injected monitor
 		// loss drops the whole sampling round for this window, as if the
@@ -600,6 +642,10 @@ func (s *System) ApproveUpgrade(id string, seed int64) (*agent.Agent, error) {
 	// the new plan's; a monitor reset keeps every series single-plan.
 	s.monitors[id] = monitor.NewAgent(100_000)
 	s.mu.Unlock()
+	if s.safety != nil {
+		s.safety.Forget(id)
+		s.safety.RegisterWorkload(id, gen)
+	}
 	s.Director.ClearUpgradeRequests(id)
 	// Persist the upgraded instance's config as the new source of truth.
 	if err := s.Orchestrator.PersistConfig(id, inst.Replica.Master().Config()); err != nil {

@@ -9,6 +9,7 @@ import (
 	"autodbaas/internal/cluster"
 	"autodbaas/internal/faults"
 	"autodbaas/internal/knobs"
+	"autodbaas/internal/safety"
 	"autodbaas/internal/tuner/bo"
 	"autodbaas/internal/workload"
 )
@@ -17,11 +18,17 @@ import (
 // other instance with a replica) and returns the system.
 func soakFleet(t *testing.T, in *faults.Injector) *System {
 	t.Helper()
+	return soakFleetGated(t, in, nil)
+}
+
+// soakFleetGated is soakFleet with an optional safe-tuning gate.
+func soakFleetGated(t *testing.T, in *faults.Injector, gate *safety.Options) *System {
+	t.Helper()
 	tn, err := bo.New(bo.Options{Engine: knobs.Postgres, Candidates: 60, MaxSamplesPerFit: 60, UCBBeta: 0.5, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewSystemWithOptions(Options{Faults: in}, tn)
+	s, err := NewSystemWithOptions(Options{Faults: in, Safety: gate}, tn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,5 +121,46 @@ func TestFleetSurvivesFaultSoak(t *testing.T) {
 	// skipped tuning rounds) but not unbounded ones.
 	if limit := clean*4 + 100; chaos > limit {
 		t.Errorf("throttle inflation unbounded: clean=%d chaos=%d limit=%d", clean, chaos, limit)
+	}
+}
+
+// TestGatedFleetChaosSoakNoRegressions is the safe-tuning gate's
+// headline guarantee under chaos: a 20-instance fleet, one simulated
+// day of medium faults with the gate armed, and not a single apply is
+// allowed to regress a live instance — every bad candidate dies in the
+// canary or the trust region first. The gate must also not cost
+// throughput: gated throttles stay within the ungated chaos run's.
+func TestGatedFleetChaosSoakNoRegressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gated chaos soak")
+	}
+	const hours = 24
+
+	ungated := soakRun(t, soakFleet(t, faults.New(1, faults.Medium())), hours)
+
+	opts := safety.DefaultOptions()
+	in := faults.New(1, faults.Medium())
+	s := soakFleetGated(t, in, &opts)
+	gated := soakRun(t, s, hours)
+	if in.InjectedTotal() == 0 {
+		t.Fatal("gated soak injected no faults")
+	}
+
+	vetoes, canaries, rollbacks, regressing := s.Director.SafetyTotals()
+	t.Logf("gated soak: throttles=%d (ungated %d) vetoes=%d canaries=%d rollbacks=%d regressing=%d",
+		gated, ungated, vetoes, canaries, rollbacks, regressing)
+	if canaries == 0 {
+		t.Fatal("gate never ran a canary — not engaged")
+	}
+	if regressing != 0 {
+		t.Errorf("autodbaas_safety_regressing_applies_total = %d, want 0", regressing)
+	}
+	if rollbacks != 0 {
+		t.Errorf("rollbacks = %d, want 0 (nothing regressed, nothing to roll back)", rollbacks)
+	}
+	// Protection must not cost throughput: the gate only blocks applies,
+	// so a gated fleet should throttle no more than the ungated one.
+	if gated > ungated {
+		t.Errorf("gated throttles %d > ungated %d", gated, ungated)
 	}
 }

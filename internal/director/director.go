@@ -21,6 +21,7 @@ import (
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/obs"
 	"autodbaas/internal/orchestrator"
+	"autodbaas/internal/safety"
 	"autodbaas/internal/simdb"
 	"autodbaas/internal/tde"
 	"autodbaas/internal/tuner"
@@ -37,6 +38,11 @@ type Director struct {
 
 	orch *orchestrator.Orchestrator
 	dfa  *dfa.DFA
+
+	// gate, when set, vetoes unsafe recommendations before apply and
+	// drives automatic rollback on post-apply regression (see
+	// internal/safety). Set once at wiring time, before any traffic.
+	gate *safety.Gate
 
 	// shardMu guards the shard map itself (read-mostly); each shard
 	// carries its own lock for the state inside.
@@ -148,6 +154,57 @@ func (d *Director) Counters() (int, int, int, int) {
 		int(d.applyFailures.Load()), int(d.planUpgrades.Load())
 }
 
+// SetSafetyGate wires the safe-tuning gate in front of every apply.
+// Call once at system wiring time, before any traffic flows.
+func (d *Director) SetSafetyGate(g *safety.Gate) { d.gate = g }
+
+// SafetyGate returns the wired gate (nil when safety is off).
+func (d *Director) SafetyGate() *safety.Gate { return d.gate }
+
+// SafetyTotals returns the gate's fleet-wide counters (vetoes, canary
+// runs, rollbacks, regressing applies); zeros when safety is off.
+func (d *Director) SafetyTotals() (vetoes, canaryRuns, rollbacks, regressing int64) {
+	if d.gate == nil {
+		return 0, 0, 0, 0
+	}
+	return d.gate.Totals()
+}
+
+// SafetyStatus returns one instance's gate snapshot; ok=false when
+// safety is off or the gate has never seen the instance.
+func (d *Director) SafetyStatus(id string) (safety.Status, bool) {
+	if d.gate == nil {
+		return safety.Status{}, false
+	}
+	return d.gate.Status(id)
+}
+
+// SafetyObserve feeds one completed observation window into the gate
+// and performs the automatic rollback when the gate orders one. The
+// fleet scheduler calls it in the ordered merge phase, right after the
+// instance's dispatch, so rollbacks land at a deterministic point of
+// the control-plane schedule. A rollback counts as a breaker failure:
+// an instance whose applies keep regressing should trip its circuit
+// exactly like one whose applies keep erroring.
+func (d *Director) SafetyObserve(inst *cluster.Instance, stats simdb.WindowStats, up bool) {
+	if d.gate == nil {
+		return
+	}
+	to, rollback := d.gate.ObserveWindow(inst.ID, inst.Replica.Master(), stats, up)
+	if !rollback {
+		return
+	}
+	st := d.shard(inst.ID)
+	vnow := inst.Replica.Master().Now()
+	if err := d.dfa.Apply(inst, to, simdb.ApplyReload); err != nil {
+		// The rollback apply itself failed (injected fault, node down);
+		// the breaker accounting below still records the bad round.
+		d.applyFailures.Add(1)
+		d.m.applyFailures.Inc()
+	}
+	d.breakerFailure(st, vnow)
+}
+
 // TuningRequests returns how many tuning requests have been received —
 // the scalability metric of Fig. 9.
 func (d *Director) TuningRequests() int {
@@ -183,6 +240,9 @@ func (d *Director) shard(id string) *instShard {
 // service deprovisions it. A later instance with the same ID starts
 // from a clean shard, exactly as a first-time onboarding would.
 func (d *Director) ForgetInstance(id string) {
+	if d.gate != nil {
+		d.gate.Forget(id)
+	}
 	d.shardMu.Lock()
 	st, ok := d.shards[id]
 	if ok {
@@ -394,6 +454,15 @@ func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
 		span.EndAt(inst.Replica.Master().Now())
 	}()
 
+	master := inst.Replica.Master()
+	if d.gate != nil {
+		// Constrained suggestion: hand the tuner the gate's trust region
+		// so candidates start inside it instead of being vetoed after.
+		if center, radius, ok := d.gate.TrustCenter(inst.ID, master.Config()); ok {
+			req.Constraint = &tuner.Constraint{Center: center, Radius: radius}
+		}
+	}
+
 	t := d.pickTuner()
 	span.SetAttr("tuner", t.Name())
 	tspan := span.StartChildAt("tuner.Recommend", vnow)
@@ -407,7 +476,7 @@ func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
 		return fmt.Errorf("director: %s: %w", t.Name(), err)
 	}
 	d.recommendations.Add(1)
-	bp := inst.Replica.Master().KnobCatalog().BufferPoolKnob()
+	bp := master.KnobCatalog().BufferPoolKnob()
 	if v, ok := rec.Config[bp]; ok {
 		st.mu.Lock()
 		st.bufferRecs = append(st.bufferRecs, v)
@@ -417,6 +486,40 @@ func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
 		st.mu.Unlock()
 	}
 	d.m.recommendations.Inc()
+
+	if d.gate != nil {
+		// Gate + resample loop: a vetoed candidate is excluded and the
+		// tuner re-asked, up to MaxResamples times. Each Recommend call
+		// advances the tuner's RNG deterministically, so the resample
+		// sequence is identical at every parallelism level. A round whose
+		// every candidate is vetoed ends with no apply at all — handled,
+		// not a failure: the gate protected the instance.
+		gspan := span.StartChildAt("safety.Admit", vnow)
+		dec := d.gate.Admit(inst.ID, master, rec.Config)
+		for resamples := 0; !dec.Allow && resamples < d.gate.MaxResamples(); resamples++ {
+			if req.Constraint == nil {
+				req.Constraint = &tuner.Constraint{}
+			}
+			req.Constraint.Exclude = append(req.Constraint.Exclude, rec.Config)
+			rec2, rerr := t.Recommend(req)
+			if rerr != nil {
+				break
+			}
+			rec = rec2
+			dec = d.gate.Admit(inst.ID, master, rec.Config)
+		}
+		if !dec.Allow {
+			gspan.SetAttr("veto", dec.Reason)
+			gspan.SetAttr("detail", dec.Detail)
+			gspan.EndAt(vnow)
+			span.SetAttr("vetoed", dec.Reason)
+			d.breakerSuccess(st)
+			return nil
+		}
+		gspan.EndAt(vnow)
+	}
+
+	preApply := master.Config()
 	aspan := span.StartChildAt("dfa.Apply", vnow)
 	if err := d.dfa.Apply(inst, rec.Config, simdb.ApplyReload); err != nil {
 		aspan.SetAttr("error", err.Error())
@@ -427,6 +530,9 @@ func (d *Director) recommend(inst *cluster.Instance, req tuner.Request) error {
 		return err
 	}
 	aspan.EndAt(vnow)
+	if d.gate != nil {
+		d.gate.NotifyApplied(inst.ID, rec.Config, preApply)
+	}
 	d.breakerSuccess(st)
 	return nil
 }

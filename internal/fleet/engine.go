@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"autodbaas/internal/core"
+	"autodbaas/internal/safety"
 	"autodbaas/internal/shard"
 )
 
@@ -39,6 +40,12 @@ type engine interface {
 	// Placement names the shard hosting an instance ("" , false on a
 	// flat engine).
 	Placement(id string) (string, bool)
+	// SafetyStatus reports one instance's safe-tuning gate snapshot.
+	// ok=false when the gate is off or has never seen the instance.
+	// The sharded engine reports no per-database status (the gate
+	// lives inside each shard, possibly across an RPC boundary);
+	// fleet-wide safety totals still flow through Counters.
+	SafetyStatus(id string) (safety.Status, bool)
 	// Rebalance migrates an instance between shards; flat engines
 	// reject it.
 	Rebalance(id, toShard string) error
@@ -97,6 +104,10 @@ func (e *flatEngine) Fingerprint() (shard.Fingerprint, error) {
 }
 
 func (e *flatEngine) Placement(string) (string, bool) { return "", false }
+
+func (e *flatEngine) SafetyStatus(id string) (safety.Status, bool) {
+	return e.sys.Director.SafetyStatus(id)
+}
 
 func (e *flatEngine) Rebalance(id, toShard string) error {
 	return fmt.Errorf("%w: fleet engine is not sharded; nothing to rebalance %q onto", ErrInvalid, toShard)
@@ -166,6 +177,8 @@ func (e *shardedEngine) Fingerprint() (shard.Fingerprint, error) {
 }
 
 func (e *shardedEngine) Placement(id string) (string, bool) { return e.coord.Assignment(id) }
+
+func (e *shardedEngine) SafetyStatus(string) (safety.Status, bool) { return safety.Status{}, false }
 
 func (e *shardedEngine) Rebalance(id, toShard string) error { return e.coord.Rebalance(id, toShard) }
 

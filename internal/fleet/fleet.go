@@ -29,6 +29,7 @@ import (
 	"autodbaas/internal/core"
 	"autodbaas/internal/faults"
 	"autodbaas/internal/obs"
+	"autodbaas/internal/safety"
 	"autodbaas/internal/shard"
 	"autodbaas/internal/tenant"
 	"autodbaas/internal/tuner"
@@ -82,6 +83,13 @@ type Config struct {
 	// (see warmstart.go). Nil (the default) keeps cold starts — and
 	// every existing timeline — byte-identical. Flat engine only.
 	WarmStart *WarmStartConfig
+
+	// Safety, when non-nil, enables the safe-tuning gate on the flat
+	// engine (internal/safety): shadow canary evaluation, trust regions
+	// and automatic rollback in front of every tuner apply. Ignored
+	// when the engine is sharded — put safety.Options on each shard
+	// config instead (each shard runs its own gate).
+	Safety *safety.Options
 }
 
 // Sharded reports whether the config selects the sharded engine.
@@ -203,7 +211,7 @@ func New(cfg Config) (*Service, error) {
 		coord.RegisterCheckpointExtra(controlSection, s.saveControlState, nil)
 		return s, nil
 	}
-	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: cfg.Parallelism, Faults: cfg.Faults}, cfg.Tuners...)
+	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: cfg.Parallelism, Faults: cfg.Faults, Safety: cfg.Safety}, cfg.Tuners...)
 	if err != nil {
 		return nil, err
 	}

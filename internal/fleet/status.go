@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"autodbaas/internal/knobs"
+	"autodbaas/internal/safety"
 )
 
 // DatabaseStatus is one database's externally visible state.
@@ -16,6 +17,10 @@ type DatabaseStatus struct {
 	Deleting    bool   `json:"deleting,omitempty"`
 	Gen         int    `json:"gen,omitempty"`   // membership generation of the last (re-)join
 	Shard       string `json:"shard,omitempty"` // hosting shard (sharded fleets only)
+	// Safety is the safe-tuning gate's per-database snapshot (nil when
+	// the gate is off, the instance is not yet provisioned, or the
+	// fleet is sharded — shard gates are not surfaced per-database).
+	Safety *safety.Status `json:"safety,omitempty"`
 }
 
 // TenantStatus is one tenant's externally visible state.
@@ -37,6 +42,12 @@ type Summary struct {
 	Deprovisions int64 `json:"deprovisions_total"`
 	Resizes      int64 `json:"resizes_total"`
 	Samples      int   `json:"samples_total"`
+
+	// Safe-tuning gate totals, merged across shards (zero when off).
+	SafetyVetoes     int `json:"safety_vetoes_total,omitempty"`
+	SafetyCanaryRuns int `json:"safety_canary_runs_total,omitempty"`
+	SafetyRollbacks  int `json:"safety_rollbacks_total,omitempty"`
+	SafetyRegressing int `json:"safety_regressing_applies_total,omitempty"`
 }
 
 // memberGens maps live instance IDs to their join generation. A
@@ -65,7 +76,7 @@ func (s *Service) statusLocked(ts *tenantState, gens map[string]int) TenantStatu
 	for _, did := range sortedDBIDs(ts) {
 		db := ts.DBs[did]
 		shardName, _ := s.eng.Placement(instanceID(ts.Tenant.ID, db.ID))
-		st.Databases = append(st.Databases, DatabaseStatus{
+		row := DatabaseStatus{
 			ID:          db.ID,
 			Blueprint:   db.Blueprint,
 			Plan:        db.Plan,
@@ -74,7 +85,11 @@ func (s *Service) statusLocked(ts *tenantState, gens map[string]int) TenantStatu
 			Deleting:    db.Deleting,
 			Gen:         gens[instanceID(ts.Tenant.ID, db.ID)],
 			Shard:       shardName,
-		})
+		}
+		if sst, ok := s.eng.SafetyStatus(instanceID(ts.Tenant.ID, db.ID)); ok {
+			row.Safety = &sst
+		}
+		st.Databases = append(st.Databases, row)
 	}
 	return st
 }
@@ -123,21 +138,28 @@ func (s *Service) Summary() Summary {
 	window := s.eng.Windows()
 	size := s.eng.FleetSize()
 	gen, samples := 0, 0
+	var sv, sc, sr, sg int
 	if counters, err := s.eng.Counters(); err == nil {
 		gen = counters.Generation
 		samples = counters.Samples
+		sv, sc = counters.SafetyVetoes, counters.SafetyCanaryRuns
+		sr, sg = counters.SafetyRollbacks, counters.SafetyRegressing
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Summary{
-		Window:       window,
-		Generation:   gen,
-		Samples:      samples,
-		Tenants:      len(s.tenants),
-		Instances:    size,
-		Provisions:   s.provisions,
-		Deprovisions: s.deprovisions,
-		Resizes:      s.resizes,
+		Window:           window,
+		Generation:       gen,
+		Samples:          samples,
+		Tenants:          len(s.tenants),
+		Instances:        size,
+		Provisions:       s.provisions,
+		Deprovisions:     s.deprovisions,
+		Resizes:          s.resizes,
+		SafetyVetoes:     sv,
+		SafetyCanaryRuns: sc,
+		SafetyRollbacks:  sr,
+		SafetyRegressing: sg,
 	}
 }
 

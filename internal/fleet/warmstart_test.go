@@ -4,7 +4,9 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
+	"autodbaas/internal/core"
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/metrics"
 	"autodbaas/internal/shard"
@@ -232,7 +234,7 @@ func TestWarmStartCountersSurviveRestore(t *testing.T) {
 // fleet-scope repository.
 func TestWarmStartShardedRejected(t *testing.T) {
 	tiers, bps := testCatalogue()
-	_, err := New(Config{
+	svc, err := New(Config{
 		Seed:       42,
 		Tiers:      tiers,
 		Blueprints: bps,
@@ -244,5 +246,68 @@ func TestWarmStartShardedRejected(t *testing.T) {
 	})
 	if !errors.Is(err, ErrInvalid) {
 		t.Fatalf("sharded warm start accepted: %v", err)
+	}
+	if svc != nil {
+		t.Fatal("rejection returned a live service alongside the error")
+	}
+}
+
+// recordingShard counts every Shard method invocation; the zero value
+// is a valid, never-touched host.
+type recordingShard struct {
+	name  string
+	calls int
+}
+
+func (r *recordingShard) Name() string                          { r.calls++; return r.name }
+func (r *recordingShard) AddInstance(shard.InstanceSpec) error  { r.calls++; return nil }
+func (r *recordingShard) RemoveInstance(string) error           { r.calls++; return nil }
+func (r *recordingShard) Members() ([]core.Member, error)       { r.calls++; return nil, nil }
+func (r *recordingShard) Counters() (shard.Counters, error)     { r.calls++; return shard.Counters{}, nil }
+func (r *recordingShard) Checkpoint() ([]byte, error)           { r.calls++; return nil, nil }
+func (r *recordingShard) Restore([]byte) error                  { r.calls++; return nil }
+func (r *recordingShard) Close() error                          { r.calls++; return nil }
+func (r *recordingShard) ImportInstance(shard.InstanceExport) error { r.calls++; return nil }
+func (r *recordingShard) Step(time.Duration) (shard.StepResult, error) {
+	r.calls++
+	return shard.StepResult{}, nil
+}
+func (r *recordingShard) Fingerprint() (shard.Fingerprint, error) {
+	r.calls++
+	return shard.Fingerprint{}, nil
+}
+func (r *recordingShard) ExportInstance(string) (shard.InstanceExport, error) {
+	r.calls++
+	return shard.InstanceExport{}, nil
+}
+func (r *recordingShard) ResizeInstance(string, string, int64, shard.AgentConfig) error {
+	r.calls++
+	return nil
+}
+
+// TestWarmStartShardedRejectionMutatesNothing: the invalid-config error
+// must fire before the service touches its shard hosts — the caller
+// keeps fully usable hosts (not even Close is called) and no fleet
+// state exists to leak.
+func TestWarmStartShardedRejectionMutatesNothing(t *testing.T) {
+	tiers, bps := testCatalogue()
+	hosts := []*recordingShard{{name: "s0"}, {name: "s1"}}
+	svc, err := New(Config{
+		Seed:       42,
+		Tiers:      tiers,
+		Blueprints: bps,
+		ShardHosts: []shard.Shard{hosts[0], hosts[1]},
+		WarmStart:  &WarmStartConfig{},
+	})
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("sharded warm start accepted: %v", err)
+	}
+	if svc != nil {
+		t.Fatal("rejection returned a live service alongside the error")
+	}
+	for _, h := range hosts {
+		if h.calls != 0 {
+			t.Errorf("shard %s saw %d calls during a rejected New", h.name, h.calls)
+		}
 	}
 }

@@ -358,3 +358,86 @@ func TestSparsePredictScratchNoAllocs(t *testing.T) {
 		t.Fatalf("sparse Predict allocates %.1f per call, want 0", allocs)
 	}
 }
+
+// TestSparseCrossThresholdAfterRestore is the kill/restore contract at
+// the exact→sparse boundary: a model checkpointed while still exact
+// (below SparseThreshold), restored into a fresh Regressor and then
+// driven past the threshold with Add must cross to the sparse path at
+// the same sample, serialize bit-for-bit identically to the
+// uninterrupted model, and agree with it to the last bit on every
+// prediction.
+func TestSparseCrossThresholdAfterRestore(t *testing.T) {
+	x, y := genSamples(11, 90, 3)
+	const threshold = 64
+
+	build := func() *Regressor {
+		g := newSparseRegressor(3, threshold, 12)
+		if err := g.Fit(x[:50], y[:50]); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	// Uninterrupted reference: straight through the threshold.
+	ref := build()
+	for i := 50; i < 90; i++ {
+		if err := ref.Add(x[i], y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ref.Sparse() {
+		t.Fatal("reference never went sparse — threshold not exercised")
+	}
+
+	// Interrupted twin: checkpoint while exact, restore, then continue.
+	g := build()
+	if g.Sparse() {
+		t.Fatal("model went sparse before the checkpoint — the test needs an exact snapshot")
+	}
+	blob, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Regressor
+	if err := h.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 50; i < 90; i++ {
+		if err := h.Add(x[i], y[i]); err != nil {
+			t.Fatal(err)
+		}
+		if h.Sparse() != (i+1 >= threshold) {
+			t.Fatalf("restored model: after %d samples Sparse()=%v", i+1, h.Sparse())
+		}
+	}
+
+	refBlob, err := ref.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBlob, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refBlob) != len(gotBlob) {
+		t.Fatalf("serialized sizes diverged: %d vs %d", len(refBlob), len(gotBlob))
+	}
+	for i := range refBlob {
+		if refBlob[i] != gotBlob[i] {
+			t.Fatalf("serialized state diverged at byte %d", i)
+		}
+	}
+	for i := 0; i < 90; i += 7 {
+		m1, v1, err := ref.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, v2, err := h.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(m1) != math.Float64bits(m2) || math.Float64bits(v1) != math.Float64bits(v2) {
+			t.Fatalf("prediction %d diverged: (%v,%v) vs (%v,%v)", i, m1, v1, m2, v2)
+		}
+	}
+}

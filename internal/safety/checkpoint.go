@@ -1,0 +1,64 @@
+package safety
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SectionName is the snapshot section the gate rides in — registered
+// via core.System.RegisterCheckpointExtra as "extra/safety".
+const SectionName = "safety"
+
+// gateState is the wire form of the gate's mutable state. Generators
+// are not serialized: they are re-registered when the restored system
+// re-onboards its instances. encoding/json writes map keys sorted, so
+// the payload is byte-stable for identical state.
+type gateState struct {
+	Version           int                   `json:"version"`
+	Instances         map[string]*instState `json:"instances"`
+	Vetoes            int64                 `json:"vetoes"`
+	CanaryRuns        int64                 `json:"canary_runs"`
+	Rollbacks         int64                 `json:"rollbacks"`
+	RegressingApplies int64                 `json:"regressing_applies"`
+}
+
+const gateStateVersion = 1
+
+// MarshalState serializes the gate for the extra/safety section.
+func (g *Gate) MarshalState() ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return json.Marshal(gateState{
+		Version:           gateStateVersion,
+		Instances:         g.inst,
+		Vetoes:            g.vetoes,
+		CanaryRuns:        g.canaryRuns,
+		Rollbacks:         g.rollbacks,
+		RegressingApplies: g.regressing,
+	})
+}
+
+// RestoreState overwrites the gate's mutable state from a snapshot
+// section. Workload registrations survive untouched — the restore path
+// re-onboards instances (which re-registers generators) before the
+// extras section is applied.
+func (g *Gate) RestoreState(data []byte) error {
+	var st gateState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("safety: decode state: %w", err)
+	}
+	if st.Version != gateStateVersion {
+		return fmt.Errorf("safety: unsupported state version %d", st.Version)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if st.Instances == nil {
+		st.Instances = make(map[string]*instState)
+	}
+	g.inst = st.Instances
+	g.vetoes = st.Vetoes
+	g.canaryRuns = st.CanaryRuns
+	g.rollbacks = st.Rollbacks
+	g.regressing = st.RegressingApplies
+	return nil
+}

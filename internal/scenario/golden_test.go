@@ -11,14 +11,24 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden timeline files")
 
-// TestGoldenTimelines replays the two testdata fixtures and compares
-// the emitted CSV and JSON timelines byte for byte against committed
+// TestGoldenTimelines replays the testdata fixtures and compares the
+// emitted CSV and JSON timelines byte for byte against committed
 // goldens. Regenerate with:
 //
 //	go test ./internal/scenario -run TestGoldenTimelines -update
 func TestGoldenTimelines(t *testing.T) {
-	for _, name := range []string{"golden-diurnal", "golden-churn"} {
-		name := name
+	fixtures := []struct {
+		name string
+		cfg  RunConfig
+	}{
+		{"golden-diurnal", RunConfig{Parallelism: 2}},
+		{"golden-churn", RunConfig{Parallelism: 2}},
+		// Replayed with the safe-tuning gate armed: pins gate decisions
+		// (vetoes, canaries, rollbacks) into the committed totals.
+		{"golden-tuning-regression", RunConfig{Parallelism: 2, Safety: true}},
+	}
+	for _, fx := range fixtures {
+		name, cfg := fx.name, fx.cfg
 		t.Run(name, func(t *testing.T) {
 			src, err := os.ReadFile(filepath.Join("testdata", name+".yaml"))
 			if err != nil {
@@ -32,7 +42,7 @@ func TestGoldenTimelines(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r, err := NewRunner(p, RunConfig{Parallelism: 2})
+			r, err := NewRunner(p, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

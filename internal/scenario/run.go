@@ -10,6 +10,7 @@ import (
 	"autodbaas/internal/fleet"
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/obs"
+	"autodbaas/internal/safety"
 	"autodbaas/internal/shard"
 	"autodbaas/internal/tenant"
 	"autodbaas/internal/tuner"
@@ -43,6 +44,11 @@ type RunConfig struct {
 	// already in the repository. Flat layout only — a sharded layout
 	// with WarmStart set fails fleet validation.
 	WarmStart bool
+	// Safety arms the safe-tuning gate (default options): shadow canary
+	// plus trust region in front of every apply, automatic rollback
+	// behind it. On a sharded layout the options are filled into any
+	// shard config that doesn't set its own.
+	Safety bool
 }
 
 // Status is the runner's live snapshot, served at GET /v1/scenario.
@@ -116,15 +122,24 @@ func NewRunner(p *Plan, cfg RunConfig) (*Runner, error) {
 		// a cold start, so don't demand the library default's six.
 		fcfg.WarmStart = &fleet.WarmStartConfig{MinDonorSamples: 2}
 	}
+	var safetyOpts *safety.Options
+	if cfg.Safety {
+		o := safety.DefaultOptions()
+		safetyOpts = &o
+	}
 	if len(cfg.Shards) > 0 {
 		for _, scfg := range cfg.Shards {
 			if scfg.FaultProfile == "" {
 				scfg.FaultProfile = profile
 				scfg.FaultSeed = faultSeed
 			}
+			if scfg.Safety == nil {
+				scfg.Safety = safetyOpts
+			}
 			fcfg.Shards = append(fcfg.Shards, scfg)
 		}
 	} else {
+		fcfg.Safety = safetyOpts
 		n := cfg.Tuners
 		if n < 1 {
 			n = 1
@@ -314,6 +329,12 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	last := res.Timeline[len(res.Timeline)-1]
 	res.Retries, res.Escalations = last.Retries, last.Escalations
 	res.Provisions, res.Deprovisions, res.Resizes = last.Provisions, last.Deprovisions, last.Resizes
+	if counters, err := r.svc.Counters(); err == nil {
+		res.SafetyVetoes = counters.SafetyVetoes
+		res.SafetyCanaryRuns = counters.SafetyCanaryRuns
+		res.SafetyRollbacks = counters.SafetyRollbacks
+		res.SafetyRegressing = counters.SafetyRegressing
+	}
 	fp, err := r.svc.Fingerprint()
 	if err != nil {
 		return fail(fmt.Errorf("scenario %q: fingerprint: %w", sc.Name, err))

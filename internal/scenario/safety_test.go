@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// requireSafetyIdentical extends requireIdentical with the gate's run
+// totals — gate decisions are part of the determinism contract.
+func requireSafetyIdentical(t *testing.T, name, whatA, whatB string, a, b *Result) {
+	t.Helper()
+	requireIdentical(t, name, whatA, whatB, a, b)
+	if a.SafetyVetoes != b.SafetyVetoes || a.SafetyCanaryRuns != b.SafetyCanaryRuns ||
+		a.SafetyRollbacks != b.SafetyRollbacks || a.SafetyRegressing != b.SafetyRegressing {
+		t.Errorf("%s: safety totals diverged %s={v:%d c:%d r:%d x:%d} %s={v:%d c:%d r:%d x:%d}",
+			name, whatA, a.SafetyVetoes, a.SafetyCanaryRuns, a.SafetyRollbacks, a.SafetyRegressing,
+			whatB, b.SafetyVetoes, b.SafetyCanaryRuns, b.SafetyRollbacks, b.SafetyRegressing)
+	}
+}
+
+// TestGatedReplayDeterminism holds the determinism contract for the
+// safe-tuning gate on its nemesis campaign: gated replays are
+// bit-identical across flat parallelism levels (clean and under the
+// medium fault profile) and sharded run-over-run, gate counters
+// included.
+func TestGatedReplayDeterminism(t *testing.T) {
+	const name = "tuning-regression"
+
+	flat1 := runLibrary(t, name, RunConfig{Parallelism: 1, Safety: true})
+	flat4 := runLibrary(t, name, RunConfig{Parallelism: 4, Safety: true})
+	requireSafetyIdentical(t, name, "safe/P=1", "safe/P=4", flat1, flat4)
+	if flat1.SafetyCanaryRuns == 0 {
+		t.Error("gated replay never ran a canary — the gate is not engaged")
+	}
+
+	if !testing.Short() {
+		flat16 := runLibrary(t, name, RunConfig{Parallelism: 16, Safety: true})
+		requireSafetyIdentical(t, name, "safe/P=1", "safe/P=16", flat1, flat16)
+
+		f1 := runLibrary(t, name, RunConfig{Parallelism: 1, Safety: true, FaultProfile: "medium"})
+		f4 := runLibrary(t, name, RunConfig{Parallelism: 4, Safety: true, FaultProfile: "medium"})
+		requireSafetyIdentical(t, name, "safe/medium/P=1", "safe/medium/P=4", f1, f4)
+	}
+
+	shardA := runLibrary(t, name, RunConfig{Shards: testShards(), Safety: true})
+	shardB := runLibrary(t, name, RunConfig{Shards: testShards(), Safety: true})
+	requireSafetyIdentical(t, name, "safe/shard/run-1", "safe/shard/run-2", shardA, shardB)
+	if shardA.SafetyCanaryRuns == 0 {
+		t.Error("sharded gated replay never ran a canary")
+	}
+}
+
+// TestGatedReplayTouchesNothingWhenOff pins the gate-off invariant: a
+// replay with Safety false reports zero gate activity, so every
+// committed ungated golden and benchmark fingerprint stays valid.
+func TestGatedReplayTouchesNothingWhenOff(t *testing.T) {
+	res := runLibrary(t, "tuning-regression", RunConfig{Parallelism: 2})
+	if res.SafetyVetoes != 0 || res.SafetyCanaryRuns != 0 || res.SafetyRollbacks != 0 || res.SafetyRegressing != 0 {
+		t.Fatalf("ungated replay reported gate activity: %+v", res)
+	}
+}

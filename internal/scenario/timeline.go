@@ -50,6 +50,12 @@ type Result struct {
 	Deprovisions  int     `json:"deprovisions"`
 	Resizes       int     `json:"resizes"`
 	PeakInstances int     `json:"peak_instances"`
+	// Safe-tuning gate run totals (all zero — and omitted — when the
+	// replay ran without the gate).
+	SafetyVetoes     int `json:"safety_vetoes,omitempty"`
+	SafetyCanaryRuns int `json:"safety_canary_runs,omitempty"`
+	SafetyRollbacks  int `json:"safety_rollbacks,omitempty"`
+	SafetyRegressing int `json:"safety_regressing_applies,omitempty"`
 	// ProvisionLatency histograms create→Tuned latency in windows:
 	// key = latency, value = instances that tuned at that latency.
 	ProvisionLatency map[int]int `json:"provision_latency_windows,omitempty"`

@@ -101,6 +101,11 @@ func CountersOf(sys *core.System) Counters {
 		Repository:   sys.Repository.Stats(),
 	}
 	c.TuningRequests, c.Recommendations, c.ApplyFailures, c.PlanUpgrades = sys.Director.Counters()
+	vetoes, canaries, rollbacks, regressing := sys.Director.SafetyTotals()
+	c.SafetyVetoes = int(vetoes)
+	c.SafetyCanaryRuns = int(canaries)
+	c.SafetyRollbacks = int(rollbacks)
+	c.SafetyRegressing = int(regressing)
 	return c
 }
 

@@ -99,7 +99,7 @@ func (l *Local) buildSystem() (*core.System, error) {
 		}
 		injector = faults.New(fseed, prof)
 	}
-	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: l.cfg.Parallelism, Faults: injector}, tuners...)
+	sys, err := core.NewSystemWithOptions(core.Options{Parallelism: l.cfg.Parallelism, Faults: injector, Safety: l.cfg.Safety}, tuners...)
 	if err != nil {
 		return nil, fmt.Errorf("shard %s: %w", l.cfg.Name, err)
 	}

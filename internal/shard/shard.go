@@ -28,6 +28,7 @@ import (
 	"autodbaas/internal/core"
 	"autodbaas/internal/knobs"
 	"autodbaas/internal/repository"
+	"autodbaas/internal/safety"
 	"autodbaas/internal/tenant"
 )
 
@@ -111,6 +112,10 @@ type Config struct {
 	// (0: the shard seed).
 	FaultProfile string `json:"fault_profile,omitempty"`
 	FaultSeed    int64  `json:"fault_seed,omitempty"`
+	// Safety, when non-nil, enables the safe-tuning gate inside the
+	// shard (internal/safety). JSON-serializable, so a worker process
+	// rebuilds the same gate from its "init" RPC.
+	Safety *safety.Options `json:"safety,omitempty"`
 }
 
 // StepResult is one shard's serializable outcome of stepping a window:
@@ -141,6 +146,12 @@ type Counters struct {
 	Retries         int `json:"retries"`
 	Escalations     int `json:"escalations"`
 
+	// Safe-tuning gate totals (zero when the gate is off).
+	SafetyVetoes     int `json:"safety_vetoes,omitempty"`
+	SafetyCanaryRuns int `json:"safety_canary_runs,omitempty"`
+	SafetyRollbacks  int `json:"safety_rollbacks,omitempty"`
+	SafetyRegressing int `json:"safety_regressing_applies,omitempty"`
+
 	Repository repository.Stats `json:"repository"`
 }
 
@@ -160,6 +171,10 @@ func (c *Counters) Accumulate(o Counters) {
 	c.CircuitTrips += o.CircuitTrips
 	c.Retries += o.Retries
 	c.Escalations += o.Escalations
+	c.SafetyVetoes += o.SafetyVetoes
+	c.SafetyCanaryRuns += o.SafetyCanaryRuns
+	c.SafetyRollbacks += o.SafetyRollbacks
+	c.SafetyRegressing += o.SafetyRegressing
 	c.Repository.Samples += o.Repository.Samples
 	c.Repository.Enqueued += o.Repository.Enqueued
 	c.Repository.Delivered += o.Repository.Delivered

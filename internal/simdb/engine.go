@@ -415,6 +415,15 @@ func (e *Engine) QueryLog(n int) []string {
 	return e.queryLog.last(n)
 }
 
+// QueryLogCap returns the configured query-log capacity. A clone built
+// to receive this engine's CheckpointState must be constructed with the
+// same capacity (RestoreCheckpointState rejects size mismatches).
+func (e *Engine) QueryLogCap() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queryLog.buf)
+}
+
 // Counters returns a copy of the engine's semantic counters (the
 // engine-neutral names: spill_files, spill_bytes, ckpt_req, ckpt_bytes,
 // bgwriter pages, ...). The same quantities appear under engine-native

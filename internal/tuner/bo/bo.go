@@ -345,6 +345,50 @@ func (t *Tuner) Recommend(req tuner.Request) (tuner.Recommendation, error) {
 	}
 	t.gprFitSeconds.Observe(time.Since(fitStart).Seconds())
 
+	// Constrained suggestion (the safety gate's trust region): filter
+	// candidates after generation so the RNG stream advances identically
+	// whether or not a constraint is present — resampling after a veto
+	// stays deterministic.
+	var trCenter []float64
+	trRadius := math.Inf(1)
+	var exclude []knobs.Config
+	if req.Constraint != nil {
+		if req.Constraint.Center != nil && req.Constraint.Radius > 0 {
+			trCenter = t.kcat.Normalize(req.Constraint.Center, names)
+			trRadius = req.Constraint.Radius
+		}
+		exclude = req.Constraint.Exclude
+	}
+	scale := math.Sqrt(float64(len(names)))
+	inRegion := func(vec []float64) bool {
+		if trCenter == nil {
+			return true
+		}
+		return linalg.EuclideanDistance(vec, trCenter)/scale <= trRadius
+	}
+	// isExcluded compares only the searched knobs: the rest of the
+	// final config comes from req.Current either way, so searched-knob
+	// equality with a vetoed config means the full config would repeat.
+	isExcluded := func(vec []float64) bool {
+		if len(exclude) == 0 {
+			return false
+		}
+		cfg := t.kcat.Denormalize(vec, names)
+		for _, ex := range exclude {
+			same := true
+			for _, n := range names {
+				if cfg[n] != ex[n] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		}
+		return false
+	}
+
 	// Acquisition: random candidates + perturbations of the incumbent.
 	bestIdx := 0
 	for i := range yn {
@@ -366,11 +410,17 @@ func (t *Tuner) Recommend(req tuner.Request) (tuner.Recommendation, error) {
 				cand[d] = clamp01(incumbent[d] + t.rng.NormFloat64()*0.15)
 			}
 		}
+		if !inRegion(cand) {
+			continue
+		}
 		score, err := model.UCB(cand, t.opts.UCBBeta)
 		if err != nil {
 			continue
 		}
 		if score > bestScore {
+			if isExcluded(cand) {
+				continue
+			}
 			bestScore = score
 			copy(bestVec, cand)
 		}

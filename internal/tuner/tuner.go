@@ -47,6 +47,28 @@ type Request struct {
 	// ThrottleClass optionally narrows the recommendation to one knob
 	// class (set when a TDE throttle triggered the request).
 	ThrottleClass *knobs.Class `json:"throttle_class,omitempty"`
+	// Constraint, when set, restricts the suggestion to the safety
+	// gate's trust region and steers it away from already-vetoed
+	// configs. Tuners that cannot honor it may ignore it — the gate
+	// re-checks every candidate before apply.
+	Constraint *Constraint `json:"constraint,omitempty"`
+}
+
+// Constraint is the safe-tuning suggestion constraint (arXiv:2203.14473):
+// candidates should stay within Radius of Center in normalized knob
+// space, and must avoid the Exclude configs (vetoed earlier in the
+// same tuning round).
+type Constraint struct {
+	// Center is the config the trust region is centered on — the
+	// instance's best known-good configuration. Nil means
+	// exclusion-only (no distance bound).
+	Center knobs.Config `json:"center,omitempty"`
+	// Radius is the normalized knob-space distance bound (each knob
+	// mapped to [0,1], Euclidean distance scaled by sqrt(dims)).
+	Radius float64 `json:"radius,omitempty"`
+	// Exclude lists configs the gate already vetoed this round; a
+	// resample returning one of them would be vetoed again.
+	Exclude []knobs.Config `json:"exclude,omitempty"`
 }
 
 // Recommendation is a tuner's answer.
